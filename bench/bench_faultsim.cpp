@@ -1,0 +1,67 @@
+// Substrate microbenchmark: PROOFS-style 64-way parallel-fault simulation vs
+// serial single-fault simulation (the speedup that makes simulation-based
+// test generation practical — §I of the paper).
+#include <benchmark/benchmark.h>
+
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+#include "gen/registry.h"
+#include "helpers_bench.h"
+
+namespace {
+
+using namespace gatpg;
+
+void BM_ParallelFaultSim(benchmark::State& state, const char* name) {
+  const auto c = gen::make_circuit(name);
+  const auto faults = fault::collapse(c).faults;
+  util::Rng rng(1);
+  const auto seq = bench::random_sequence(c, rng, 32);
+  for (auto _ : state) {
+    fault::FaultSimulator fs(c, faults);
+    benchmark::DoNotOptimize(fs.run(seq));
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["fault_vectors_per_s"] = benchmark::Counter(
+      static_cast<double>(faults.size() * seq.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SerialFaultSim(benchmark::State& state, const char* name) {
+  const auto c = gen::make_circuit(name);
+  const auto faults = fault::collapse(c).faults;
+  util::Rng rng(1);
+  const auto seq = bench::random_sequence(c, rng, 32);
+  for (auto _ : state) {
+    std::size_t detected = 0;
+    for (const auto& f : faults) {
+      fault::FaultSimulator fs(c, std::vector<fault::Fault>{f});
+      detected += fs.run(seq).size();
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["fault_vectors_per_s"] = benchmark::Counter(
+      static_cast<double>(faults.size() * seq.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK_CAPTURE(BM_ParallelFaultSim, s27, "s27")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SerialFaultSim, s27, "s27")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ParallelFaultSim, g298, "g298")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SerialFaultSim, g298, "g298")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_ParallelFaultSim, g1423, "g1423")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_SerialFaultSim, g1423, "g1423")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

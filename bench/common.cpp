@@ -1,0 +1,90 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gatpg::bench {
+
+BenchOptions parse_options(int argc, char** argv,
+                           std::vector<std::string>* positional) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--time-scale=", 0) == 0) {
+      options.time_scale = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--pass-budget=", 0) == 0) {
+      options.pass_budget_s = std::atof(arg.c_str() + 14);
+    } else if (arg == "--full") {
+      options.full = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (positional) {
+      positional->push_back(arg);
+    }
+  }
+  return options;
+}
+
+ComparisonRow run_comparison(
+    const netlist::Circuit& c, const BenchOptions& options,
+    std::optional<std::pair<unsigned, unsigned>> seq_len_override) {
+  ComparisonRow row;
+  row.circuit = c.name();
+  row.depth = netlist::sequential_depth(c);
+
+  hybrid::HybridConfig ga_config;
+  ga_config.schedule = hybrid::PassSchedule::ga_hitec(options.time_scale);
+  if (seq_len_override) {
+    ga_config.schedule.passes[0].seq_len_override = seq_len_override->first;
+    ga_config.schedule.passes[1].seq_len_override = seq_len_override->second;
+  }
+  for (auto& pass : ga_config.schedule.passes) {
+    pass.pass_budget_s = options.pass_budget_s;
+  }
+  ga_config.seed = options.seed;
+  hybrid::HybridAtpg ga_engine(c, ga_config);
+  row.total_faults = ga_engine.fault_list().size();
+  row.ga_hitec = ga_engine.run();
+
+  hybrid::HybridConfig hitec_config;
+  hitec_config.schedule = hybrid::PassSchedule::hitec(options.time_scale);
+  for (auto& pass : hitec_config.schedule.passes) {
+    pass.pass_budget_s = options.pass_budget_s;
+  }
+  hitec_config.seed = options.seed;
+  row.hitec = hybrid::HybridAtpg(c, hitec_config).run();
+  return row;
+}
+
+util::TablePrinter make_comparison_table() {
+  return util::TablePrinter({"Circuit", "Depth", "Faults", "|", "Det", "Vec",
+                             "Time", "Unt", "|", "Det", "Vec", "Time",
+                             "Unt"});
+}
+
+void add_comparison_rows(util::TablePrinter& table, const ComparisonRow& row) {
+  const std::size_t passes =
+      std::min(row.ga_hitec.passes.size(), row.hitec.passes.size());
+  for (std::size_t p = 0; p < passes; ++p) {
+    const auto& ga = row.ga_hitec.passes[p];
+    const auto& hi = row.hitec.passes[p];
+    table.add_row({
+        p == 0 ? row.circuit : "",
+        p == 0 ? std::to_string(row.depth) : "",
+        p == 0 ? std::to_string(row.total_faults) : "",
+        "|",
+        std::to_string(ga.detected),
+        std::to_string(ga.vectors),
+        util::format_duration(ga.time_s),
+        std::to_string(ga.untestable),
+        "|",
+        std::to_string(hi.detected),
+        std::to_string(hi.vectors),
+        util::format_duration(hi.time_s),
+        std::to_string(hi.untestable),
+    });
+  }
+  table.add_rule();
+}
+
+}  // namespace gatpg::bench

@@ -1,0 +1,64 @@
+// Shared harness pieces for the table-reproduction benches.
+//
+// Each bench binary reproduces one table/figure of the paper.  The central
+// routine runs both test generators (GA-HITEC and the HITEC baseline) on a
+// circuit with the paper's pass schedules (wall-clock limits scaled by
+// --time-scale) and prints rows in the paper's format: one line per pass
+// with cumulative Det / Vec / Time / Unt.
+//
+// Absolute numbers differ from the 1995 paper by construction (different
+// hardware, generated analog circuits); the *shape* — who detects more per
+// pass, roughly equal untestable counts after the deterministic pass,
+// where the hybrid wins — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/grading.h"
+#include "gen/registry.h"
+#include "hybrid/hybrid_atpg.h"
+#include "netlist/depth.h"
+#include "util/tableprint.h"
+
+namespace gatpg::bench {
+
+struct BenchOptions {
+  double time_scale = 0.01;
+  /// Wall-clock cap per pass per engine (keeps default bench sweeps
+  /// bounded; the paper ran uncapped for up to 39 hours).  0 = uncapped.
+  double pass_budget_s = 2.0;
+  bool full = false;  // include the slowest circuits
+  std::uint64_t seed = 1;
+};
+
+/// Parses --time-scale=X, --pass-budget=X, --full, --seed=N; everything else
+/// is returned as a positional arg (circuit names for the table benches).
+BenchOptions parse_options(int argc, char** argv,
+                           std::vector<std::string>* positional = nullptr);
+
+struct ComparisonRow {
+  std::string circuit;
+  unsigned depth = 0;
+  std::size_t total_faults = 0;
+  hybrid::AtpgResult ga_hitec;
+  hybrid::AtpgResult hitec;
+};
+
+/// Runs both engines on one circuit.  `seq_len_override` (pair for passes
+/// 1/2) reproduces the paper's fixed sequence lengths for the synthesized
+/// circuits; nullopt uses the 4x/8x sequential-depth rule.
+ComparisonRow run_comparison(
+    const netlist::Circuit& c, const BenchOptions& options,
+    std::optional<std::pair<unsigned, unsigned>> seq_len_override =
+        std::nullopt);
+
+/// Appends the paper-style three-line block for one circuit to a printer
+/// with columns: Circuit Depth Faults | Det Vec Time Unt | Det Vec Time Unt.
+void add_comparison_rows(util::TablePrinter& table, const ComparisonRow& row);
+
+/// The standard header for Table II/III style output.
+util::TablePrinter make_comparison_table();
+
+}  // namespace gatpg::bench

@@ -1,0 +1,234 @@
+#include "atpg/detengine.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace gatpg::atpg {
+
+using netlist::GateType;
+using netlist::NodeId;
+using sim::V3;
+
+std::vector<std::uint32_t> observation_distances(const netlist::Circuit& c) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  constexpr std::uint32_t kFrameCost = 1000;  // crossing a flip-flop
+  std::vector<std::uint32_t> dist(c.node_count(), kInf);
+  // Multi-source shortest path on the reverse graph; weights are 1 (into a
+  // combinational gate) or kFrameCost (into a DFF).  A two-bucket Dijkstra
+  // via std::deque is enough at these weights and sizes.
+  std::vector<NodeId> order;
+  auto relax_all = [&] {
+    // Bellman-Ford style sweeps; the graph is small and the loop converges
+    // in a handful of iterations (longest simple path bounds it).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId n = 0; n < c.node_count(); ++n) {
+        for (NodeId out : c.fanouts(n)) {
+          const std::uint32_t step =
+              c.type(out) == GateType::kDff ? kFrameCost : 1;
+          if (dist[out] == kInf) continue;
+          const std::uint32_t cand = dist[out] >= kInf - step
+                                         ? kInf
+                                         : dist[out] + step;
+          if (cand < dist[n]) {
+            dist[n] = cand;
+            changed = true;
+          }
+        }
+      }
+    }
+  };
+  for (NodeId po : c.primary_outputs()) dist[po] = 0;
+  relax_all();
+  return dist;
+}
+
+ForwardEngine::ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
+                             const SearchLimits& limits)
+    : c_(c),
+      fault_(f),
+      limits_(limits),
+      model_(c, f, std::max(1u, limits.max_forward_frames)),
+      stack_(model_),
+      obs_dist_(observation_distances(c)) {
+  driver_ = f.pin == fault::kOutputPin
+                ? f.node
+                : c.fanins(f.node)[static_cast<std::size_t>(f.pin)];
+}
+
+bool ForwardEngine::excitation_conflict() const {
+  const V3 v = model_.good(0, driver_);
+  return v != V3::kX && (v == V3::k1) == fault_.stuck_at;
+}
+
+bool ForwardEngine::excited_somewhere() const {
+  for (unsigned t = 0; t < model_.frame_count(); ++t) {
+    const V3 v = model_.good(t, driver_);
+    if (v != V3::kX && (v == V3::k1) != fault_.stuck_at) return true;
+  }
+  return false;
+}
+
+std::vector<FrameModel::FrontierGate> ForwardEngine::full_frontier() const {
+  auto frontier = model_.d_frontier();
+  // Branch faults: the faulted gate itself propagates the fault effect when
+  // its driver carries the non-stuck good value, but the standard frontier
+  // rule cannot see it (the branch is not a node).  Same for a faulted DFF
+  // D pin, handled in d_pending_at_ff_input().
+  if (fault_.pin >= 0 && c_.type(fault_.node) != GateType::kDff) {
+    for (unsigned t = 0; t < model_.frame_count(); ++t) {
+      const V3 v = model_.good(t, driver_);
+      if (v == V3::kX || (v == V3::k1) == fault_.stuck_at) continue;
+      if (model_.composite(t, fault_.node).any_x()) {
+        frontier.push_back({t, fault_.node});
+      }
+    }
+  }
+  return frontier;
+}
+
+bool ForwardEngine::d_pending_at_ff_input() const {
+  const unsigned last = model_.frame_count() - 1;
+  if (model_.d_reaches_ff_input(last)) return true;
+  if (fault_.pin == 0 && c_.type(fault_.node) == GateType::kDff) {
+    const V3 v = model_.good(last, driver_);
+    if (v != V3::kX && (v == V3::k1) != fault_.stuck_at) return true;
+  }
+  return false;
+}
+
+bool ForwardEngine::pick_objective(Objective& obj) {
+  // Goal 1: excite in frame 0.
+  if (model_.good(0, driver_) == V3::kX) {
+    obj = {0, driver_, fault_.stuck_at ? V3::k0 : V3::k1};
+    return true;
+  }
+  // Goal 2: drive a D-frontier gate.
+  auto frontier = full_frontier();
+  std::sort(frontier.begin(), frontier.end(),
+            [&](const FrameModel::FrontierGate& a,
+                const FrameModel::FrontierGate& b) {
+              const auto da = obs_dist_[a.node];
+              const auto db = obs_dist_[b.node];
+              if (da != db) return da < db;
+              return a.frame > b.frame;
+            });
+  bool skipped_faulty_only_x = false;
+  for (const auto& fg : frontier) {
+    const GateType t = c_.type(fg.node);
+    // Find an X side input to set to the non-controlling value.
+    for (std::size_t p = 0; p < c_.fanin_count(fg.node); ++p) {
+      const NodeId in = c_.fanins(fg.node)[p];
+      if (!model_.composite(fg.frame, in).any_x()) continue;
+      if (model_.good(fg.frame, in) != V3::kX) {
+        // Good value already set; only the faulty plane is X (reconvergence
+        // around the fault site).  Backtrace cannot steer it, so exhaustion
+        // would no longer cover this option — record the clip so the search
+        // never claims an untestability proof here.
+        skipped_faulty_only_x = true;
+        continue;
+      }
+      V3 want;
+      if (netlist::has_controlling_value(t)) {
+        want = netlist::controlling_value(t) ? V3::k0 : V3::k1;
+      } else {
+        want = V3::k0;  // XOR family: any binary side value passes D
+      }
+      obj = {fg.frame, in, want};
+      return true;
+    }
+  }
+  if (skipped_faulty_only_x) stats_.clipped = true;
+  return false;
+}
+
+sim::State3 ForwardEngine::required_state() const {
+  // Rebuild the solution on a scratch model and greedily clear state
+  // assignments whose removal keeps a fault effect on some primary output.
+  FrameModel scratch(c_, fault_, model_.max_frames());
+  scratch.set_frame_count(model_.frame_count());
+  const auto pis = c_.primary_inputs();
+  for (unsigned t = 0; t < model_.frame_count(); ++t) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      scratch.assign_pi(t, i, model_.pi_value(t, i));
+    }
+  }
+  const std::size_t nff = c_.flip_flops().size();
+  for (std::size_t i = 0; i < nff; ++i) {
+    scratch.assign_state(i, model_.state_value(i));
+  }
+  scratch.simulate();
+  if (!scratch.po_has_d()) {
+    // Not currently at a solution; report the raw assignment.
+    return model_.extract_state();
+  }
+  for (std::size_t i = 0; i < nff; ++i) {
+    const V3 saved = scratch.state_value(i);
+    if (saved == V3::kX) continue;
+    scratch.clear_state(i);
+    scratch.simulate();
+    if (!scratch.po_has_d()) {
+      scratch.assign_state(i, saved);
+      scratch.simulate();
+    }
+  }
+  return scratch.extract_state();
+}
+
+ForwardStatus ForwardEngine::next_solution(const util::Deadline& deadline) {
+  if (started_) {
+    // Reject the previous solution: continue the search past it.
+    if (!stack_.backtrack(stats_)) {
+      return stats_.clipped || any_solution_ ? ForwardStatus::kExhausted
+                                             : ForwardStatus::kUntestable;
+    }
+  } else {
+    started_ = true;
+    model_.simulate();
+  }
+
+  auto final_status = [&] {
+    if (stats_.clipped || any_solution_) return ForwardStatus::kExhausted;
+    return ForwardStatus::kUntestable;
+  };
+
+  for (;;) {
+    if (deadline.expired() || stats_.backtracks > limits_.max_backtracks) {
+      stats_.clipped = true;
+      return ForwardStatus::kAborted;
+    }
+    if (excitation_conflict()) {
+      if (!stack_.backtrack(stats_)) return final_status();
+      continue;
+    }
+    if (model_.po_has_d()) {
+      any_solution_ = true;
+      return ForwardStatus::kSolved;
+    }
+    Objective obj;
+    if (pick_objective(obj)) {
+      const auto assignment = backtrace(model_, obj);
+      if (!assignment) {
+        if (!stack_.backtrack(stats_)) return final_status();
+        continue;
+      }
+      ++stats_.decisions;
+      stack_.push(*assignment);
+      continue;
+    }
+    // No objective: either the fault effect is parked at flip-flop inputs of
+    // the last frame (extend the window) or it has died (backtrack).
+    if (excited_somewhere() && d_pending_at_ff_input()) {
+      if (model_.extend()) {
+        model_.simulate();
+        continue;
+      }
+      stats_.clipped = true;  // the frame cap blocked further propagation
+    }
+    if (!stack_.backtrack(stats_)) return final_status();
+  }
+}
+
+}  // namespace gatpg::atpg

@@ -1,0 +1,79 @@
+// Forward deterministic engine: fault excitation and fault-effect
+// propagation over expanded time frames (the HITEC-style front end shared by
+// both GA-HITEC and the HITEC baseline).
+//
+// The fault is excited in time frame 0 and its effects are propagated — in
+// frame 0 or across successive frames through flip-flops — until some
+// primary output carries D/D̄.  PI assignments in frames 0..k become the
+// excitation/propagation vectors; assignments to the frame-0 pseudo state
+// become the *required state* handed to state justification (genetic in the
+// hybrid's early passes, deterministic later).
+//
+// next_solution() enumerates alternative excitation/propagation choices: a
+// returned solution that later fails justification is treated as a conflict
+// and the search resumes (the backtrack loop in the paper's Fig. 1).
+// Exhausting the search space without ever clipping on a resource limit
+// proves the fault untestable (state variables are free decision variables,
+// so exhaustion covers every reachable *and* unreachable state).
+#pragma once
+
+#include "atpg/limits.h"
+#include "atpg/podem.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::atpg {
+
+enum class ForwardStatus {
+  kSolved,      // vectors()/required_state() describe a candidate test
+  kUntestable,  // search space exhausted with no limit clipped, no solution
+  kExhausted,   // no more solutions (some were returned earlier, or clipped)
+  kAborted,     // a resource limit stopped the search
+};
+
+class ForwardEngine {
+ public:
+  ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
+                const SearchLimits& limits);
+
+  /// Finds the next excitation/propagation solution; each call resumes the
+  /// search after rejecting the previous solution.
+  ForwardStatus next_solution(const util::Deadline& deadline);
+
+  /// Valid after kSolved: vectors for frames 0..k (X where unassigned) and
+  /// the frame-0 state requirement.  The requirement is *minimized*: every
+  /// pseudo-input assignment whose removal still leaves D/D̄ on a primary
+  /// output is dropped back to X (PODEM decisions binarize state variables
+  /// even when the detection does not need them; a weaker requirement is
+  /// strictly easier to justify and — by 3-valued monotonicity — still
+  /// yields a valid test).
+  sim::Sequence vectors() const { return model_.extract_vectors(); }
+  sim::State3 required_state() const;
+
+  const SearchStats& stats() const { return stats_; }
+  const FrameModel& model() const { return model_; }
+
+ private:
+  bool excitation_conflict() const;
+  bool excited_somewhere() const;
+  bool pick_objective(Objective& obj);
+  bool d_pending_at_ff_input() const;
+  std::vector<FrameModel::FrontierGate> full_frontier() const;
+
+  const netlist::Circuit& c_;
+  fault::Fault fault_;
+  SearchLimits limits_;
+  FrameModel model_;
+  DecisionStack stack_;
+  SearchStats stats_;
+  netlist::NodeId driver_;       // node whose good value excites the fault
+  std::vector<std::uint32_t> obs_dist_;  // static distance-to-observation
+  bool started_ = false;
+  bool any_solution_ = false;
+};
+
+/// Static per-node distance to an observation point (levels to the nearest
+/// PO, crossing flip-flops at a high penalty), used to order D-frontier
+/// gates.  Exposed for tests.
+std::vector<std::uint32_t> observation_distances(const netlist::Circuit& c);
+
+}  // namespace gatpg::atpg

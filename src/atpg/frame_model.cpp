@@ -1,0 +1,179 @@
+#include "atpg/frame_model.h"
+
+#include <cassert>
+
+namespace gatpg::atpg {
+
+using netlist::GateType;
+using netlist::NodeId;
+using sim::V3;
+
+FrameModel::FrameModel(const netlist::Circuit& c,
+                       std::optional<fault::Fault> fault, unsigned max_frames)
+    : circuit_(c), fault_(fault), max_frames_(max_frames) {
+  assert(max_frames_ >= 1);
+  pi_assign_.assign(max_frames_,
+                    std::vector<V3>(c.primary_inputs().size(), V3::kX));
+  state_assign_.assign(c.flip_flops().size(), V3::kX);
+  good_.assign(max_frames_, std::vector<V3>(c.node_count(), V3::kX));
+  if (fault_) {
+    faulty_.assign(max_frames_, std::vector<V3>(c.node_count(), V3::kX));
+  }
+  simulate();
+}
+
+bool FrameModel::extend() {
+  if (frame_count_ >= max_frames_) return false;
+  ++frame_count_;
+  return true;
+}
+
+void FrameModel::set_frame_count(unsigned n) {
+  assert(n >= 1 && n <= max_frames_);
+  frame_count_ = n;
+}
+
+void FrameModel::assign_pi(unsigned frame, std::size_t pi_index, V3 v) {
+  pi_assign_[frame][pi_index] = v;
+}
+
+void FrameModel::clear_pi(unsigned frame, std::size_t pi_index) {
+  pi_assign_[frame][pi_index] = V3::kX;
+}
+
+V3 FrameModel::pi_value(unsigned frame, std::size_t pi_index) const {
+  return pi_assign_[frame][pi_index];
+}
+
+void FrameModel::assign_state(std::size_t ff_index, V3 v) {
+  state_assign_[ff_index] = v;
+}
+
+void FrameModel::clear_state(std::size_t ff_index) {
+  state_assign_[ff_index] = V3::kX;
+}
+
+V3 FrameModel::state_value(std::size_t ff_index) const {
+  return state_assign_[ff_index];
+}
+
+void FrameModel::simulate_plane(std::vector<std::vector<V3>>& plane,
+                                bool inject) const {
+  const auto& c = circuit_;
+  const auto pis = c.primary_inputs();
+  const auto ffs = c.flip_flops();
+  const fault::Fault* f = inject && fault_ ? &*fault_ : nullptr;
+
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    auto& vals = plane[t];
+    // Sources.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      vals[pis[i]] = pi_assign_[t][i];
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      V3 v;
+      if (t == 0) {
+        v = state_assign_[i];
+      } else {
+        // Next-state: the D fanin of the flip-flop in the previous frame,
+        // with an injected D-pin fault applied if present.
+        v = plane[t - 1][c.fanins(ffs[i])[0]];
+        if (f && f->node == ffs[i] && f->pin == 0) {
+          v = f->stuck_at ? V3::k1 : V3::k0;
+        }
+      }
+      if (f && f->node == ffs[i] && f->pin == fault::kOutputPin) {
+        v = f->stuck_at ? V3::k1 : V3::k0;
+      }
+      vals[ffs[i]] = v;
+    }
+    for (NodeId n = 0; n < c.node_count(); ++n) {
+      if (c.type(n) == GateType::kConst0) vals[n] = V3::k0;
+      if (c.type(n) == GateType::kConst1) vals[n] = V3::k1;
+    }
+    if (f && f->pin == fault::kOutputPin &&
+        c.type(f->node) == GateType::kInput) {
+      vals[f->node] = f->stuck_at ? V3::k1 : V3::k0;
+    }
+    // Combinational gates in topological order.
+    for (NodeId g : c.topo_order()) {
+      V3 v;
+      if (f && f->node == g && f->pin >= 0) {
+        // Evaluate with the faulted pin forced.  The pin is identified by
+        // position, not node id (one driver may feed several pins).
+        const auto fanins = c.fanins(g);
+        const auto fp = static_cast<std::size_t>(f->pin);
+        std::vector<V3> ins(fanins.size());
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          ins[i] = vals[fanins[i]];
+        }
+        ins[fp] = f->stuck_at ? V3::k1 : V3::k0;
+        std::vector<NodeId> idx(fanins.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          idx[i] = static_cast<NodeId>(i);
+        }
+        v = sim::eval_gate_scalar(c.type(g), idx,
+                                  [&](NodeId i) { return ins[i]; });
+      } else {
+        v = sim::eval_gate_scalar(c.type(g), c.fanins(g),
+                                  [&](NodeId in) { return vals[in]; });
+      }
+      if (f && f->node == g && f->pin == fault::kOutputPin) {
+        v = f->stuck_at ? V3::k1 : V3::k0;
+      }
+      vals[g] = v;
+    }
+  }
+}
+
+void FrameModel::simulate() {
+  simulate_plane(good_, /*inject=*/false);
+  if (fault_) simulate_plane(faulty_, /*inject=*/true);
+}
+
+bool FrameModel::po_has_d() const {
+  if (!fault_) return false;
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    for (NodeId po : circuit_.primary_outputs()) {
+      if (composite(t, po).is_d()) return true;
+    }
+  }
+  return false;
+}
+
+bool FrameModel::d_reaches_ff_input(unsigned frame) const {
+  if (!fault_) return false;
+  for (NodeId ff : circuit_.flip_flops()) {
+    if (composite(frame, circuit_.fanins(ff)[0]).is_d()) return true;
+  }
+  return false;
+}
+
+std::vector<FrameModel::FrontierGate> FrameModel::d_frontier() const {
+  std::vector<FrontierGate> frontier;
+  if (!fault_) return frontier;
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    for (NodeId g : circuit_.topo_order()) {
+      if (!composite(t, g).any_x()) continue;
+      for (NodeId in : circuit_.fanins(g)) {
+        if (composite(t, in).is_d()) {
+          frontier.push_back({t, g});
+          break;
+        }
+      }
+    }
+  }
+  return frontier;
+}
+
+sim::Sequence FrameModel::extract_vectors() const {
+  sim::Sequence seq(frame_count_);
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    seq[t] = pi_assign_[t];
+  }
+  return seq;
+}
+
+sim::State3 FrameModel::extract_state() const { return state_assign_; }
+
+}  // namespace gatpg::atpg

@@ -1,0 +1,110 @@
+// Time-frame-expanded circuit model for the deterministic engine.
+//
+// The sequential circuit is unrolled into `frame_count` copies of its
+// combinational logic.  Assignable variables are the primary inputs of every
+// frame plus the frame-0 flip-flop outputs ("pseudo inputs" — the state the
+// justification phase must later produce).  Flip-flop outputs in frame t+1
+// take the value of the flip-flop's D fanin in frame t.
+//
+// Two three-valued planes (good and faulty) are kept per frame.  When a
+// fault is installed, the faulty plane injects it in every frame (a stuck-at
+// fault is permanent).  Pseudo-input and PI assignments write both planes —
+// the justified state is required of both machines, matching the paper's
+// two-goal GA fitness (see DESIGN.md for the soundness discussion: every
+// claimed detection is re-verified by the independent fault simulator).
+//
+// simulate() recomputes all active frames obliviously in topological order.
+// PODEM assigns one input at a time and re-implies; at the circuit sizes of
+// the evaluation suite this direct scheme is fast enough and trivially
+// correct, which the ATPG soundness property tests lean on.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "atpg/val5.h"
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "sim/seqsim.h"
+
+namespace gatpg::atpg {
+
+class FrameModel {
+ public:
+  /// `fault` may be empty (justification mode: good plane only).
+  FrameModel(const netlist::Circuit& c, std::optional<fault::Fault> fault,
+             unsigned max_frames);
+
+  const netlist::Circuit& circuit() const { return circuit_; }
+  bool has_fault() const { return fault_.has_value(); }
+  const fault::Fault& fault() const { return *fault_; }
+
+  unsigned frame_count() const { return frame_count_; }
+  unsigned max_frames() const { return max_frames_; }
+  /// Grows the window by one frame; returns false at the cap.
+  bool extend();
+  /// Shrinks/grows the window (used when backtracking over extensions).
+  void set_frame_count(unsigned n);
+
+  // -- Assignable variables ---------------------------------------------
+  void assign_pi(unsigned frame, std::size_t pi_index, sim::V3 v);
+  void clear_pi(unsigned frame, std::size_t pi_index);
+  sim::V3 pi_value(unsigned frame, std::size_t pi_index) const;
+
+  void assign_state(std::size_t ff_index, sim::V3 v);
+  void clear_state(std::size_t ff_index);
+  sim::V3 state_value(std::size_t ff_index) const;
+
+  // -- Values --------------------------------------------------------------
+  sim::V3 good(unsigned frame, netlist::NodeId n) const {
+    return good_[frame][n];
+  }
+  sim::V3 faulty(unsigned frame, netlist::NodeId n) const {
+    return fault_ ? faulty_[frame][n] : good_[frame][n];
+  }
+  Composite composite(unsigned frame, netlist::NodeId n) const {
+    return {good(frame, n), faulty(frame, n)};
+  }
+
+  /// Recomputes both planes for all active frames.
+  void simulate();
+
+  // -- Fault-effect queries (valid after simulate()) ------------------------
+  /// True if some primary output in some active frame carries D/D̄.
+  bool po_has_d() const;
+  /// The (frame, po) location of the first D on a PO.
+  bool d_reaches_ff_input(unsigned frame) const;
+
+  /// D-frontier: gates with composite-X output and at least one D/D̄ fanin,
+  /// over all active frames.  Returned as (frame, node) pairs.
+  struct FrontierGate {
+    unsigned frame;
+    netlist::NodeId node;
+  };
+  std::vector<FrontierGate> d_frontier() const;
+
+  /// Extracts the PI assignments of all active frames as a test sequence
+  /// (X where unassigned).
+  sim::Sequence extract_vectors() const;
+  /// Extracts the frame-0 pseudo-input requirements.
+  sim::State3 extract_state() const;
+
+ private:
+  void simulate_plane(std::vector<std::vector<sim::V3>>& plane,
+                      bool inject) const;
+
+  const netlist::Circuit& circuit_;
+  std::optional<fault::Fault> fault_;
+  unsigned max_frames_;
+  unsigned frame_count_ = 1;
+
+  // Assignments.
+  std::vector<std::vector<sim::V3>> pi_assign_;  // [frame][pi]
+  std::vector<sim::V3> state_assign_;            // [ff]
+
+  // Simulated planes: [frame][node].
+  std::vector<std::vector<sim::V3>> good_;
+  std::vector<std::vector<sim::V3>> faulty_;
+};
+
+}  // namespace gatpg::atpg

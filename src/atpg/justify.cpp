@@ -1,0 +1,170 @@
+#include "atpg/justify.h"
+
+#include <algorithm>
+
+namespace gatpg::atpg {
+
+using sim::State3;
+using sim::V3;
+
+FrameGoalSearch::FrameGoalSearch(const netlist::Circuit& c,
+                                 std::vector<Objective> goals)
+    : model_(c, std::nullopt, 1), stack_(model_), goals_(std::move(goals)) {}
+
+bool FrameGoalSearch::conflict() const {
+  return std::any_of(goals_.begin(), goals_.end(), [&](const Objective& g) {
+    const V3 v = model_.good(0, g.node);
+    return v != V3::kX && v != g.value;
+  });
+}
+
+bool FrameGoalSearch::satisfied() const {
+  return std::all_of(goals_.begin(), goals_.end(), [&](const Objective& g) {
+    return model_.good(0, g.node) == g.value;
+  });
+}
+
+bool FrameGoalSearch::pick_objective(Objective& obj) const {
+  for (const Objective& g : goals_) {
+    if (model_.good(0, g.node) == V3::kX) {
+      obj = g;
+      return true;
+    }
+  }
+  return false;
+}
+
+FrameGoalSearch::Step FrameGoalSearch::next(const util::Deadline& deadline,
+                                            long max_backtracks,
+                                            SearchStats& stats) {
+  if (started_) {
+    if (!stack_.backtrack(stats)) return Step::kExhausted;
+  } else {
+    started_ = true;
+    model_.simulate();
+  }
+  for (;;) {
+    if (deadline.expired() || stats.backtracks > max_backtracks) {
+      stats.clipped = true;
+      return Step::kAborted;
+    }
+    if (conflict()) {
+      if (!stack_.backtrack(stats)) return Step::kExhausted;
+      continue;
+    }
+    if (satisfied()) return Step::kSolution;
+    Objective obj;
+    if (!pick_objective(obj)) {
+      // All goals defined yet neither satisfied nor conflicting cannot
+      // happen; guard anyway.
+      if (!stack_.backtrack(stats)) return Step::kExhausted;
+      continue;
+    }
+    const auto assignment = backtrace(model_, obj);
+    if (!assignment) {
+      if (!stack_.backtrack(stats)) return Step::kExhausted;
+      continue;
+    }
+    ++stats.decisions;
+    stack_.push(*assignment);
+  }
+}
+
+sim::State3 FrameGoalSearch::minimized_state() const {
+  const auto& c = model_.circuit();
+  // Rebuild the solution on a scratch model, then greedily clear state
+  // assignments whose removal keeps every goal satisfied.
+  FrameModel scratch(c, std::nullopt, 1);
+  const auto pis = c.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    scratch.assign_pi(0, i, model_.pi_value(0, i));
+  }
+  const std::size_t nff = c.flip_flops().size();
+  for (std::size_t i = 0; i < nff; ++i) {
+    scratch.assign_state(i, model_.state_value(i));
+  }
+  scratch.simulate();
+  auto holds = [&] {
+    return std::all_of(goals_.begin(), goals_.end(), [&](const Objective& g) {
+      return scratch.good(0, g.node) == g.value;
+    });
+  };
+  for (std::size_t i = 0; i < nff; ++i) {
+    const V3 saved = scratch.state_value(i);
+    if (saved == V3::kX) continue;
+    scratch.clear_state(i);
+    scratch.simulate();
+    if (!holds()) {
+      scratch.assign_state(i, saved);
+      scratch.simulate();
+    }
+  }
+  return scratch.extract_state();
+}
+
+DeterministicJustifier::DeterministicJustifier(const netlist::Circuit& c,
+                                               const SearchLimits& limits)
+    : c_(c), limits_(limits) {}
+
+std::string DeterministicJustifier::key_of(const State3& s) {
+  std::string k(s.size(), 'X');
+  for (std::size_t i = 0; i < s.size(); ++i) k[i] = sim::v3_char(s[i]);
+  return k;
+}
+
+DeterministicJustifier::Outcome DeterministicJustifier::justify(
+    const State3& target, const util::Deadline& deadline) {
+  stats_ = SearchStats{};
+  std::vector<std::string> path;
+  return justify_rec(target, limits_.max_justify_depth, path, deadline);
+}
+
+DeterministicJustifier::Outcome DeterministicJustifier::justify_rec(
+    const State3& target, unsigned depth, std::vector<std::string>& path,
+    const util::Deadline& deadline) {
+  const bool trivial = std::all_of(target.begin(), target.end(),
+                                   [](V3 v) { return v == V3::kX; });
+  if (trivial) return {Status::kJustified, {}};
+
+  const std::string key = key_of(target);
+  if (std::find(path.begin(), path.end(), key) != path.end()) {
+    // Requirement cycle: a minimal justification never repeats a
+    // requirement, so this branch is safely abandoned.
+    return {Status::kUnjustifiable, {}};
+  }
+  if (depth == 0) {
+    stats_.clipped = true;
+    return {Status::kAborted, {}};
+  }
+
+  std::vector<Objective> goals;
+  const auto ffs = c_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (target[i] != V3::kX) {
+      goals.push_back({0, c_.fanins(ffs[i])[0], target[i]});
+    }
+  }
+
+  FrameGoalSearch search(c_, std::move(goals));
+  bool any_aborted = false;
+  for (;;) {
+    const auto step = search.next(deadline, limits_.max_backtracks, stats_);
+    if (step == FrameGoalSearch::Step::kAborted) {
+      return {Status::kAborted, {}};
+    }
+    if (step == FrameGoalSearch::Step::kExhausted) {
+      return {any_aborted ? Status::kAborted : Status::kUnjustifiable, {}};
+    }
+    const State3 previous = search.minimized_state();
+    path.push_back(key);
+    Outcome sub = justify_rec(previous, depth - 1, path, deadline);
+    path.pop_back();
+    if (sub.status == Status::kJustified) {
+      sub.sequence.push_back(search.model().extract_vectors()[0]);
+      return sub;
+    }
+    if (sub.status == Status::kAborted) any_aborted = true;
+  }
+}
+
+}  // namespace gatpg::atpg

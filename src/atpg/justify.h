@@ -1,0 +1,92 @@
+// Deterministic state justification by reverse time processing (the
+// HITEC-style back end, used by the baseline in every pass and by GA-HITEC
+// from pass 3 on).
+//
+// To justify state S: search one combinational frame for PI/previous-state
+// assignments that drive every required flip-flop D input to its target
+// value; then recursively justify the previous-state requirement S'.  The
+// recursion bottoms out when S' is all-X — the sequence then works from the
+// power-up unknown state (HITEC "always backtraces to a time frame in which
+// all flip-flops are set to unknown values", unlike the GA, which continues
+// from the current good-machine state).
+//
+// Requirement chains that revisit a requirement are pruned: a minimal
+// justification never repeats a requirement (the repeated middle could be
+// cut), so pruning preserves completeness and an exhaustive failure — with
+// no time/backtrack/depth clipping — proves S unjustifiable.  That proof is
+// what lets the hybrid declare faults untestable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atpg/limits.h"
+#include "atpg/podem.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::atpg {
+
+/// Enumerates assignments of one combinational frame satisfying a set of
+/// node-value goals.  Used per reverse time frame by the justifier; exposed
+/// for unit tests.
+class FrameGoalSearch {
+ public:
+  enum class Step { kSolution, kExhausted, kAborted };
+
+  FrameGoalSearch(const netlist::Circuit& c, std::vector<Objective> goals);
+
+  /// Advances to the next satisfying assignment.  `stats` accumulates
+  /// decisions/backtracks across calls; `max_backtracks` is the shared
+  /// per-fault budget.
+  Step next(const util::Deadline& deadline, long max_backtracks,
+            SearchStats& stats);
+
+  const FrameModel& model() const { return model_; }
+
+  /// The current solution's previous-state requirement with every
+  /// unnecessary pseudo-input assignment dropped back to X.  PODEM decisions
+  /// binarize state variables even when the goals hold without them; by
+  /// three-valued monotonicity removing such assignments preserves the
+  /// solution, and the weaker requirement is strictly easier (and sometimes
+  /// uniquely possible) to justify.  Without this minimization the
+  /// justifier is incomplete: it can reject states whose only witnesses
+  /// leave flip-flops unknown.
+  sim::State3 minimized_state() const;
+
+ private:
+  bool conflict() const;
+  bool satisfied() const;
+  bool pick_objective(Objective& obj) const;
+
+  FrameModel model_;
+  DecisionStack stack_;
+  std::vector<Objective> goals_;
+  bool started_ = false;
+};
+
+class DeterministicJustifier {
+ public:
+  enum class Status { kJustified, kUnjustifiable, kAborted };
+  struct Outcome {
+    Status status = Status::kAborted;
+    sim::Sequence sequence;  // drives the all-X machine into the target state
+  };
+
+  DeterministicJustifier(const netlist::Circuit& c, const SearchLimits& limits);
+
+  Outcome justify(const sim::State3& target, const util::Deadline& deadline);
+
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  Outcome justify_rec(const sim::State3& target, unsigned depth,
+                      std::vector<std::string>& path,
+                      const util::Deadline& deadline);
+  static std::string key_of(const sim::State3& s);
+
+  const netlist::Circuit& c_;
+  SearchLimits limits_;
+  SearchStats stats_;
+};
+
+}  // namespace gatpg::atpg

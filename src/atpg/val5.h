@@ -1,0 +1,40 @@
+// Composite good/faulty value view (the classic five values 0, 1, D, D̄, X).
+//
+// The deterministic engine simulates the good and faulty machines as two
+// three-valued planes; a node's composite value is the pair.  D (good 1 /
+// faulty 0) and D̄ (good 0 / faulty 1) mark fault effects; a composite is
+// "unassigned" when either plane is still X.  Keeping the planes separate is
+// strictly more precise than a scalar 5-valued encoding (it also represents
+// 1/X, X/0, ... — the extra values of HITEC's 9-valued algebra).
+#pragma once
+
+#include "sim/logic3.h"
+
+namespace gatpg::atpg {
+
+struct Composite {
+  sim::V3 good = sim::V3::kX;
+  sim::V3 faulty = sim::V3::kX;
+
+  bool is_d() const {
+    return good != sim::V3::kX && faulty != sim::V3::kX && good != faulty;
+  }
+  bool any_x() const {
+    return good == sim::V3::kX || faulty == sim::V3::kX;
+  }
+  bool both_binary() const {
+    return good != sim::V3::kX && faulty != sim::V3::kX;
+  }
+
+  friend constexpr bool operator==(const Composite&, const Composite&) =
+      default;
+};
+
+inline char composite_char(const Composite& c) {
+  if (c.good == sim::V3::k1 && c.faulty == sim::V3::k0) return 'D';
+  if (c.good == sim::V3::k0 && c.faulty == sim::V3::k1) return 'd';  // D-bar
+  if (c.good == c.faulty) return sim::v3_char(c.good);
+  return '?';  // mixed with X, e.g. 1/X
+}
+
+}  // namespace gatpg::atpg

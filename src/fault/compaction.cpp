@@ -1,0 +1,58 @@
+#include "fault/compaction.h"
+
+#include "fault/faultsim.h"
+
+namespace gatpg::fault {
+
+namespace {
+
+sim::Sequence concatenate(const std::vector<sim::Sequence>& segments,
+                          const std::vector<char>& keep) {
+  sim::Sequence all;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (keep[i]) {
+      all.insert(all.end(), segments[i].begin(), segments[i].end());
+    }
+  }
+  return all;
+}
+
+std::size_t coverage_of(const netlist::Circuit& c,
+                        const std::vector<Fault>& faults,
+                        const sim::Sequence& seq) {
+  FaultSimulator fs(c, faults);
+  fs.run(seq);
+  return fs.detected_count();
+}
+
+}  // namespace
+
+CompactionResult compact_segments(const netlist::Circuit& c,
+                                  const std::vector<Fault>& faults,
+                                  const std::vector<sim::Sequence>& segments) {
+  CompactionResult result;
+  std::vector<char> keep(segments.size(), 1);
+  const sim::Sequence full = concatenate(segments, keep);
+  result.vectors_before = full.size();
+  const std::size_t target = coverage_of(c, faults, full);
+
+  for (std::size_t i = segments.size(); i-- > 0;) {
+    if (segments[i].empty()) continue;
+    keep[i] = 0;
+    if (coverage_of(c, faults, concatenate(segments, keep)) < target) {
+      keep[i] = 1;  // segment is load-bearing
+    } else {
+      ++result.segments_removed;
+    }
+  }
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (keep[i]) result.segments.push_back(segments[i]);
+  }
+  result.test_set = concatenate(segments, keep);
+  result.vectors_after = result.test_set.size();
+  result.detected = target;
+  return result;
+}
+
+}  // namespace gatpg::fault

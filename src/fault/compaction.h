@@ -1,0 +1,34 @@
+// Static test-set compaction.
+//
+// Sequential test sets are ordered — every generated subsequence was built
+// against the machine state left by its predecessors — so vectors cannot be
+// dropped freely.  Segment-level restoration is safe and effective: the test
+// set is kept as the list of generated subsequences, and a segment is
+// removed (greedily, last-to-first, the order classic restoration-based
+// compactors use) whenever re-simulating the remaining concatenation from
+// power-up still detects every fault the full set detected.  The paper
+// reports raw Vec counts without compaction; this is the natural
+// post-processing step a production flow would add.
+#pragma once
+
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "sim/seqsim.h"
+
+namespace gatpg::fault {
+
+struct CompactionResult {
+  sim::Sequence test_set;                 // compacted concatenation
+  std::vector<sim::Sequence> segments;    // surviving segments, in order
+  std::size_t vectors_before = 0;
+  std::size_t vectors_after = 0;
+  std::size_t segments_removed = 0;
+  std::size_t detected = 0;               // unchanged by construction
+};
+
+CompactionResult compact_segments(const netlist::Circuit& c,
+                                  const std::vector<Fault>& faults,
+                                  const std::vector<sim::Sequence>& segments);
+
+}  // namespace gatpg::fault

@@ -1,0 +1,36 @@
+// Single stuck-at fault model.
+//
+// Faults live on pins: the output stem of any node (pin == kOutputPin) or an
+// individual fanin branch of a gate (pin == fanin index).  A branch fault on
+// gate g's pin p affects only that connection; other fanouts of the driving
+// node see the fault-free value — exactly how the simulators inject faults
+// (seqsim input overrides).
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::fault {
+
+inline constexpr int kOutputPin = -1;
+
+struct Fault {
+  netlist::NodeId node = netlist::kNoNode;
+  int pin = kOutputPin;  // kOutputPin = stem, >= 0 = fanin branch index
+  bool stuck_at = false;
+
+  friend constexpr bool operator==(const Fault&, const Fault&) = default;
+};
+
+inline std::string to_string(const netlist::Circuit& c, const Fault& f) {
+  std::string s = c.name(f.node);
+  if (f.pin >= 0) {
+    s += ".in" + std::to_string(f.pin) + "(" +
+         c.name(c.fanins(f.node)[static_cast<std::size_t>(f.pin)]) + ")";
+  }
+  s += f.stuck_at ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+}  // namespace gatpg::fault

@@ -1,0 +1,153 @@
+#include "fault/faultlist.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace gatpg::fault {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::vector<Fault> all_pin_faults(const Circuit& c) {
+  std::vector<Fault> faults;
+  for (NodeId n = 0; n < c.node_count(); ++n) {
+    const GateType t = c.type(n);
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    for (bool v : {false, true}) {
+      faults.push_back({n, kOutputPin, v});
+    }
+    if (t == GateType::kInput) continue;
+    for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
+      for (bool v : {false, true}) {
+        faults.push_back({n, static_cast<int>(p), v});
+      }
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// Union-find over fault indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::uint64_t key_of(const Fault& f) {
+  return (static_cast<std::uint64_t>(f.node) << 18) |
+         (static_cast<std::uint64_t>(f.pin + 1) << 1) |
+         (f.stuck_at ? 1 : 0);
+}
+
+}  // namespace
+
+FaultList collapse(const Circuit& c) {
+  const std::vector<Fault> all = all_pin_faults(c);
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) index[key_of(all[i])] = i;
+  auto id_of = [&](NodeId node, int pin, bool v) {
+    return index.at(key_of({node, pin, v}));
+  };
+
+  UnionFind uf(all.size());
+
+  for (NodeId n = 0; n < c.node_count(); ++n) {
+    const GateType t = c.type(n);
+    switch (t) {
+      case GateType::kAnd:
+      case GateType::kNand: {
+        // Input s-a-0 == output s-a-(0 ^ inv).
+        const bool out_v = netlist::inverts(t);
+        for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
+          uf.merge(id_of(n, static_cast<int>(p), false),
+                   id_of(n, kOutputPin, out_v));
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        // Input s-a-1 == output s-a-(1 ^ inv).
+        const bool out_v = !netlist::inverts(t);
+        for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
+          uf.merge(id_of(n, static_cast<int>(p), true),
+                   id_of(n, kOutputPin, out_v));
+        }
+        break;
+      }
+      case GateType::kBuf:
+      case GateType::kNot: {
+        // NOTE: DFF input faults are deliberately NOT merged with DFF output
+        // faults: with the power-up-unknown state model, Q differs from the
+        // stuck value in time frame 0, so detection can differ.
+        const bool inv = t == GateType::kNot;
+        for (bool v : {false, true}) {
+          uf.merge(id_of(n, 0, v), id_of(n, kOutputPin, v != inv));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    // Branch == stem when the driver has exactly one fanout.
+    if (t != GateType::kInput && t != GateType::kConst0 &&
+        t != GateType::kConst1) {
+      const auto fanins = c.fanins(n);
+      for (std::size_t p = 0; p < fanins.size(); ++p) {
+        const NodeId d = fanins[p];
+        if (c.type(d) == GateType::kConst0 || c.type(d) == GateType::kConst1) {
+          continue;  // no faults on constants
+        }
+        if (c.fanouts(d).size() == 1) {
+          for (bool v : {false, true}) {
+            uf.merge(id_of(n, static_cast<int>(p), v), id_of(d, kOutputPin, v));
+          }
+        }
+      }
+    }
+  }
+
+  // Pick one representative per class.  Prefer stem faults as
+  // representatives (they are the cheapest to inject).
+  std::unordered_map<std::size_t, std::size_t> rep_of_root;
+  std::vector<std::size_t> rep_order;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto it = rep_of_root.find(root);
+    if (it == rep_of_root.end()) {
+      rep_of_root.emplace(root, i);
+      rep_order.push_back(root);
+    } else if (all[it->second].pin != kOutputPin &&
+               all[i].pin == kOutputPin) {
+      it->second = i;
+    }
+  }
+
+  FaultList list;
+  list.faults.reserve(rep_order.size());
+  list.class_sizes.reserve(rep_order.size());
+  std::unordered_map<std::size_t, unsigned> sizes;
+  for (std::size_t i = 0; i < all.size(); ++i) ++sizes[uf.find(i)];
+  for (std::size_t root : rep_order) {
+    list.faults.push_back(all[rep_of_root.at(root)]);
+    list.class_sizes.push_back(sizes.at(root));
+  }
+  return list;
+}
+
+}  // namespace gatpg::fault

@@ -1,0 +1,37 @@
+// Fault-list generation and structural equivalence collapsing.
+//
+// The uncollapsed universe contains both stuck-at faults on every node's
+// output stem and on every gate fanin branch.  Structural equivalence
+// collapsing then merges:
+//   * an input s-a-c with the output s-a-(c xor inv) for AND/NAND (c = 0)
+//     and OR/NOR (c = 1) gates,
+//   * both input faults of NOT/BUF/DFF with the corresponding output faults,
+//   * a branch fault with its stem fault when the driver has a single
+//     fanout (no fanout stem/branch distinction exists).
+// One representative per equivalence class is targeted by the test
+// generators; the collapsed count is what the paper's "Total Faults" column
+// reports.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace gatpg::fault {
+
+struct FaultList {
+  /// Representative fault of every equivalence class.
+  std::vector<Fault> faults;
+  /// Size of each class (aligned with `faults`), for reporting.
+  std::vector<unsigned> class_sizes;
+
+  std::size_t size() const { return faults.size(); }
+};
+
+/// Full uncollapsed pin-fault universe.
+std::vector<Fault> all_pin_faults(const netlist::Circuit& c);
+
+/// Collapsed fault list.
+FaultList collapse(const netlist::Circuit& c);
+
+}  // namespace gatpg::fault

@@ -1,0 +1,239 @@
+#include "fault/faultsim.h"
+
+namespace gatpg::fault {
+
+using netlist::NodeId;
+using sim::PackedV3;
+using sim::Sequence;
+using sim::State3;
+using sim::V3;
+
+FaultSimulator::FaultSimulator(const netlist::Circuit& c,
+                               std::vector<Fault> faults)
+    : c_(c),
+      faults_(std::move(faults)),
+      detected_(faults_.size(), 0),
+      good_(c),
+      group_machine_(c),
+      faulty_state_(faults_.size(),
+                    State3(c.flip_flops().size(), V3::kX)) {}
+
+void FaultSimulator::reset_machines() {
+  good_.reset();
+  for (auto& s : faulty_state_) {
+    s.assign(c_.flip_flops().size(), V3::kX);
+  }
+}
+
+void FaultSimulator::reset_all() {
+  reset_machines();
+  std::fill(detected_.begin(), detected_.end(), 0);
+  num_detected_ = 0;
+}
+
+std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
+  std::vector<std::size_t> newly;
+  if (seq.empty()) return newly;
+
+  // Pass 1: good machine, recording per-vector PO values (slot 0).
+  const auto pos = c_.primary_outputs();
+  std::vector<std::vector<V3>> good_po(seq.size(), std::vector<V3>(pos.size()));
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    good_.apply_vector(seq[t]);
+    for (std::size_t p = 0; p < pos.size(); ++p) {
+      good_po[t][p] = good_.scalar_value(pos[p]);
+    }
+    good_.clock();
+  }
+
+  // Pass 2: undetected faults in groups of 64.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) pending.push_back(i);
+  }
+
+  const std::size_t nff = c_.flip_flops().size();
+  const auto pis = c_.primary_inputs();
+  std::vector<PackedV3> packed_pi(pis.size());
+
+  for (std::size_t base = 0; base < pending.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, pending.size() - base);
+
+    group_machine_.clear_overrides();
+    group_machine_.reset();
+    for (std::size_t s = 0; s < count; ++s) {
+      const Fault& f = faults_[pending[base + s]];
+      const std::uint64_t mask = 1ULL << s;
+      if (f.pin == kOutputPin) {
+        group_machine_.add_output_override(f.node, f.stuck_at, mask);
+      } else {
+        group_machine_.add_input_override(
+            f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
+      }
+    }
+    // Load persisted per-fault flip-flop states.
+    for (std::size_t ff = 0; ff < nff; ++ff) {
+      PackedV3 w = PackedV3::all_x();
+      for (std::size_t s = 0; s < count; ++s) {
+        w.set(static_cast<unsigned>(s),
+              faulty_state_[pending[base + s]][ff]);
+      }
+      group_machine_.set_ff_packed(ff, w);
+    }
+
+    std::uint64_t live = count == 64 ? ~0ULL : ((1ULL << count) - 1);
+    for (std::size_t t = 0; t < seq.size(); ++t) {
+      for (std::size_t p = 0; p < pis.size(); ++p) {
+        packed_pi[p] = PackedV3::broadcast(seq[t][p]);
+      }
+      group_machine_.apply_packed(packed_pi);
+      std::uint64_t hit = 0;
+      for (std::size_t p = 0; p < pos.size(); ++p) {
+        const V3 g = good_po[t][p];
+        if (g == V3::kX) continue;
+        const PackedV3 w = group_machine_.value(pos[p]);
+        hit |= (g == V3::k1) ? w.v0 : w.v1;
+      }
+      hit &= live;
+      while (hit) {
+        const unsigned s = static_cast<unsigned>(__builtin_ctzll(hit));
+        hit &= hit - 1;
+        live &= ~(1ULL << s);
+        const std::size_t fi = pending[base + s];
+        detected_[fi] = 1;
+        ++num_detected_;
+        newly.push_back(fi);
+      }
+      group_machine_.clock();
+    }
+
+    // Persist faulty flip-flop states for still-undetected faults.
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::size_t fi = pending[base + s];
+      if (detected_[fi]) continue;
+      for (std::size_t ff = 0; ff < nff; ++ff) {
+        faulty_state_[fi][ff] =
+            group_machine_.value(c_.flip_flops()[ff]).get(
+                static_cast<unsigned>(s));
+      }
+    }
+  }
+  return newly;
+}
+
+bool FaultSimulator::would_detect(std::size_t fault_index,
+                                  const Sequence& seq) const {
+  const Fault& f = faults_[fault_index];
+  sim::SequenceSimulator good = good_;  // copy: session state untouched
+  sim::SequenceSimulator faulty(c_);
+  if (f.pin == kOutputPin) {
+    faulty.add_output_override(f.node, f.stuck_at, ~0ULL);
+  } else {
+    faulty.add_input_override(f.node, static_cast<unsigned>(f.pin),
+                              f.stuck_at, ~0ULL);
+  }
+  faulty.set_state(faulty_state_[fault_index]);
+
+  const auto pos = c_.primary_outputs();
+  for (const auto& v : seq) {
+    good.apply_vector(v);
+    faulty.apply_vector(v);
+    for (NodeId po : pos) {
+      const V3 g = good.scalar_value(po);
+      const V3 b = faulty.scalar_value(po);
+      if (g != V3::kX && b != V3::kX && g != b) return true;
+    }
+    good.clock();
+    faulty.clock();
+  }
+  return false;
+}
+
+FaultSimulator::WhatIf FaultSimulator::what_if(
+    std::span<const std::size_t> fault_indices, const Sequence& seq) const {
+  WhatIf result;
+  if (seq.empty() || fault_indices.empty()) return result;
+
+  // Good machine: a copy of the session machine, run once.
+  sim::SequenceSimulator good = good_;
+  const auto pos = c_.primary_outputs();
+  std::vector<std::vector<V3>> good_po(seq.size(), std::vector<V3>(pos.size()));
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    good.apply_vector(seq[t]);
+    for (std::size_t p = 0; p < pos.size(); ++p) {
+      good_po[t][p] = good.scalar_value(pos[p]);
+    }
+    good.clock();
+  }
+  const sim::State3 good_final = good.state();
+
+  const auto pis = c_.primary_inputs();
+  const std::size_t nff = c_.flip_flops().size();
+  std::vector<PackedV3> packed_pi(pis.size());
+
+  for (std::size_t base = 0; base < fault_indices.size(); base += 64) {
+    const std::size_t count =
+        std::min<std::size_t>(64, fault_indices.size() - base);
+    sim::SequenceSimulator machine(c_);
+    for (std::size_t s = 0; s < count; ++s) {
+      const Fault& f = faults_[fault_indices[base + s]];
+      const std::uint64_t mask = 1ULL << s;
+      if (f.pin == kOutputPin) {
+        machine.add_output_override(f.node, f.stuck_at, mask);
+      } else {
+        machine.add_input_override(f.node, static_cast<unsigned>(f.pin),
+                                   f.stuck_at, mask);
+      }
+    }
+    for (std::size_t ff = 0; ff < nff; ++ff) {
+      PackedV3 w = PackedV3::all_x();
+      for (std::size_t s = 0; s < count; ++s) {
+        w.set(static_cast<unsigned>(s),
+              faulty_state_[fault_indices[base + s]][ff]);
+      }
+      machine.set_ff_packed(ff, w);
+    }
+
+    const std::uint64_t live_all =
+        count == 64 ? ~0ULL : ((1ULL << count) - 1);
+    std::uint64_t detected_mask = 0;
+    for (std::size_t t = 0; t < seq.size(); ++t) {
+      for (std::size_t p = 0; p < pis.size(); ++p) {
+        packed_pi[p] = PackedV3::broadcast(seq[t][p]);
+      }
+      machine.apply_packed(packed_pi);
+      for (std::size_t p = 0; p < pos.size(); ++p) {
+        const V3 g = good_po[t][p];
+        if (g == V3::kX) continue;
+        const PackedV3 w = machine.value(pos[p]);
+        detected_mask |= (g == V3::k1) ? w.v0 : w.v1;
+      }
+      machine.clock();
+    }
+    detected_mask &= live_all;
+    result.detected += static_cast<unsigned>(__builtin_popcountll(detected_mask));
+
+    // Fault effects parked in the state at sequence end (undetected slots
+    // whose faulty flip-flop value is defined and differs from the good
+    // machine's).
+    std::uint64_t effect_mask = 0;
+    for (std::size_t ff = 0; ff < nff; ++ff) {
+      const V3 g = good_final[ff];
+      if (g == V3::kX) continue;
+      const PackedV3 w = machine.value(c_.flip_flops()[ff]);
+      effect_mask |= (g == V3::k1) ? w.v0 : w.v1;
+    }
+    effect_mask &= live_all & ~detected_mask;
+    result.state_effects +=
+        static_cast<unsigned>(__builtin_popcountll(effect_mask));
+  }
+  return result;
+}
+
+bool FaultSimulator::detects(const netlist::Circuit& c, const Fault& f,
+                             const Sequence& seq) {
+  FaultSimulator fs(c, {f});
+  return !fs.run(seq).empty();
+}
+
+}  // namespace gatpg::fault

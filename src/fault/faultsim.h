@@ -1,0 +1,76 @@
+// PROOFS-style sequential stuck-at fault simulator.
+//
+// Faults are packed 64 to a word (one slot each, cf. Niermann/Cheng/Patel,
+// "PROOFS: a fast, memory-efficient sequential circuit fault simulator");
+// each group shares one bit-parallel event-driven machine whose slots carry
+// the per-fault circuit values.  Faulty flip-flop state persists across
+// run() calls, so the simulator models one continuous test session exactly
+// the way the test generators extend the test set.  Detection is recorded
+// when a primary output has a defined good value and the opposite defined
+// faulty value (X outputs never detect — the standard pessimistic rule).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/seqsim.h"
+
+namespace gatpg::fault {
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const netlist::Circuit& c, std::vector<Fault> faults);
+
+  /// Simulates `seq` as a continuation of everything simulated so far.
+  /// Returns the indices (into faults()) of faults newly detected by it.
+  std::vector<std::size_t> run(const sim::Sequence& seq);
+
+  /// Returns machines to the power-up all-X state but keeps detection flags.
+  void reset_machines();
+  /// Full reset: machines and detection flags.
+  void reset_all();
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  const std::vector<char>& detected() const { return detected_; }
+  std::size_t detected_count() const { return num_detected_; }
+
+  /// Good-machine state after everything simulated so far.
+  sim::State3 good_state() const { return good_.state(0); }
+
+  /// Non-mutating what-if: would appending `seq` to the session detect
+  /// fault `fault_index`?  Simulates copies of the good machine and of that
+  /// fault's machine; the session state is untouched.  The test generators
+  /// verify every candidate test this way before committing it.
+  bool would_detect(std::size_t fault_index, const sim::Sequence& seq) const;
+
+  /// Bulk non-mutating what-if over a fault subset, 64 faults per packed
+  /// machine: how many of `fault_indices` would `seq` detect, and how many
+  /// of the rest would it leave a fault effect on at some flip-flop
+  /// (good/faulty both defined and different at sequence end)?  This is the
+  /// fitness kernel of the simulation-based test generators (GATEST/CRIS
+  /// style), where partial credit for driving fault effects into the state
+  /// guides the search toward eventual detections.
+  struct WhatIf {
+    unsigned detected = 0;
+    unsigned state_effects = 0;
+  };
+  WhatIf what_if(std::span<const std::size_t> fault_indices,
+                 const sim::Sequence& seq) const;
+
+  /// Convenience for single-fault queries (used heavily in tests): whether
+  /// `seq` run from power-up detects `f`.
+  static bool detects(const netlist::Circuit& c, const Fault& f,
+                      const sim::Sequence& seq);
+
+ private:
+  const netlist::Circuit& c_;
+  std::vector<Fault> faults_;
+  std::vector<char> detected_;
+  std::size_t num_detected_ = 0;
+  sim::SequenceSimulator good_;
+  sim::SequenceSimulator group_machine_;
+  std::vector<sim::State3> faulty_state_;  // one per fault
+};
+
+}  // namespace gatpg::fault

@@ -1,0 +1,22 @@
+#include "fault/grading.h"
+
+namespace gatpg::fault {
+
+CoverageReport grade_sequence(const netlist::Circuit& c,
+                              const sim::Sequence& seq) {
+  return grade_sequence(c, collapse(c).faults, seq);
+}
+
+CoverageReport grade_sequence(const netlist::Circuit& c,
+                              const std::vector<Fault>& faults,
+                              const sim::Sequence& seq) {
+  FaultSimulator fs(c, faults);
+  fs.run(seq);
+  CoverageReport report;
+  report.total_faults = faults.size();
+  report.detected = fs.detected_count();
+  report.vectors = seq.size();
+  return report;
+}
+
+}  // namespace gatpg::fault

@@ -1,0 +1,39 @@
+// Independent test-set grading.
+//
+// Given a circuit and a test sequence (the concatenation of every generated
+// subsequence, applied from power-up), grading reports how many collapsed
+// faults the sequence detects.  The test generators use their own embedded
+// fault simulation for fault dropping; grading re-derives coverage from
+// scratch with a fresh simulator and is the ground truth for the result
+// tables and the ATPG soundness property tests.
+#pragma once
+
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+
+namespace gatpg::fault {
+
+struct CoverageReport {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t vectors = 0;
+
+  double coverage() const {
+    return total_faults == 0
+               ? 0.0
+               : static_cast<double>(detected) / static_cast<double>(total_faults);
+  }
+};
+
+/// Grades `seq` against the circuit's collapsed fault list.
+CoverageReport grade_sequence(const netlist::Circuit& c,
+                              const sim::Sequence& seq);
+
+/// Grades `seq` against an explicit fault list.
+CoverageReport grade_sequence(const netlist::Circuit& c,
+                              const std::vector<Fault>& faults,
+                              const sim::Sequence& seq);
+
+}  // namespace gatpg::fault

@@ -1,0 +1,139 @@
+#include "ga/genetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gatpg::ga {
+
+GaEngine::GaEngine(GaConfig config) : config_(config), rng_(config.seed) {
+  if (config_.population_size == 0 || config_.population_size % 2 != 0) {
+    throw std::invalid_argument("population size must be even and nonzero");
+  }
+  if (config_.chromosome_bits == 0) {
+    throw std::invalid_argument("chromosome_bits must be nonzero");
+  }
+}
+
+Chromosome GaEngine::random_chromosome() {
+  Chromosome c(config_.chromosome_bits);
+  for (auto& bit : c) bit = rng_.bit() ? 1 : 0;
+  return c;
+}
+
+void GaEngine::crossover(const Chromosome& a, const Chromosome& b,
+                         Chromosome& c1, Chromosome& c2) {
+  c1 = a;
+  c2 = b;
+  if (!rng_.chance(config_.crossover_probability)) return;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    if (rng_.bit()) std::swap(c1[i], c2[i]);
+  }
+}
+
+void GaEngine::mutate(Chromosome& c) {
+  for (auto& bit : c) {
+    if (rng_.chance(config_.mutation_probability)) bit ^= 1;
+  }
+}
+
+std::vector<std::size_t> GaEngine::tournament_parents(
+    std::span<const double> fitness, util::Rng& rng) {
+  const std::size_t n = fitness.size();
+  std::vector<std::size_t> parents;
+  parents.reserve(n);
+  std::vector<std::size_t> pool(n);
+  // Two passes: each pass permutes the population into n/2 disjoint pairs
+  // and selects the better of each pair, so after two passes n parents have
+  // been drawn and every individual took part in exactly two tournaments.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.below(i)]);
+    }
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      const std::size_t a = pool[i];
+      const std::size_t b = pool[i + 1];
+      parents.push_back(fitness[a] >= fitness[b] ? a : b);
+    }
+  }
+  return parents;
+}
+
+std::vector<std::size_t> GaEngine::select_parents(
+    std::span<const double> fitness) {
+  if (config_.selection == SelectionScheme::kTournamentWithoutReplacement) {
+    return tournament_parents(fitness, rng_);
+  }
+  // Proportionate (roulette wheel).  Negative fitness is clamped to zero; a
+  // degenerate all-zero wheel falls back to uniform draws.
+  const std::size_t n = fitness.size();
+  std::vector<double> wheel(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    wheel[i] = std::max(fitness[i], 0.0);
+    total += wheel[i];
+  }
+  std::vector<std::size_t> parents(n);
+  for (auto& p : parents) {
+    if (total <= 0.0) {
+      p = rng_.below(n);
+      continue;
+    }
+    double spin = rng_.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      spin -= wheel[i];
+      if (spin <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    p = pick;
+  }
+  return parents;
+}
+
+GaResult GaEngine::run(const BatchEvaluator& evaluate) {
+  const std::size_t n = config_.population_size;
+  std::vector<Chromosome> population(n);
+  for (auto& c : population) c = random_chromosome();
+  std::vector<double> fitness(n, 0.0);
+
+  GaResult result;
+  result.best_fitness = -1.0;
+
+  // "m generations" counts evaluated populations: the random initial
+  // population is generation 1 and each breeding step produces the next.
+  for (unsigned gen = 1; gen <= config_.generations; ++gen) {
+    const bool stop = evaluate(population, fitness);
+    result.evaluations += n;
+    result.generations_run = gen;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fitness[i] > result.best_fitness) {
+        result.best_fitness = fitness[i];
+        result.best = population[i];
+      }
+    }
+    if (stop) {
+      result.stopped_early = true;
+      break;
+    }
+    if (gen == config_.generations) break;
+
+    const std::vector<std::size_t> parents = select_parents(fitness);
+    std::vector<Chromosome> next;
+    next.reserve(n);
+    for (std::size_t i = 0; i + 1 < parents.size(); i += 2) {
+      Chromosome c1, c2;
+      crossover(population[parents[i]], population[parents[i + 1]], c1, c2);
+      mutate(c1);
+      mutate(c2);
+      next.push_back(std::move(c1));
+      next.push_back(std::move(c2));
+    }
+    population = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace gatpg::ga

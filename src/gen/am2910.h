@@ -1,0 +1,50 @@
+// Am2910-style 12-bit microprogram sequencer (Table III "Am2910").
+//
+// Gate-level implementation of the classic AMD Am2910 architecture: a 12-bit
+// microprogram counter (uPC = Y + CI), a 12-bit loop counter/register R, a
+// five-deep 12-bit subroutine stack with a 3-bit stack pointer, and the
+// 16-instruction branch-control decode (JZ, CJS, JMAP, CJP, PUSH, JSRP, CJV,
+// JRP, RFCT, RPCT, CRTN, CJPP, LDCT, LOOP, CONT, TWB).
+//
+// Interface:
+//   inputs : i[4] (instruction), d[12] (branch address / counter data),
+//            cc_n (condition, active low), ccen_n (condition enable, active
+//            low: high = force pass), rld_n (counter load, active low), ci
+//            (carry into the uPC incrementer)
+//   outputs: y[12] (next microprogram address), full_n, pl_n, map_n, vect_n
+//
+// JZ doubles as the synchronizing instruction (Y = 0, stack cleared), so the
+// sequencer is initializable from the power-up all-X state without a
+// dedicated reset.  Pushing onto a full stack holds SP and writes nothing
+// (FULL_n is the designer's warning), popping an empty stack holds SP.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+netlist::Circuit make_am2910(std::string name = "am2910");
+
+/// Instruction opcodes, for tests and examples.
+enum class Am2910Op : unsigned {
+  kJz = 0,
+  kCjs = 1,
+  kJmap = 2,
+  kCjp = 3,
+  kPush = 4,
+  kJsrp = 5,
+  kCjv = 6,
+  kJrp = 7,
+  kRfct = 8,
+  kRpct = 9,
+  kCrtn = 10,
+  kCjpp = 11,
+  kLdct = 12,
+  kLoop = 13,
+  kCont = 14,
+  kTwb = 15,
+};
+
+}  // namespace gatpg::gen

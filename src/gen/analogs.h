@@ -1,0 +1,45 @@
+// ISCAS89-analog synthetic circuits.
+//
+// The real ISCAS89 netlists are not distributable inside this repository, so
+// the Table II rows are reproduced on generated stand-ins g298..g5378 whose
+// PI/flip-flop/gate profiles and control-vs-data character track the
+// corresponding s-circuits (see DESIGN.md substitutions; real .bench files
+// dropped into the data directory take precedence — registry.h).  An analog
+// is assembled from blocks wired acyclically over a growing signal pool:
+//   * synthesized Moore FSM blocks (control-dominant character),
+//   * enabled counters and shift registers (sequential depth),
+//   * random glue gates and XOR-mixed outputs (observability structure).
+// A global reset pin initializes FSMs and counters from the power-up all-X
+// state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+struct AnalogSpec {
+  std::string name;
+  unsigned data_inputs = 3;
+  unsigned outputs = 4;
+  struct FsmBlock {
+    unsigned states;
+    unsigned inputs;
+  };
+  std::vector<FsmBlock> fsms;
+  std::vector<unsigned> counters;  // widths
+  std::vector<unsigned> shifts;    // widths
+  unsigned glue_gates = 24;
+  std::uint64_t seed = 1;
+};
+
+netlist::Circuit make_analog(const AnalogSpec& spec);
+
+/// Profiles for the Table II analog suite (g298 ... g5378); names mirror the
+/// ISCAS89 circuits they stand in for.
+const std::vector<AnalogSpec>& analog_suite();
+
+}  // namespace gatpg::gen

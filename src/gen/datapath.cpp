@@ -1,0 +1,213 @@
+#include "gen/datapath.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gatpg::gen {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+NodeId DatapathBuilder::buf(const std::string& name, NodeId a) {
+  return b_.add_gate(GateType::kBuf, name, {a});
+}
+
+NodeId DatapathBuilder::inv(const std::string& name, NodeId a) {
+  return b_.add_gate(GateType::kNot, name, {a});
+}
+
+NodeId DatapathBuilder::and2(const std::string& name, NodeId a, NodeId b) {
+  return b_.add_gate(GateType::kAnd, name, {a, b});
+}
+
+NodeId DatapathBuilder::or2(const std::string& name, NodeId a, NodeId b) {
+  return b_.add_gate(GateType::kOr, name, {a, b});
+}
+
+NodeId DatapathBuilder::xor2(const std::string& name, NodeId a, NodeId b) {
+  return b_.add_gate(GateType::kXor, name, {a, b});
+}
+
+NodeId DatapathBuilder::andn(const std::string& name, const Bus& ins) {
+  assert(!ins.empty());
+  return b_.add_gate(GateType::kAnd, name,
+                     std::span<const NodeId>(ins.data(), ins.size()));
+}
+
+NodeId DatapathBuilder::orn(const std::string& name, const Bus& ins) {
+  assert(!ins.empty());
+  return b_.add_gate(GateType::kOr, name,
+                     std::span<const NodeId>(ins.data(), ins.size()));
+}
+
+Bus DatapathBuilder::input_bus(const std::string& prefix, std::size_t width) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = b_.add_input(prefix + std::to_string(i));
+  }
+  return bus;
+}
+
+Bus DatapathBuilder::register_bus(const std::string& prefix,
+                                  std::size_t width) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = b_.add_dff(prefix + std::to_string(i));
+  }
+  return bus;
+}
+
+void DatapathBuilder::connect_register(const Bus& q, const Bus& d) {
+  if (q.size() != d.size()) {
+    throw std::invalid_argument("connect_register width mismatch");
+  }
+  for (std::size_t i = 0; i < q.size(); ++i) b_.set_dff_input(q[i], d[i]);
+}
+
+void DatapathBuilder::output_bus(const Bus& bus) {
+  for (NodeId n : bus) b_.mark_output(n);
+}
+
+Bus DatapathBuilder::not_bus(const std::string& prefix, const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = inv(prefix + std::to_string(i), a[i]);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::and_bus(const std::string& prefix, const Bus& a,
+                             const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = and2(prefix + std::to_string(i), a[i], b[i]);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::or_bus(const std::string& prefix, const Bus& a,
+                            const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = or2(prefix + std::to_string(i), a[i], b[i]);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::xor_bus(const std::string& prefix, const Bus& a,
+                             const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = xor2(prefix + std::to_string(i), a[i], b[i]);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::gate_bus(const std::string& prefix, const Bus& a,
+                              NodeId en) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = and2(prefix + std::to_string(i), a[i], en);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::mux2(const std::string& prefix, NodeId sel, const Bus& a,
+                          const Bus& b) {
+  assert(a.size() == b.size());
+  const NodeId nsel = inv(prefix + "_ns", sel);
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string n = prefix + std::to_string(i);
+    const NodeId ta = and2(n + "_a", a[i], sel);
+    const NodeId tb = and2(n + "_b", b[i], nsel);
+    out[i] = or2(n, ta, tb);
+  }
+  return out;
+}
+
+Bus DatapathBuilder::mux4(const std::string& prefix, NodeId s1, NodeId s0,
+                          const Bus& in0, const Bus& in1, const Bus& in2,
+                          const Bus& in3) {
+  const Bus lo = mux2(prefix + "_lo", s0, in1, in0);  // s0 ? in1 : in0
+  const Bus hi = mux2(prefix + "_hi", s0, in3, in2);  // s0 ? in3 : in2
+  return mux2(prefix + "_m", s1, hi, lo);             // s1 ? hi : lo
+}
+
+DatapathBuilder::AddResult DatapathBuilder::adder(const std::string& prefix,
+                                                  const Bus& a, const Bus& b,
+                                                  NodeId cin) {
+  assert(a.size() == b.size());
+  AddResult r;
+  r.sum.resize(a.size());
+  NodeId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string n = prefix + std::to_string(i);
+    const NodeId axb = xor2(n + "_x", a[i], b[i]);
+    r.sum[i] = xor2(n, axb, carry);
+    const NodeId t1 = and2(n + "_c1", a[i], b[i]);
+    const NodeId t2 = and2(n + "_c2", axb, carry);
+    carry = or2(n + "_c", t1, t2);
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+DatapathBuilder::AddResult DatapathBuilder::subtractor(
+    const std::string& prefix, const Bus& a, const Bus& b) {
+  const Bus nb = not_bus(prefix + "_nb", b);
+  return adder(prefix, a, nb, const1(prefix + "_one"));
+}
+
+DatapathBuilder::AddResult DatapathBuilder::incrementer(
+    const std::string& prefix, const Bus& a, NodeId cin) {
+  AddResult r;
+  r.sum.resize(a.size());
+  NodeId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string n = prefix + std::to_string(i);
+    r.sum[i] = xor2(n, a[i], carry);
+    carry = and2(n + "_c", a[i], carry);
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+NodeId DatapathBuilder::is_zero(const std::string& name, const Bus& a) {
+  return b_.add_gate(GateType::kNor, name,
+                     std::span<const NodeId>(a.data(), a.size()));
+}
+
+NodeId DatapathBuilder::equals(const std::string& name, const Bus& a,
+                               const Bus& b) {
+  const Bus diff = xor_bus(name + "_d", a, b);
+  return is_zero(name, diff);
+}
+
+Bus DatapathBuilder::decoder(const std::string& prefix, const Bus& sel) {
+  const Bus nsel = not_bus(prefix + "_n", sel);
+  const std::size_t n = sel.size();
+  const std::size_t count = std::size_t{1} << n;
+  Bus out(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    Bus terms(n);
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      terms[bit] = (v >> bit) & 1 ? sel[bit] : nsel[bit];
+    }
+    out[v] = andn(prefix + std::to_string(v), terms);
+  }
+  return out;
+}
+
+NodeId DatapathBuilder::const0(const std::string& name) {
+  return b_.add_const(false, name);
+}
+
+NodeId DatapathBuilder::const1(const std::string& name) {
+  return b_.add_const(true, name);
+}
+
+}  // namespace gatpg::gen

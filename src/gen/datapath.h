@@ -1,0 +1,91 @@
+// Structural datapath-building helpers on top of CircuitBuilder.
+//
+// The synthesized evaluation circuits (Am2910 sequencer, divider,
+// multiplier, parallel controller) are assembled from word-level pieces:
+// buses, registers, muxes, ripple adders/subtractors, comparators and
+// decoders.  A Bus is a little-endian vector of nodes (bit 0 first).  Every
+// helper names its gates under a caller-supplied prefix so netlists stay
+// debuggable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace gatpg::gen {
+
+using Bus = std::vector<netlist::NodeId>;
+
+class DatapathBuilder {
+ public:
+  explicit DatapathBuilder(netlist::CircuitBuilder& b) : b_(b) {}
+
+  netlist::CircuitBuilder& builder() { return b_; }
+
+  // -- Primitive conveniences ---------------------------------------------
+  netlist::NodeId buf(const std::string& name, netlist::NodeId a);
+  netlist::NodeId inv(const std::string& name, netlist::NodeId a);
+  netlist::NodeId and2(const std::string& name, netlist::NodeId a,
+                       netlist::NodeId b);
+  netlist::NodeId or2(const std::string& name, netlist::NodeId a,
+                      netlist::NodeId b);
+  netlist::NodeId xor2(const std::string& name, netlist::NodeId a,
+                       netlist::NodeId b);
+  netlist::NodeId andn(const std::string& name, const Bus& ins);
+  netlist::NodeId orn(const std::string& name, const Bus& ins);
+
+  // -- Buses ----------------------------------------------------------------
+  /// `width` primary inputs named prefix0..prefixN-1.
+  Bus input_bus(const std::string& prefix, std::size_t width);
+  /// `width` flip-flops (D inputs bound later via connect_register).
+  Bus register_bus(const std::string& prefix, std::size_t width);
+  /// Binds D inputs of a register bus.
+  void connect_register(const Bus& q, const Bus& d);
+  /// Marks every bit as a primary output.
+  void output_bus(const Bus& bus);
+
+  Bus not_bus(const std::string& prefix, const Bus& a);
+  Bus and_bus(const std::string& prefix, const Bus& a, const Bus& b);
+  Bus or_bus(const std::string& prefix, const Bus& a, const Bus& b);
+  Bus xor_bus(const std::string& prefix, const Bus& a, const Bus& b);
+  /// AND of every bit with one enable signal.
+  Bus gate_bus(const std::string& prefix, const Bus& a, netlist::NodeId en);
+
+  /// 2:1 mux per bit: sel ? a : b.
+  Bus mux2(const std::string& prefix, netlist::NodeId sel, const Bus& a,
+           const Bus& b);
+  /// 4:1 mux per bit, sel = {s1, s0}: 00 -> in0, 01 -> in1, 10 -> in2,
+  /// 11 -> in3.
+  Bus mux4(const std::string& prefix, netlist::NodeId s1, netlist::NodeId s0,
+           const Bus& in0, const Bus& in1, const Bus& in2, const Bus& in3);
+
+  struct AddResult {
+    Bus sum;
+    netlist::NodeId carry_out;
+  };
+  /// Ripple-carry adder; `cin` may be a constant node.
+  AddResult adder(const std::string& prefix, const Bus& a, const Bus& b,
+                  netlist::NodeId cin);
+  /// a - b via a + ~b + 1; carry_out == 1 means no borrow (a >= b unsigned).
+  AddResult subtractor(const std::string& prefix, const Bus& a, const Bus& b);
+  /// a + 1 with carry in.
+  AddResult incrementer(const std::string& prefix, const Bus& a,
+                        netlist::NodeId cin);
+
+  /// 1 when every bit of `a` is zero.
+  netlist::NodeId is_zero(const std::string& name, const Bus& a);
+  /// 1 when buses are equal.
+  netlist::NodeId equals(const std::string& name, const Bus& a, const Bus& b);
+
+  /// n-to-2^n one-hot decoder.
+  Bus decoder(const std::string& prefix, const Bus& sel);
+
+  netlist::NodeId const0(const std::string& name);
+  netlist::NodeId const1(const std::string& name);
+
+ private:
+  netlist::CircuitBuilder& b_;
+};
+
+}  // namespace gatpg::gen

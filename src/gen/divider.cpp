@@ -1,0 +1,72 @@
+#include "gen/divider.h"
+
+#include <stdexcept>
+
+#include "gen/datapath.h"
+
+namespace gatpg::gen {
+
+using netlist::NodeId;
+
+netlist::Circuit make_divider(unsigned width, std::string name) {
+  if (width < 2 || width > 32) {
+    throw std::invalid_argument("divider width out of range");
+  }
+  if (name.empty()) name = "div" + std::to_string(width);
+
+  netlist::CircuitBuilder b;
+  DatapathBuilder d(b);
+
+  const NodeId reset = b.add_input("reset");
+  const NodeId start = b.add_input("start");
+  const Bus a_in = d.input_bus("a", width);
+  const Bus b_in = d.input_bus("b", width);
+
+  const Bus rem = d.register_bus("rem", width);
+  const Bus dvr = d.register_bus("dvr", width);
+  const Bus quo = d.register_bus("quo", width);
+  const NodeId busy = b.add_dff("busy");
+
+  const NodeId idle = d.inv("idle", busy);
+  const NodeId load = d.and2("load", start, idle);
+  const NodeId nload = d.inv("nload", load);
+
+  // rem - dvr; carry out == 1 means rem >= dvr (no borrow).
+  const auto sub = d.subtractor("sub", rem, dvr);
+  const NodeId dvr_zero = d.is_zero("dvrz", dvr);
+  const NodeId can_sub =
+      d.and2("can_sub", sub.carry_out, d.inv("ndvrz", dvr_zero));
+  const NodeId step = d.and2("step", busy, can_sub);
+
+  const auto quo_inc = d.incrementer("qinc", quo, d.const1("qone"));
+
+  // busy' = NOT reset AND (load OR (busy AND can_sub))
+  const NodeId nreset = d.inv("nreset", reset);
+  b.set_dff_input(
+      busy, d.and2("busy_n", d.or2("busy_o", load, step), nreset));
+
+  // rem' = load ? a : step ? rem - dvr : rem
+  {
+    const Bus stepped = d.mux2("rem_s", step, sub.sum, rem);
+    d.connect_register(rem, d.mux2("rem_n", load, a_in, stepped));
+  }
+  // dvr' = load ? b : dvr
+  d.connect_register(dvr, d.mux2("dvr_n", load, b_in, dvr));
+  // quo' = load ? 0 : step ? quo + 1 : quo
+  {
+    const Bus stepped = d.mux2("quo_s", step, quo_inc.sum, quo);
+    d.connect_register(quo, d.gate_bus("quo_n", stepped, nload));
+  }
+
+  for (unsigned i = 0; i < width; ++i) {
+    b.mark_output(d.buf("q_out" + std::to_string(i), quo[i]));
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    b.mark_output(d.buf("r_out" + std::to_string(i), rem[i]));
+  }
+  b.mark_output(d.inv("done", busy));
+
+  return std::move(b).build(std::move(name));
+}
+
+}  // namespace gatpg::gen

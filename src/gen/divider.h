@@ -1,0 +1,24 @@
+// Sequential divider by repeated subtraction ("div" in Table III).
+//
+// The paper's div circuit is a 16-bit divider "which uses repeated
+// subtraction to perform division": while the remainder is at least the
+// divisor, subtract and count.  A divide of a/b therefore takes floor(a/b)
+// working cycles — slow as arithmetic, but exactly the deep, data-dominant
+// sequential behaviour that makes the circuit a hard ATPG target.
+//
+// Interface (all active high):
+//   inputs : reset, start, a[W] (dividend), b[W] (divisor)
+//   outputs: q[W] (quotient), r[W] (remainder), done
+//
+// A b == 0 divide terminates immediately (q = 0, r = a).
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+netlist::Circuit make_divider(unsigned width, std::string name = "");
+
+}  // namespace gatpg::gen

@@ -1,0 +1,120 @@
+#include "gen/fsmgen.h"
+
+#include <stdexcept>
+
+#include "gen/datapath.h"
+#include "util/rng.h"
+
+namespace gatpg::gen {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+unsigned bits_for(unsigned n) {
+  unsigned bits = 1;
+  while ((1u << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+FsmTables fsm_tables(const FsmSpec& spec) {
+  util::Rng rng(spec.seed);
+  FsmTables t;
+  const unsigned input_values = 1u << spec.num_inputs;
+  t.next_state.assign(spec.num_states,
+                      std::vector<unsigned>(input_values, 0));
+  t.outputs.assign(spec.num_states,
+                   std::vector<bool>(spec.num_outputs, false));
+  for (unsigned s = 0; s < spec.num_states; ++s) {
+    for (unsigned iv = 0; iv < input_values; ++iv) {
+      t.next_state[s][iv] =
+          static_cast<unsigned>(rng.below(spec.num_states));
+    }
+    for (unsigned k = 0; k < spec.num_outputs; ++k) {
+      t.outputs[s][k] = rng.bit();
+    }
+  }
+  return t;
+}
+
+std::vector<NodeId> emit_moore_fsm(netlist::CircuitBuilder& b,
+                                   const std::string& prefix,
+                                   const FsmSpec& spec,
+                                   const std::vector<NodeId>& inputs,
+                                   NodeId reset) {
+  if (spec.num_states < 2 || spec.num_states > 64 || spec.num_inputs < 1 ||
+      spec.num_inputs > 5 || spec.num_outputs < 1 ||
+      inputs.size() != spec.num_inputs) {
+    throw std::invalid_argument("bad FsmSpec");
+  }
+  const FsmTables tables = fsm_tables(spec);
+  const unsigned state_bits = bits_for(spec.num_states);
+  const unsigned input_values = 1u << spec.num_inputs;
+
+  DatapathBuilder d(b);
+  const Bus state = d.register_bus(prefix + "st", state_bits);
+  const Bus state_onehot = d.decoder(prefix + "sd", state);
+  const Bus input_onehot = d.decoder(prefix + "id", inputs);
+
+  // Minterms over (state, input value).  Unused state codes never decode in
+  // operation but still produce gates (as PLD synthesis would).
+  std::vector<Bus> minterm(spec.num_states, Bus(input_values));
+  for (unsigned s = 0; s < spec.num_states; ++s) {
+    for (unsigned iv = 0; iv < input_values; ++iv) {
+      minterm[s][iv] =
+          d.and2(prefix + "mt" + std::to_string(s) + "_" + std::to_string(iv),
+                 state_onehot[s], input_onehot[iv]);
+    }
+  }
+
+  // Next-state bit j = NOT(reset) AND OR(minterms whose successor sets j).
+  const NodeId nreset = d.inv(prefix + "nrst", reset);
+  for (unsigned j = 0; j < state_bits; ++j) {
+    Bus terms;
+    for (unsigned s = 0; s < spec.num_states; ++s) {
+      for (unsigned iv = 0; iv < input_values; ++iv) {
+        if ((tables.next_state[s][iv] >> j) & 1) {
+          terms.push_back(minterm[s][iv]);
+        }
+      }
+    }
+    NodeId sop;
+    if (terms.empty()) {
+      sop = d.const0(prefix + "ns" + std::to_string(j) + "_z");
+    } else {
+      sop = d.orn(prefix + "ns" + std::to_string(j) + "_or", terms);
+    }
+    const NodeId next = d.and2(prefix + "ns" + std::to_string(j), sop, nreset);
+    b.set_dff_input(state[j], next);
+  }
+
+  // Moore outputs.
+  std::vector<NodeId> outs(spec.num_outputs);
+  for (unsigned k = 0; k < spec.num_outputs; ++k) {
+    Bus terms;
+    for (unsigned s = 0; s < spec.num_states; ++s) {
+      if (tables.outputs[s][k]) terms.push_back(state_onehot[s]);
+    }
+    if (terms.empty()) {
+      outs[k] = d.const0(prefix + "out" + std::to_string(k));
+    } else {
+      outs[k] = d.orn(prefix + "out" + std::to_string(k), terms);
+    }
+  }
+  return outs;
+}
+
+netlist::Circuit make_moore_fsm(const FsmSpec& spec) {
+  netlist::CircuitBuilder b;
+  DatapathBuilder d(b);
+  const NodeId reset = b.add_input("reset");
+  const Bus in = d.input_bus("in", spec.num_inputs);
+  const auto outs = emit_moore_fsm(b, "", spec, in, reset);
+  for (NodeId o : outs) b.mark_output(o);
+  return std::move(b).build(spec.name);
+}
+
+}  // namespace gatpg::gen

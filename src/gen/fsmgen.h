@@ -1,0 +1,49 @@
+// Synthesized Moore finite-state machines.
+//
+// Generates a random (seeded, reproducible) Moore machine and synthesizes it
+// to two-level AND-OR logic over one-hot decoded state and input minterms —
+// the same structural style as the PLD-derived ISCAS89 control circuits
+// (s386, s820/s832, s1488/s1494).  A synchronous reset input forces state 0,
+// guaranteeing the machine is initializable from the power-up all-X state
+// (ISCAS89 controllers achieve this through synchronizing sequences; a reset
+// pin is the structural equivalent for generated machines — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+struct FsmSpec {
+  std::string name = "fsm";
+  unsigned num_states = 8;   // 2..64
+  unsigned num_inputs = 2;   // data inputs, 1..5 (reset is added on top)
+  unsigned num_outputs = 4;  // Moore outputs
+  std::uint64_t seed = 1;
+};
+
+netlist::Circuit make_moore_fsm(const FsmSpec& spec);
+
+/// Emits the FSM into an existing builder (used by the composite analog
+/// circuits): `inputs` supplies the data inputs (size == spec.num_inputs),
+/// `reset` the synchronous reset.  Gate names are prefixed.  Returns the
+/// Moore output nodes.
+std::vector<netlist::NodeId> emit_moore_fsm(netlist::CircuitBuilder& b,
+                                            const std::string& prefix,
+                                            const FsmSpec& spec,
+                                            const std::vector<netlist::NodeId>& inputs,
+                                            netlist::NodeId reset);
+
+/// The transition/output tables behind a generated FSM, for functional
+/// tests: next_state[s][input_value], output_bit[s][k].
+struct FsmTables {
+  std::vector<std::vector<unsigned>> next_state;
+  std::vector<std::vector<bool>> outputs;
+};
+
+FsmTables fsm_tables(const FsmSpec& spec);
+
+}  // namespace gatpg::gen

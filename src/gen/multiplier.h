@@ -1,0 +1,26 @@
+// Sequential two's-complement multiplier ("mult" in Table III).
+//
+// Shift-and-add architecture using radix-2 Booth recoding, which handles
+// two's-complement operands directly: each cycle inspects (Q0, q_prev) to
+// add, subtract, or pass the multiplicand into the accumulator, then
+// arithmetically shifts the {A, Q} pair right.  A W-bit multiply takes W
+// working cycles after the start cycle.
+//
+// Interface (all active high):
+//   inputs : start, a[W] (multiplicand), b[W] (multiplier)
+//   outputs: p[2W] (product, valid when done), done
+//
+// The paper's circuit is 16-bit; the width is a parameter so a 4-bit
+// instance can stand in for the small ISCAS89 multiplier-control circuits
+// (s344/s349 analogs) and tests can verify the arithmetic exhaustively.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+netlist::Circuit make_multiplier(unsigned width, std::string name = "");
+
+}  // namespace gatpg::gen

@@ -1,0 +1,116 @@
+#include "gen/pcont.h"
+
+#include <stdexcept>
+
+#include "gen/datapath.h"
+
+namespace gatpg::gen {
+
+using netlist::NodeId;
+
+netlist::Circuit make_pcont(unsigned channels, unsigned timer_bits,
+                            std::string name) {
+  if (channels < 2 || channels > 16 || timer_bits < 2 || timer_bits > 8) {
+    throw std::invalid_argument("bad pcont parameters");
+  }
+
+  netlist::CircuitBuilder b;
+  DatapathBuilder d(b);
+
+  const NodeId reset = b.add_input("reset");
+  const NodeId cfg = b.add_input("cfg");
+  const Bus req = d.input_bus("req", channels);
+  const Bus dur = d.input_bus("dur", timer_bits);
+  const NodeId nreset = d.inv("nreset", reset);
+
+  // Free-running prescaler: grant timing depends on *when* a grant happens,
+  // which is what makes the controller's states deep (a required timer
+  // value couples the configuration register with the prescaler phase —
+  // trivial to reach by forward simulation, expensive to justify by reverse
+  // time processing).
+  const Bus prescaler = d.register_bus("psc", timer_bits + 2);
+  {
+    const auto inc =
+        d.incrementer("psc_inc", prescaler, d.const1("psc_one"));
+    d.connect_register(prescaler,
+                       d.gate_bus("psc_n", inc.sum, nreset));
+  }
+
+  // Duration configuration register, written only under cfg.
+  const Bus dur_reg = d.register_bus("drg", timer_bits);
+  {
+    const Bus next = d.mux2("drg_mx", cfg, dur, dur_reg);
+    d.connect_register(dur_reg, d.gate_bus("drg_n", next, nreset));
+  }
+
+  // Timer load value: configured duration scrambled by the prescaler phase.
+  Bus load_value(timer_bits);
+  for (unsigned i = 0; i < timer_bits; ++i) {
+    load_value[i] =
+        d.xor2("ldv" + std::to_string(i), dur_reg[i], prescaler[i]);
+  }
+
+  Bus pend(channels), active(channels);
+  std::vector<Bus> timer(channels);
+  for (unsigned k = 0; k < channels; ++k) {
+    pend[k] = b.add_dff("pend" + std::to_string(k));
+    active[k] = b.add_dff("act" + std::to_string(k));
+    timer[k] = d.register_bus("tmr" + std::to_string(k) + "_", timer_bits);
+  }
+
+  const NodeId any_active = d.orn("any_act", active);
+  const NodeId free = d.inv("free", any_active);
+
+  // Fixed-priority arbiter: channel k wins when pending, the resource is
+  // free, and no lower-numbered channel is pending.
+  Bus grant(channels);
+  NodeId higher_pending = netlist::kNoNode;
+  for (unsigned k = 0; k < channels; ++k) {
+    const std::string n = "gr" + std::to_string(k);
+    if (k == 0) {
+      grant[k] = d.and2(n, pend[k], free);
+      higher_pending = d.buf("hp0", pend[0]);
+    } else {
+      const NodeId ok =
+          d.and2(n + "_ok", free, d.inv(n + "_nh", higher_pending));
+      grant[k] = d.and2(n, pend[k], ok);
+      higher_pending =
+          d.or2("hp" + std::to_string(k), higher_pending, pend[k]);
+    }
+  }
+
+  Bus ones(timer_bits);
+  for (unsigned i = 0; i < timer_bits; ++i) {
+    ones[i] = d.const1("tm1_" + std::to_string(i));
+  }
+
+  for (unsigned k = 0; k < channels; ++k) {
+    const std::string n = "ch" + std::to_string(k);
+    // pend' = !reset & (req | pend) & !grant
+    const NodeId want = d.or2(n + "_want", req[k], pend[k]);
+    const NodeId keep = d.and2(n + "_keep", want, d.inv(n + "_ng", grant[k]));
+    b.set_dff_input(pend[k], d.and2(n + "_pn", keep, nreset));
+
+    // Timer: grant loads the phase-scrambled duration, active counts down,
+    // else hold.
+    const NodeId tz = d.is_zero(n + "_tz", timer[k]);
+    const auto dec = d.adder(n + "_dec", timer[k], ones,
+                             d.const0(n + "_cin"));
+    const Bus run = d.mux2(n + "_run", active[k], dec.sum, timer[k]);
+    const Bus tnext = d.mux2(n + "_tn", grant[k], load_value, run);
+    d.connect_register(timer[k], tnext);
+
+    // active' = !reset & (grant | (active & timer != 0))
+    const NodeId hold = d.and2(n + "_hold", active[k], d.inv(n + "_ntz", tz));
+    const NodeId an = d.or2(n + "_an", grant[k], hold);
+    b.set_dff_input(active[k], d.and2(n + "_actn", an, nreset));
+
+    b.mark_output(d.buf("ack" + std::to_string(k), active[k]));
+  }
+  b.mark_output(d.buf("busy", any_active));
+  b.mark_output(d.buf("phase", prescaler[timer_bits + 1]));
+
+  return std::move(b).build(std::move(name));
+}
+
+}  // namespace gatpg::gen

@@ -1,0 +1,30 @@
+// Eight-channel parallel controller ("pcont2" in Table III).
+//
+// The paper describes pcont2 only as "an 8-bit parallel controller used in
+// DSP applications"; this generator implements the canonical architecture
+// that description suggests: eight request/grant channels sharing one
+// resource.  Each channel latches its request, a fixed-priority arbiter
+// grants one channel at a time, and a per-channel down-counter holds the
+// grant.  The grant duration is *history-dependent*: a configuration
+// register (written only under cfg) XOR-scrambled with a free-running
+// prescaler supplies the timer load, so the per-channel timer states couple
+// with the prescaler phase.  Reaching a specific timer state is easy by
+// forward simulation but needs a long coherent history for reverse-time
+// justification — the data-dominant character that makes the paper's pcont2
+// the hybrid's most dramatic win.
+//
+// Interface:
+//   inputs : reset, cfg, req[8], dur[4]
+//   outputs: ack[8] (grant held while the timer runs), busy, phase
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+netlist::Circuit make_pcont(unsigned channels = 8, unsigned timer_bits = 4,
+                            std::string name = "pcont2");
+
+}  // namespace gatpg::gen

@@ -1,0 +1,81 @@
+#include "gen/registry.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "gen/am2910.h"
+#include "gen/analogs.h"
+#include "gen/divider.h"
+#include "gen/fsmgen.h"
+#include "gen/multiplier.h"
+#include "gen/pcont.h"
+#include "gen/s27.h"
+#include "netlist/bench_io.h"
+
+namespace gatpg::gen {
+
+namespace {
+
+std::string data_dir() {
+  if (const char* env = std::getenv("GATPG_DATA")) return env;
+  return "data";
+}
+
+std::string bench_path(const std::string& name) {
+  return data_dir() + "/" + name + ".bench";
+}
+
+using Factory = std::function<netlist::Circuit()>;
+
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory> kFactories = [] {
+    std::map<std::string, Factory> m;
+    m.emplace("s27", [] { return make_s27(); });
+    for (const AnalogSpec& spec : analog_suite()) {
+      m.emplace(spec.name, [&spec] { return make_analog(spec); });
+    }
+    // Datapath stand-ins for the multiplier-control pair s344/s349.
+    m.emplace("g344", [] { return make_multiplier(4, "g344"); });
+    m.emplace("g349", [] { return make_divider(4, "g349"); });
+    // Table III synthesized circuits.
+    m.emplace("am2910", [] { return make_am2910(); });
+    m.emplace("div16", [] { return make_divider(16, "div16"); });
+    m.emplace("mult16", [] { return make_multiplier(16, "mult16"); });
+    m.emplace("pcont2", [] { return make_pcont(8, 4, "pcont2"); });
+    // Small exhaustively-testable instances for tests/examples.
+    m.emplace("mult4", [] { return make_multiplier(4, "mult4"); });
+    m.emplace("div4", [] { return make_divider(4, "div4"); });
+    return m;
+  }();
+  return kFactories;
+}
+
+}  // namespace
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  names.reserve(factories().size());
+  for (const auto& [name, factory] : factories()) names.push_back(name);
+  return names;
+}
+
+bool resolves_to_file(const std::string& name) {
+  std::error_code ec;
+  return std::filesystem::exists(bench_path(name), ec);
+}
+
+netlist::Circuit make_circuit(const std::string& name) {
+  if (resolves_to_file(name)) {
+    return netlist::load_bench_file(bench_path(name));
+  }
+  auto it = factories().find(name);
+  if (it == factories().end()) {
+    throw std::out_of_range("unknown circuit: " + name);
+  }
+  return it->second();
+}
+
+}  // namespace gatpg::gen

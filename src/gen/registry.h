@@ -1,0 +1,29 @@
+// Circuit registry: every evaluation circuit by name.
+//
+// Resolution order for a name like "s298"/"g298":
+//   1. a real .bench file <name>.bench in the data directory (environment
+//      variable GATPG_DATA, else ./data) — lets users run the genuine
+//      ISCAS89 netlists when they have them;
+//   2. the built-in generator (embedded s27, analog suite, synthesized
+//      Table III circuits).
+// Unknown names throw std::out_of_range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+/// All built-in circuit names (s27, g298..g5378, g344/g349 datapath
+/// stand-ins, am2910, div16, mult16, pcont2 and the small mult4/div4).
+std::vector<std::string> registry_names();
+
+/// Builds (or loads, see resolution order above) a circuit by name.
+netlist::Circuit make_circuit(const std::string& name);
+
+/// True when `name` resolves to a real .bench file rather than a generator.
+bool resolves_to_file(const std::string& name);
+
+}  // namespace gatpg::gen

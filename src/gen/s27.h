@@ -1,0 +1,18 @@
+// The ISCAS89 benchmark circuit s27, embedded verbatim.
+//
+// s27 is small enough to ship inline (4 PIs, 3 DFFs, 10 gates) and serves as
+// the one exact ISCAS89 reference in the suite; the larger benchmarks are
+// represented by generated analogs (see analogs.h) unless real .bench files
+// are provided in the data directory (see registry.h).
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace gatpg::gen {
+
+netlist::Circuit make_s27();
+
+/// The raw .bench text (also used by the parser round-trip tests).
+const char* s27_bench_text();
+
+}  // namespace gatpg::gen

@@ -1,0 +1,122 @@
+#include "hybrid/ga_justify.h"
+
+#include <stdexcept>
+
+namespace gatpg::hybrid {
+
+using netlist::NodeId;
+using sim::PackedV3;
+using sim::Sequence;
+using sim::State3;
+using sim::V3;
+using sim::Vector3;
+
+namespace {
+
+/// Decodes the first `length` vectors of a chromosome.
+Sequence decode(const ga::Chromosome& chromosome, std::size_t num_pi,
+                unsigned length) {
+  Sequence seq(length, Vector3(num_pi));
+  for (unsigned t = 0; t < length; ++t) {
+    for (std::size_t i = 0; i < num_pi; ++i) {
+      seq[t][i] = chromosome[t * num_pi + i] ? V3::k1 : V3::k0;
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+GaJustifyResult GaStateJustifier::justify(
+    const fault::Fault& fault, const State3& desired_good,
+    const State3& desired_faulty, const State3& current_good_state,
+    const GaJustifyConfig& config, const util::Deadline& deadline) const {
+  const std::size_t num_pi = c_.primary_inputs().size();
+  if (config.population == 0 || config.population % 64 != 0) {
+    throw std::invalid_argument("GA population must be a multiple of 64");
+  }
+  if (num_pi == 0 || config.sequence_length == 0) {
+    return {};
+  }
+
+  GaJustifyResult result;
+
+  ga::GaConfig ga_config;
+  ga_config.population_size = config.population;
+  ga_config.generations = config.generations;
+  ga_config.chromosome_bits = config.sequence_length * num_pi;
+  ga_config.selection = config.selection;
+  ga_config.seed = config.seed;
+
+  // Batch evaluator: 64 candidates per bit-parallel simulation.
+  auto evaluate = [&](std::span<const ga::Chromosome> population,
+                      std::span<double> fitness) -> bool {
+    for (std::size_t base = 0; base < population.size(); base += 64) {
+      const std::size_t count = std::min<std::size_t>(64, population.size() - base);
+
+      sim::SequenceSimulator good(c_);
+      good.set_state(current_good_state);
+      sim::SequenceSimulator faulty(c_);
+      if (fault.pin == fault::kOutputPin) {
+        faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
+      } else {
+        faulty.add_input_override(fault.node,
+                                  static_cast<unsigned>(fault.pin),
+                                  fault.stuck_at, ~0ULL);
+      }
+
+      std::vector<PackedV3> pi_words(num_pi);
+      for (unsigned t = 0; t < config.sequence_length; ++t) {
+        for (std::size_t i = 0; i < num_pi; ++i) {
+          PackedV3 w = PackedV3::broadcast(V3::k0);
+          for (std::size_t s = 0; s < count; ++s) {
+            if (population[base + s][t * num_pi + i]) {
+              w.set(static_cast<unsigned>(s), V3::k1);
+            }
+          }
+          pi_words[i] = w;
+        }
+        good.apply_packed(pi_words);
+        faulty.apply_packed(pi_words);
+        good.clock();
+        faulty.clock();
+
+        // Early exit: some candidate's prefix reaches both desired states.
+        const std::uint64_t match = good.state_match_mask(desired_good) &
+                                    faulty.state_match_mask(desired_faulty);
+        if (match != 0) {
+          const unsigned slot =
+              static_cast<unsigned>(__builtin_ctzll(match));
+          result.success = true;
+          result.sequence = decode(population[base + slot], num_pi, t + 1);
+          // Score what was evaluated so far so the engine bookkeeping stays
+          // sane, then request termination.
+          for (std::size_t s = 0; s < population.size(); ++s) {
+            fitness[s] = 0.0;
+          }
+          return true;
+        }
+      }
+
+      for (std::size_t s = 0; s < count; ++s) {
+        const double raw =
+            config.good_weight *
+                good.state_match_count(desired_good,
+                                       static_cast<unsigned>(s)) +
+            config.faulty_weight *
+                faulty.state_match_count(desired_faulty,
+                                         static_cast<unsigned>(s));
+        fitness[base + s] = config.square_fitness ? raw * raw : raw;
+      }
+    }
+    return deadline.expired();
+  };
+
+  const ga::GaResult ga_result = ga::GaEngine(ga_config).run(evaluate);
+  result.best_fitness = ga_result.best_fitness;
+  result.evaluations = ga_result.evaluations;
+  result.generations_run = ga_result.generations_run;
+  return result;
+}
+
+}  // namespace gatpg::hybrid

@@ -1,0 +1,271 @@
+#include "hybrid/hybrid_atpg.h"
+
+#include <algorithm>
+
+#include "netlist/depth.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::hybrid {
+
+using atpg::ForwardEngine;
+using atpg::ForwardStatus;
+using atpg::SearchLimits;
+using sim::Sequence;
+using sim::State3;
+using sim::V3;
+
+HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
+    : c_(c),
+      config_(std::move(config)),
+      faults_(fault::collapse(c)),
+      depth_(config_.sequential_depth_override
+                 ? config_.sequential_depth_override
+                 : netlist::sequential_depth(c)),
+      rng_(config_.seed) {}
+
+unsigned HybridAtpg::ga_sequence_length(const PassConfig& pass) const {
+  if (pass.seq_len_override) return pass.seq_len_override;
+  const double len = pass.seq_len_multiplier * std::max(1u, depth_);
+  // Floor of 4: a structural depth of 1 (datapaths with direct load paths)
+  // still needs a few vectors to steer counters/accumulators.
+  return std::max(4u, static_cast<unsigned>(len));
+}
+
+void HybridAtpg::fill_x(Sequence& seq) {
+  for (auto& vec : seq) {
+    for (auto& v : vec) {
+      if (v == V3::kX) v = rng_.bit() ? V3::k1 : V3::k0;
+    }
+  }
+}
+
+HybridAtpg::TargetOutcome HybridAtpg::target_fault(
+    std::size_t fault_index, const PassConfig& pass,
+    fault::FaultSimulator& fsim, Sequence& test_set, AtpgResult& result,
+    std::vector<Sequence>& segments) {
+  TargetOutcome outcome;
+  const fault::Fault& f = faults_.faults[fault_index];
+  ++result.counters.targeted;
+
+  const auto deadline = util::Deadline::after_seconds(pass.time_limit_s);
+
+  SearchLimits limits;
+  limits.time_limit_s = pass.time_limit_s;
+  limits.max_backtracks = pass.max_backtracks;
+  limits.max_forward_frames =
+      config_.max_forward_frames
+          ? config_.max_forward_frames
+          : std::clamp(2 * std::max(1u, depth_), 6u, 24u);
+  limits.max_justify_depth =
+      config_.max_justify_depth
+          ? config_.max_justify_depth
+          : std::clamp(4 * std::max(1u, depth_), 8u, 64u);
+
+  ForwardEngine forward(c_, f, limits);
+  const GaStateJustifier ga_justifier(c_);
+  atpg::DeterministicJustifier det_justifier(c_, limits);
+
+  // True while every justification failure so far was a completed proof of
+  // unjustifiability; together with forward exhaustion this upgrades
+  // "exhausted" to "untestable".
+  bool all_rejections_proven = true;
+
+  for (unsigned attempt = 0; attempt < config_.max_solutions_per_fault;
+       ++attempt) {
+    const ForwardStatus status = forward.next_solution(deadline);
+    if (status == ForwardStatus::kUntestable) {
+      outcome.untestable = true;
+      return outcome;
+    }
+    if (status == ForwardStatus::kAborted) {
+      outcome.aborted = true;
+      return outcome;
+    }
+    if (status == ForwardStatus::kExhausted) {
+      // Every excitation/propagation option was enumerated; if additionally
+      // every required state was *proven* unjustifiable (deterministic
+      // justification only — GA failures prove nothing), the fault is
+      // untestable.
+      outcome.untestable = !forward.stats().clipped && all_rejections_proven;
+      if (!outcome.untestable) outcome.aborted = true;
+      return outcome;
+    }
+    // kSolved.
+    ++result.counters.forward_solutions;
+    const State3 required = forward.required_state();
+    Sequence vectors = forward.vectors();
+
+    const bool state_needed =
+        std::any_of(required.begin(), required.end(),
+                    [](V3 v) { return v != V3::kX; });
+
+    Sequence justification;
+    bool justified = false;
+    if (!state_needed) {
+      ++result.counters.no_justification_needed;
+      justified = true;
+    } else if (pass.mode == JustifyMode::kGenetic) {
+      // GA justification from the current good-circuit state; the faulty
+      // machine starts all-X, as §IV-A prescribes.  Check first whether the
+      // current state already matches.
+      const State3 current = fsim.good_state();
+      bool good_matches = true;
+      for (std::size_t i = 0; i < required.size(); ++i) {
+        if (required[i] != V3::kX && required[i] != current[i]) {
+          good_matches = false;
+          break;
+        }
+      }
+      if (good_matches) {
+        // Good machine already there; the faulty all-X state matches only
+        // X requirements, which is exactly what state_needed covers for
+        // the faulty target — still attempt without extra vectors.
+        justified = true;
+        ++result.counters.no_justification_needed;
+      } else {
+        ++result.counters.ga_invocations;
+        GaJustifyConfig ga_config;
+        ga_config.population = pass.ga_population;
+        ga_config.generations = pass.ga_generations;
+        ga_config.sequence_length = ga_sequence_length(pass);
+        ga_config.good_weight = config_.ga_good_weight;
+        ga_config.faulty_weight = config_.ga_faulty_weight;
+        ga_config.square_fitness = config_.ga_square_fitness;
+        ga_config.selection = config_.selection;
+        ga_config.seed = config_.seed ^ (0x9e3779b9ULL * (fault_index + 1)) ^
+                         (attempt << 20);
+        const GaJustifyResult ga = ga_justifier.justify(
+            f, required, required, current, ga_config, deadline);
+        if (ga.success) {
+          ++result.counters.ga_successes;
+          justification = ga.sequence;
+          justified = true;
+        }
+        all_rejections_proven = false;  // GA failure proves nothing
+      }
+    } else {
+      ++result.counters.det_justify_calls;
+      const auto det = det_justifier.justify(required, deadline);
+      if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
+        ++result.counters.det_justify_successes;
+        justification = det.sequence;
+        justified = true;
+      } else if (det.status ==
+                 atpg::DeterministicJustifier::Status::kAborted) {
+        all_rejections_proven = false;
+        outcome.aborted = true;
+        return outcome;
+      }
+      // kUnjustifiable: completed proof; try the next forward solution.
+    }
+
+    if (!justified) {
+      if (deadline.expired()) {
+        outcome.aborted = true;
+        return outcome;
+      }
+      continue;  // Fig. 1: backtrack in the propagation phase
+    }
+
+    Sequence candidate = justification;
+    candidate.insert(candidate.end(), vectors.begin(), vectors.end());
+    fill_x(candidate);
+
+    if (!fsim.would_detect(fault_index, candidate)) {
+      ++result.counters.verify_failures;
+      all_rejections_proven = false;
+      if (deadline.expired()) {
+        outcome.aborted = true;
+        return outcome;
+      }
+      continue;
+    }
+
+    // Commit: extend the test set and drop everything it detects.
+    fsim.run(candidate);
+    test_set.insert(test_set.end(), candidate.begin(), candidate.end());
+    segments.push_back(std::move(candidate));
+    outcome.detected = true;
+    return outcome;
+  }
+
+  outcome.aborted = true;  // alternative-solution budget exhausted
+  return outcome;
+}
+
+AtpgResult HybridAtpg::run() {
+  AtpgResult result;
+  result.total_faults = faults_.size();
+  result.fault_state.assign(faults_.size(), FaultState::kUndetected);
+
+  fault::FaultSimulator fsim(c_, faults_.faults);
+  Sequence test_set;
+  std::vector<Sequence> segments;
+  util::Stopwatch total;
+
+  if (config_.prefilter_untestable) {
+    SearchLimits pre;
+    pre.time_limit_s = config_.prefilter_time_s;
+    pre.max_backtracks = config_.prefilter_backtracks;
+    pre.max_forward_frames = 4;
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      ForwardEngine fe(c_, faults_.faults[i], pre);
+      const auto st =
+          fe.next_solution(util::Deadline::after_seconds(pre.time_limit_s));
+      if (st == ForwardStatus::kUntestable) {
+        result.fault_state[i] = FaultState::kUntestable;
+      }
+    }
+  }
+
+  for (const PassConfig& pass : config_.schedule.passes) {
+    const auto pass_deadline =
+        util::Deadline::after_seconds(pass.pass_budget_s);
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (pass_deadline.expired()) break;  // leave the rest for later passes
+      if (result.fault_state[i] != FaultState::kUndetected) continue;
+      if (fsim.detected()[i]) {
+        // Incidentally detected by an earlier test.
+        result.fault_state[i] = FaultState::kDetected;
+        continue;
+      }
+      const TargetOutcome outcome =
+          target_fault(i, pass, fsim, test_set, result, segments);
+      if (outcome.detected) {
+        result.fault_state[i] = FaultState::kDetected;
+      } else if (outcome.untestable) {
+        result.fault_state[i] = FaultState::kUntestable;
+      } else if (outcome.aborted) {
+        ++result.counters.aborted_faults;
+      }
+      // Pick up incidental detections recorded by the fault simulator.
+      for (std::size_t j = 0; j < faults_.size(); ++j) {
+        if (fsim.detected()[j] &&
+            result.fault_state[j] == FaultState::kUndetected) {
+          result.fault_state[j] = FaultState::kDetected;
+        }
+      }
+    }
+
+    PassOutcome po;
+    po.detected = static_cast<std::size_t>(
+        std::count(result.fault_state.begin(), result.fault_state.end(),
+                   FaultState::kDetected));
+    po.untestable = static_cast<std::size_t>(
+        std::count(result.fault_state.begin(), result.fault_state.end(),
+                   FaultState::kUntestable));
+    po.vectors = test_set.size();
+    po.time_s = total.seconds();
+    result.passes.push_back(po);
+    util::log_info() << c_.name() << " pass " << result.passes.size()
+                     << ": det=" << po.detected << " vec=" << po.vectors
+                     << " unt=" << po.untestable << " t=" << po.time_s << "s";
+  }
+
+  result.test_set = std::move(test_set);
+  result.segments = std::move(segments);
+  return result;
+}
+
+}  // namespace gatpg::hybrid

@@ -1,0 +1,129 @@
+// The hybrid test generator (GA-HITEC) and the deterministic baseline
+// (HITEC mode), orchestrating all the substrates:
+//
+//   for each pass in the schedule:
+//     for each undetected, not-proven-untestable fault:
+//       repeat (Fig. 1 loop, bounded):
+//         ForwardEngine: excite + propagate -> (vectors, required state)
+//         justify required state:
+//           genetic pass  -> GA from the current good-circuit state
+//           deterministic -> reverse time processing from the all-X state
+//         verify candidate test with the independent fault simulator;
+//         on success: append to test set, fault-simulate for incidental
+//         detections (fault dropping), move to the next fault;
+//         on justification failure: ask the ForwardEngine for an
+//         alternative excitation/propagation solution and retry.
+//
+// Untestability is claimed only on completed exhaustive searches (forward
+// exhaustion with every required state proven unjustifiable, or forward
+// exhaustion before any solution); searches stopped by a limit mark the
+// fault aborted-for-this-pass instead.
+#pragma once
+
+#include <vector>
+
+#include "atpg/detengine.h"
+#include "atpg/justify.h"
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+#include "hybrid/ga_justify.h"
+#include "hybrid/pass.h"
+#include "util/rng.h"
+
+namespace gatpg::hybrid {
+
+enum class FaultState { kUndetected, kDetected, kUntestable };
+
+/// Cumulative totals at the end of each pass — one row of Table II/III.
+struct PassOutcome {
+  std::size_t detected = 0;
+  std::size_t vectors = 0;
+  std::size_t untestable = 0;
+  double time_s = 0.0;
+};
+
+/// Internal-activity counters (Fig. 1 instrumentation).
+struct EngineCounters {
+  long targeted = 0;             // fault targeting attempts
+  long forward_solutions = 0;    // excitation/propagation solutions found
+  long ga_invocations = 0;
+  long ga_successes = 0;
+  long det_justify_calls = 0;
+  long det_justify_successes = 0;
+  long verify_failures = 0;      // candidate tests rejected by fault sim
+  long no_justification_needed = 0;
+  long aborted_faults = 0;       // per-pass limit hits
+};
+
+struct AtpgResult {
+  std::vector<PassOutcome> passes;
+  sim::Sequence test_set;
+  /// The test set as the list of generated subsequences (one per committed
+  /// target), preserving the boundaries fault::compact_segments needs.
+  std::vector<sim::Sequence> segments;
+  std::size_t total_faults = 0;
+  std::vector<FaultState> fault_state;
+  EngineCounters counters;
+
+  std::size_t detected() const {
+    return passes.empty() ? 0 : passes.back().detected;
+  }
+  std::size_t untestable() const {
+    return passes.empty() ? 0 : passes.back().untestable;
+  }
+};
+
+struct HybridConfig {
+  PassSchedule schedule = PassSchedule::ga_hitec(0.05);
+  /// 0 = compute from the circuit (netlist::sequential_depth).
+  unsigned sequential_depth_override = 0;
+  /// Propagation window; 0 = auto (clamped, see implementation).
+  unsigned max_forward_frames = 0;
+  /// Reverse-time depth; 0 = auto.
+  unsigned max_justify_depth = 0;
+  /// Fig. 1 loop bound: alternative forward solutions tried per fault/pass.
+  unsigned max_solutions_per_fault = 20;
+  double ga_good_weight = 0.9;
+  double ga_faulty_weight = 0.1;
+  bool ga_square_fitness = false;
+  ga::SelectionScheme selection =
+      ga::SelectionScheme::kTournamentWithoutReplacement;
+  std::uint64_t seed = 1;
+  /// Conclusion-section option: cheap combinational-exhaustion prescreen
+  /// that marks easy untestables before pass 1 (bench_prefilter).
+  bool prefilter_untestable = false;
+  double prefilter_time_s = 0.02;
+  long prefilter_backtracks = 200;
+};
+
+class HybridAtpg {
+ public:
+  HybridAtpg(const netlist::Circuit& c, HybridConfig config);
+
+  /// Runs the full schedule.
+  AtpgResult run();
+
+  const fault::FaultList& fault_list() const { return faults_; }
+
+ private:
+  struct TargetOutcome {
+    bool detected = false;
+    bool untestable = false;
+    bool aborted = false;
+  };
+
+  TargetOutcome target_fault(std::size_t fault_index, const PassConfig& pass,
+                             fault::FaultSimulator& fsim,
+                             sim::Sequence& test_set, AtpgResult& result,
+                             std::vector<sim::Sequence>& segments);
+  void fill_x(sim::Sequence& seq);
+  unsigned ga_sequence_length(const PassConfig& pass) const;
+
+  const netlist::Circuit& c_;
+  HybridConfig config_;
+  fault::FaultList faults_;
+  unsigned depth_;
+  util::Rng rng_;
+};
+
+}  // namespace gatpg::hybrid

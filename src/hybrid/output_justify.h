@@ -1,0 +1,41 @@
+// GA justification of output values — the paper's concluding extension:
+// "this research can be extended to justification of module output values
+// in architectural-level test generation.  Backtracing required values
+// through high-level modules is a difficult problem, but a genetic approach
+// could be used in place of traditional approaches."
+//
+// Given required values on a subset of primary outputs (a module's outputs,
+// when the circuit is an architectural block like the multiplier or the
+// Am2910), the justifier evolves input sequences until some prefix drives
+// every required output to its value — no backtracing through the module at
+// all, exactly the argument of §VI.  The machinery mirrors the state
+// justifier: 64 candidates per bit-parallel batch, early exit on the first
+// matching prefix, tournament selection.
+#pragma once
+
+#include "hybrid/ga_justify.h"
+
+namespace gatpg::hybrid {
+
+struct OutputGoal {
+  std::size_t po_index = 0;  // index into Circuit::primary_outputs()
+  sim::V3 value = sim::V3::kX;
+};
+
+class GaOutputJustifier {
+ public:
+  explicit GaOutputJustifier(const netlist::Circuit& c) : c_(c) {}
+
+  /// Searches for a sequence that, applied from `current_state`, drives all
+  /// goal outputs to their values simultaneously during some cycle.  The
+  /// returned sequence includes the vector of the matching cycle.
+  GaJustifyResult justify(const std::vector<OutputGoal>& goals,
+                          const sim::State3& current_state,
+                          const GaJustifyConfig& config,
+                          const util::Deadline& deadline) const;
+
+ private:
+  const netlist::Circuit& c_;
+};
+
+}  // namespace gatpg::hybrid

@@ -1,0 +1,49 @@
+#include "hybrid/pass.h"
+
+namespace gatpg::hybrid {
+
+PassSchedule PassSchedule::ga_hitec(double time_scale) {
+  PassSchedule s;
+  PassConfig p1;
+  p1.mode = JustifyMode::kGenetic;
+  p1.time_limit_s = 1.0 * time_scale;
+  p1.max_backtracks = 10000;
+  p1.ga_population = 64;
+  p1.ga_generations = 4;
+  p1.seq_len_multiplier = 4.0;
+  s.passes.push_back(p1);
+
+  PassConfig p2;
+  p2.mode = JustifyMode::kGenetic;
+  p2.time_limit_s = 10.0 * time_scale;
+  p2.max_backtracks = 100000;
+  p2.ga_population = 128;
+  p2.ga_generations = 8;
+  p2.seq_len_multiplier = 8.0;
+  s.passes.push_back(p2);
+
+  PassConfig p3;
+  p3.mode = JustifyMode::kDeterministic;
+  p3.time_limit_s = 100.0 * time_scale;
+  p3.max_backtracks = 1000000;
+  s.passes.push_back(p3);
+  return s;
+}
+
+PassSchedule PassSchedule::hitec(double time_scale) {
+  PassSchedule s;
+  double t = 1.0;
+  long b = 10000;
+  for (int i = 0; i < 3; ++i) {
+    PassConfig p;
+    p.mode = JustifyMode::kDeterministic;
+    p.time_limit_s = t * time_scale;
+    p.max_backtracks = b;
+    s.passes.push_back(p);
+    t *= 10.0;
+    b *= 10;
+  }
+  return s;
+}
+
+}  // namespace gatpg::hybrid

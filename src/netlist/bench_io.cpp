@@ -1,0 +1,246 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/builder.h"
+
+namespace gatpg::netlist {
+
+namespace {
+
+struct PendingGate {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+GateType gate_type_from_keyword(const std::string& kw, int line) {
+  std::string up;
+  up.reserve(kw.size());
+  for (char ch : kw) up.push_back(static_cast<char>(std::toupper(ch)));
+  if (up == "AND") return GateType::kAnd;
+  if (up == "NAND") return GateType::kNand;
+  if (up == "OR") return GateType::kOr;
+  if (up == "NOR") return GateType::kNor;
+  if (up == "XOR") return GateType::kXor;
+  if (up == "XNOR") return GateType::kXnor;
+  if (up == "NOT" || up == "INV") return GateType::kNot;
+  if (up == "BUF" || up == "BUFF") return GateType::kBuf;
+  if (up == "DFF") return GateType::kDff;
+  // Extension keywords used by write_bench for generator circuits; not part
+  // of the original ISCAS89 grammar but accepted for round-tripping.
+  if (up == "CONST0") return GateType::kConst0;
+  if (up == "CONST1") return GateType::kConst1;
+  fail(line, "unknown gate keyword '" + kw + "'");
+}
+
+}  // namespace
+
+Circuit parse_bench(std::istream& in, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> gates;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        fail(line_no, "expected INPUT(...)/OUTPUT(...)");
+      }
+      const std::string kw = strip(line.substr(0, open));
+      const std::string arg = strip(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) fail(line_no, "empty port name");
+      std::string up;
+      for (char ch : kw) up.push_back(static_cast<char>(std::toupper(ch)));
+      if (up == "INPUT") {
+        input_names.push_back(arg);
+      } else if (up == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        fail(line_no, "unknown directive '" + kw + "'");
+      }
+      continue;
+    }
+
+    PendingGate g;
+    g.line = line_no;
+    g.name = strip(line.substr(0, eq));
+    if (g.name.empty()) fail(line_no, "empty gate name");
+    const std::string rhs = strip(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(line_no, "expected GATE(fanins)");
+    }
+    g.type = gate_type_from_keyword(strip(rhs.substr(0, open)), line_no);
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream arg_stream(args);
+    std::string item;
+    while (std::getline(arg_stream, item, ',')) {
+      const std::string name = strip(item);
+      if (name.empty()) fail(line_no, "empty fanin name");
+      g.fanin_names.push_back(name);
+    }
+    const bool is_const =
+        g.type == GateType::kConst0 || g.type == GateType::kConst1;
+    if (g.fanin_names.empty() && !is_const) {
+      fail(line_no, "gate with no fanins");
+    }
+    if (is_const && !g.fanin_names.empty()) {
+      fail(line_no, "constant with fanins");
+    }
+    if (g.type == GateType::kDff && g.fanin_names.size() != 1) {
+      fail(line_no, "DFF must have exactly one fanin");
+    }
+    gates.push_back(std::move(g));
+  }
+
+  CircuitBuilder b;
+  std::map<std::string, NodeId> ids;
+  for (const auto& name : input_names) {
+    if (ids.count(name)) fail(0, "duplicate INPUT " + name);
+    ids[name] = b.add_input(name);
+  }
+  // Declare DFFs first so feedback references resolve, then declare
+  // combinational gates in dependency order via iteration.
+  for (const auto& g : gates) {
+    if (ids.count(g.name)) fail(g.line, "node redefined: " + g.name);
+    if (g.type == GateType::kDff) {
+      ids[g.name] = b.add_dff(g.name);
+    } else if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      ids[g.name] = b.add_const(g.type == GateType::kConst1, g.name);
+    } else {
+      ids[g.name] = kNoNode;  // placeholder, resolved below
+    }
+  }
+  // Combinational gates may reference each other in any textual order; emit
+  // them repeatedly until all fanins are defined (a cycle would mean a
+  // combinational loop, reported by build()).
+  std::vector<const PendingGate*> remaining;
+  for (const auto& g : gates) {
+    if (is_combinational(g.type)) remaining.push_back(&g);
+  }
+  while (!remaining.empty()) {
+    std::vector<const PendingGate*> next;
+    bool progressed = false;
+    for (const PendingGate* g : remaining) {
+      bool ready = true;
+      for (const auto& f : g->fanin_names) {
+        auto it = ids.find(f);
+        if (it == ids.end()) fail(g->line, "undefined fanin " + f);
+        if (it->second == kNoNode) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        next.push_back(g);
+        continue;
+      }
+      std::vector<NodeId> fin;
+      fin.reserve(g->fanin_names.size());
+      for (const auto& f : g->fanin_names) fin.push_back(ids[f]);
+      ids[g->name] = b.add_gate(g->type, g->name, fin);
+      progressed = true;
+    }
+    if (!progressed) {
+      fail(next.front()->line, "combinational cycle involving " +
+                                   next.front()->name);
+    }
+    remaining = std::move(next);
+  }
+  // Bind DFF D inputs.
+  for (const auto& g : gates) {
+    if (g.type != GateType::kDff) continue;
+    auto it = ids.find(g.fanin_names[0]);
+    if (it == ids.end() || it->second == kNoNode) {
+      fail(g.line, "undefined DFF input " + g.fanin_names[0]);
+    }
+    b.set_dff_input(ids[g.name], it->second);
+  }
+  for (const auto& name : output_names) {
+    auto it = ids.find(name);
+    if (it == ids.end() || it->second == kNoNode) {
+      fail(0, "OUTPUT references undefined node " + name);
+    }
+    b.mark_output(it->second);
+  }
+  return std::move(b).build(std::move(circuit_name));
+}
+
+Circuit parse_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return parse_bench(in, std::move(circuit_name));
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  auto slash = path.find_last_of('/');
+  std::string stem =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem.erase(dot);
+  return parse_bench(in, std::move(stem));
+}
+
+std::string write_bench(const Circuit& c) {
+  std::ostringstream out;
+  out << "# " << c.name() << "\n";
+  for (NodeId pi : c.primary_inputs()) out << "INPUT(" << c.name(pi) << ")\n";
+  for (NodeId po : c.primary_outputs()) {
+    out << "OUTPUT(" << c.name(po) << ")\n";
+  }
+  out << "\n";
+  for (NodeId n = 0; n < c.node_count(); ++n) {
+    if (c.type(n) == GateType::kConst0 || c.type(n) == GateType::kConst1) {
+      out << c.name(n) << " = " << gate_type_name(c.type(n)) << "()\n";
+    }
+  }
+  for (NodeId ff : c.flip_flops()) {
+    out << c.name(ff) << " = DFF(" << c.name(c.fanins(ff)[0]) << ")\n";
+  }
+  for (NodeId g : c.topo_order()) {
+    out << c.name(g) << " = " << gate_type_name(c.type(g)) << "(";
+    bool first = true;
+    for (NodeId f : c.fanins(g)) {
+      if (!first) out << ", ";
+      first = false;
+      out << c.name(f);
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,34 @@
+// ISCAS89 .bench format reader/writer.
+//
+// Grammar (as used by the ISCAS89 distribution):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)        GATE in {AND OR NAND NOR XOR XNOR NOT
+//                                          BUF BUFF DFF}
+//
+// OUTPUT lines may reference nodes defined later; the reader resolves names
+// in a second pass.  A node that is OUTPUT-declared but never defined is an
+// error.  The writer emits circuits in a canonical order so parse(write(c))
+// round-trips structurally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::netlist {
+
+/// Parses .bench text.  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Circuit parse_bench(std::istream& in, std::string circuit_name);
+Circuit parse_bench_string(const std::string& text, std::string circuit_name);
+
+/// Loads a .bench file from disk; the circuit name is the file stem.
+Circuit load_bench_file(const std::string& path);
+
+/// Serializes to .bench text.
+std::string write_bench(const Circuit& c);
+
+}  // namespace gatpg::netlist

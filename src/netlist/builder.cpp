@@ -1,0 +1,174 @@
+#include "netlist/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gatpg::netlist {
+
+NodeId CircuitBuilder::add_node(GateType type, std::string name) {
+  const NodeId id = static_cast<NodeId>(type_.size());
+  type_.push_back(type);
+  names_.push_back(std::move(name));
+  fanins_.emplace_back();
+  return id;
+}
+
+NodeId CircuitBuilder::add_input(std::string name) {
+  const NodeId id = add_node(GateType::kInput, std::move(name));
+  pis_.push_back(id);
+  return id;
+}
+
+NodeId CircuitBuilder::add_gate(GateType type, std::string name,
+                                std::span<const NodeId> fanins) {
+  if (!is_combinational(type)) {
+    throw std::invalid_argument("add_gate requires a combinational type");
+  }
+  const bool unary = type == GateType::kBuf || type == GateType::kNot;
+  if (unary ? fanins.size() != 1 : fanins.empty()) {
+    throw std::invalid_argument("bad fanin count for gate " + name);
+  }
+  const NodeId id = add_node(type, std::move(name));
+  fanins_[id].assign(fanins.begin(), fanins.end());
+  return id;
+}
+
+NodeId CircuitBuilder::add_gate(GateType type, std::string name,
+                                std::initializer_list<NodeId> fanins) {
+  return add_gate(type, std::move(name),
+                  std::span<const NodeId>(fanins.begin(), fanins.size()));
+}
+
+NodeId CircuitBuilder::add_const(bool value, std::string name) {
+  return add_node(value ? GateType::kConst1 : GateType::kConst0,
+                  std::move(name));
+}
+
+NodeId CircuitBuilder::add_dff(std::string name, NodeId d) {
+  const NodeId id = add_node(GateType::kDff, std::move(name));
+  dffs_.push_back(id);
+  if (d != kNoNode) fanins_[id].push_back(d);
+  return id;
+}
+
+void CircuitBuilder::set_dff_input(NodeId q, NodeId d) {
+  if (q >= type_.size() || type_[q] != GateType::kDff) {
+    throw std::invalid_argument("set_dff_input target is not a DFF");
+  }
+  fanins_[q].assign(1, d);
+}
+
+void CircuitBuilder::mark_output(NodeId n) {
+  if (n >= type_.size()) throw std::invalid_argument("mark_output: bad node");
+  pos_.push_back(n);
+}
+
+Circuit CircuitBuilder::build(std::string circuit_name) && {
+  const std::size_t n = type_.size();
+  for (NodeId i = 0; i < n; ++i) {
+    if (type_[i] == GateType::kDff && fanins_[i].size() != 1) {
+      throw std::runtime_error("DFF " + names_[i] + " has unbound D input");
+    }
+    for (NodeId f : fanins_[i]) {
+      if (f >= n) throw std::runtime_error("dangling fanin on " + names_[i]);
+    }
+  }
+
+  Circuit c;
+  c.circuit_name_ = std::move(circuit_name);
+  c.type_ = std::move(type_);
+  c.names_ = std::move(names_);
+  c.pis_ = std::move(pis_);
+  c.pos_ = std::move(pos_);
+  c.dffs_ = std::move(dffs_);
+
+  // CSR fanins.
+  c.fanin_offset_.assign(n + 1, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    c.fanin_offset_[i + 1] =
+        c.fanin_offset_[i] + static_cast<std::uint32_t>(fanins_[i].size());
+  }
+  c.fanin_.reserve(c.fanin_offset_[n]);
+  for (NodeId i = 0; i < n; ++i) {
+    c.fanin_.insert(c.fanin_.end(), fanins_[i].begin(), fanins_[i].end());
+  }
+
+  // CSR fanouts.
+  c.fanout_offset_.assign(n + 1, 0);
+  for (NodeId f : c.fanin_) ++c.fanout_offset_[f + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    c.fanout_offset_[i + 1] += c.fanout_offset_[i];
+  }
+  c.fanout_.resize(c.fanin_.size());
+  {
+    std::vector<std::uint32_t> cursor(c.fanout_offset_.begin(),
+                                      c.fanout_offset_.end() - 1);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId f : c.fanins(i)) c.fanout_[cursor[f]++] = i;
+    }
+  }
+
+  // Name index (names must be unique).
+  c.by_name_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    if (!c.by_name_.emplace(c.names_[i], i).second) {
+      throw std::runtime_error("duplicate node name " + c.names_[i]);
+    }
+  }
+
+  // PO / PI / FF index maps.
+  c.is_po_.assign(n, 0);
+  for (NodeId p : c.pos_) c.is_po_[p] = 1;
+  c.pi_index_.assign(n, -1);
+  for (std::size_t i = 0; i < c.pis_.size(); ++i) {
+    c.pi_index_[c.pis_[i]] = static_cast<int>(i);
+  }
+  c.ff_index_.assign(n, -1);
+  for (std::size_t i = 0; i < c.dffs_.size(); ++i) {
+    c.ff_index_[c.dffs_[i]] = static_cast<int>(i);
+  }
+
+  // Levelize combinational logic (Kahn).  Sources: PIs, constants, DFF
+  // outputs.  DFF nodes consume their fanin but are never scheduled.
+  c.level_.assign(n, 0);
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < n; ++i) {
+    if (is_combinational(c.type_[i])) {
+      pending[i] = static_cast<std::uint32_t>(c.fanin_count(i));
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (is_source(c.type_[i]) || c.type_[i] == GateType::kDff) {
+      ready.push_back(i);
+    }
+  }
+  c.topo_.reserve(n);
+  std::size_t head = 0;
+  std::size_t comb_total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    comb_total += is_combinational(c.type_[i]) ? 1 : 0;
+  }
+  while (head < ready.size()) {
+    const NodeId g = ready[head++];
+    if (is_combinational(c.type_[g])) {
+      std::uint32_t lvl = 0;
+      for (NodeId f : c.fanins(g)) lvl = std::max(lvl, c.level_[f] + 1);
+      c.level_[g] = lvl;
+      c.max_level_ = std::max(c.max_level_, lvl);
+      c.topo_.push_back(g);
+    }
+    for (NodeId out : c.fanouts(g)) {
+      if (is_combinational(c.type_[out]) && --pending[out] == 0) {
+        ready.push_back(out);
+      }
+    }
+  }
+  if (c.topo_.size() != comb_total) {
+    throw std::runtime_error("combinational cycle in circuit " +
+                             c.circuit_name_);
+  }
+  return c;
+}
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,61 @@
+// Mutable circuit construction API.
+//
+// Two client styles are supported:
+//  * the .bench reader, which declares nodes by name in file order and
+//    resolves references in a second pass; and
+//  * the programmatic generators (src/gen), which build structurally and
+//    only need late binding for flip-flop D inputs (to close state loops).
+//
+// build() freezes the netlist into an immutable Circuit: it computes fanout
+// adjacency, levelizes the combinational logic (rejecting combinational
+// cycles), and indexes PIs/POs/FFs.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::netlist {
+
+class CircuitBuilder {
+ public:
+  /// Adds a primary input.
+  NodeId add_input(std::string name);
+
+  /// Adds a combinational gate with the given fanins.
+  NodeId add_gate(GateType type, std::string name, std::span<const NodeId> fanins);
+  NodeId add_gate(GateType type, std::string name,
+                  std::initializer_list<NodeId> fanins);
+
+  /// Adds a constant node.
+  NodeId add_const(bool value, std::string name);
+
+  /// Adds a flip-flop whose D input may be bound later (returns the Q node).
+  NodeId add_dff(std::string name, NodeId d = kNoNode);
+
+  /// Binds (or rebinds) the D input of a flip-flop created with add_dff.
+  void set_dff_input(NodeId q, NodeId d);
+
+  /// Marks an existing node as a primary output.
+  void mark_output(NodeId n);
+
+  /// Number of nodes added so far.
+  std::size_t node_count() const { return type_.size(); }
+
+  /// Validates and freezes the netlist.  Throws std::runtime_error on
+  /// dangling DFF inputs, duplicate names, or combinational cycles.
+  Circuit build(std::string circuit_name) &&;
+
+ private:
+  NodeId add_node(GateType type, std::string name);
+
+  std::vector<GateType> type_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<NodeId>> fanins_;
+  std::vector<NodeId> pis_, pos_, dffs_;
+};
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,20 @@
+#include "netlist/circuit.h"
+
+namespace gatpg::netlist {
+
+NodeId Circuit::find(const std::string& node_name) const {
+  auto it = by_name_.find(node_name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+CircuitStats stats_of(const Circuit& c) {
+  CircuitStats s;
+  s.inputs = c.primary_inputs().size();
+  s.outputs = c.primary_outputs().size();
+  s.flip_flops = c.flip_flops().size();
+  s.gates = c.gate_count();
+  s.levels = c.max_level();
+  return s;
+}
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,105 @@
+// Immutable gate-level circuit graph.
+//
+// Storage is structure-of-arrays with CSR fanin/fanout adjacency, which keeps
+// the hot simulation loops cache-friendly.  Circuits are constructed through
+// CircuitBuilder (builder.h) or the .bench reader (bench_io.h) and are
+// immutable afterwards; every engine in the library (simulators, fault
+// simulator, PODEM, GA) shares one Circuit instance by const reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace gatpg::netlist {
+
+class CircuitBuilder;
+
+class Circuit {
+ public:
+  /// Total number of nodes (inputs, gates, flip-flops, constants).
+  std::size_t node_count() const { return type_.size(); }
+
+  GateType type(NodeId n) const { return type_[n]; }
+  const std::string& name(NodeId n) const { return names_[n]; }
+  const std::string& name() const { return circuit_name_; }
+
+  std::span<const NodeId> fanins(NodeId n) const {
+    return {fanin_.data() + fanin_offset_[n],
+            fanin_offset_[n + 1] - fanin_offset_[n]};
+  }
+  std::span<const NodeId> fanouts(NodeId n) const {
+    return {fanout_.data() + fanout_offset_[n],
+            fanout_offset_[n + 1] - fanout_offset_[n]};
+  }
+  std::size_t fanin_count(NodeId n) const {
+    return fanin_offset_[n + 1] - fanin_offset_[n];
+  }
+
+  /// Primary inputs, in declaration order (this order defines test-vector
+  /// bit positions everywhere in the library).
+  std::span<const NodeId> primary_inputs() const { return pis_; }
+  /// Primary outputs, in declaration order.
+  std::span<const NodeId> primary_outputs() const { return pos_; }
+  /// Flip-flops, in declaration order (this order defines state-vector bit
+  /// positions).
+  std::span<const NodeId> flip_flops() const { return dffs_; }
+
+  bool is_primary_output(NodeId n) const { return is_po_[n]; }
+
+  /// Index of a node within primary_inputs() / flip_flops(), or -1.
+  int pi_index(NodeId n) const { return pi_index_[n]; }
+  int ff_index(NodeId n) const { return ff_index_[n]; }
+
+  /// Combinational evaluation order: every combinational gate appears after
+  /// all of its fanins (PIs, DFF outputs and constants are sources and are
+  /// not listed).
+  std::span<const NodeId> topo_order() const { return topo_; }
+
+  /// Logic level: 0 for sources and DFF outputs, 1 + max(fanin level)
+  /// otherwise.
+  std::uint32_t level(NodeId n) const { return level_[n]; }
+  std::uint32_t max_level() const { return max_level_; }
+
+  /// Node lookup by name; returns kNoNode if absent.
+  NodeId find(const std::string& node_name) const;
+
+  /// Number of combinational gates (excludes PIs, DFFs, constants).
+  std::size_t gate_count() const { return topo_.size(); }
+
+ private:
+  friend class CircuitBuilder;
+  Circuit() = default;
+
+  std::string circuit_name_;
+  std::vector<GateType> type_;
+  std::vector<std::string> names_;
+  std::vector<std::uint32_t> fanin_offset_;
+  std::vector<NodeId> fanin_;
+  std::vector<std::uint32_t> fanout_offset_;
+  std::vector<NodeId> fanout_;
+  std::vector<NodeId> pis_, pos_, dffs_;
+  std::vector<char> is_po_;
+  std::vector<int> pi_index_, ff_index_;
+  std::vector<NodeId> topo_;
+  std::vector<std::uint32_t> level_;
+  std::uint32_t max_level_ = 0;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+/// Summary statistics used by the result tables and DESIGN.md inventory.
+struct CircuitStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t flip_flops = 0;
+  std::size_t gates = 0;
+  std::uint32_t levels = 0;
+};
+
+CircuitStats stats_of(const Circuit& c);
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,65 @@
+#include "netlist/depth.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "netlist/levelize.h"
+
+namespace gatpg::netlist {
+
+unsigned sequential_depth(const Circuit& c) {
+  const auto ffs = c.flip_flops();
+  const std::size_t nff = ffs.size();
+  if (nff == 0) return 0;
+
+  // s-graph: for each flip-flop, which flip-flops/PIs feed its D cone.
+  std::vector<std::vector<std::size_t>> ff_targets(nff);
+  std::vector<char> pi_fed(nff, 0);
+  for (std::size_t v = 0; v < nff; ++v) {
+    const NodeId d = c.fanins(ffs[v])[0];
+    const auto cone = transitive_fanin(c, d, /*cross_dffs=*/false);
+    for (std::size_t u = 0; u < nff; ++u) {
+      if (cone[ffs[u]]) ff_targets[u].push_back(v);
+    }
+    for (NodeId pi : c.primary_inputs()) {
+      if (cone[pi]) {
+        pi_fed[v] = 1;
+        break;
+      }
+    }
+  }
+
+  // Shortest distance (in time frames) from the primary inputs to each
+  // flip-flop; the sequential depth is the largest such distance.
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max();
+  std::vector<unsigned> dist(nff, kInf);
+  std::deque<std::size_t> queue;
+  for (std::size_t v = 0; v < nff; ++v) {
+    if (pi_fed[v]) {
+      dist[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t v : ff_targets[u]) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  unsigned depth = 0;
+  for (std::size_t v = 0; v < nff; ++v) {
+    // A flip-flop no input can reach (degenerate) falls back to the
+    // flip-flop count as a conservative bound.
+    depth = std::max(depth, dist[v] == kInf ? static_cast<unsigned>(nff)
+                                            : dist[v]);
+  }
+  return depth;
+}
+
+}  // namespace gatpg::netlist

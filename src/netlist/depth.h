@@ -1,0 +1,21 @@
+// Sequential depth metric.
+//
+// The paper sizes GA test-sequence lengths as multiples of the circuit's
+// sequential depth (Table II lists the depth it used per circuit).  We use
+// the standard structural definition: build the flip-flop dependency graph
+// (edge u -> v when FF u's output reaches FF v's D input through
+// combinational logic only) and take the longest of the shortest distances
+// from "input-controlled" flip-flops (those whose D cone contains no
+// flip-flops) to every other reachable flip-flop, plus one frame to load the
+// input-controlled rank itself.  Flip-flops unreachable from such a source
+// (e.g. isolated cycles) are assigned the flip-flop count as a conservative
+// bound.  Circuits with no flip-flops have depth 0.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace gatpg::netlist {
+
+unsigned sequential_depth(const Circuit& c);
+
+}  // namespace gatpg::netlist

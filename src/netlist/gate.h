@@ -1,0 +1,109 @@
+// Gate-level primitives for the netlist.
+//
+// The library models circuits in the ISCAS89 style: primary inputs, simple
+// gates (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF), constants, and D flip-flops.
+// A DFF node's value is its present-state output Q; its single fanin is the
+// next-state input D.  Primary outputs are a designated subset of nodes, not
+// separate gates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gatpg::netlist {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input (no fanin)
+  kBuf,     // 1-input buffer
+  kNot,     // 1-input inverter
+  kAnd,     // n-input AND (n >= 1)
+  kNand,    // n-input NAND
+  kOr,      // n-input OR
+  kNor,     // n-input NOR
+  kXor,     // n-input XOR (parity)
+  kXnor,    // n-input XNOR
+  kDff,     // D flip-flop; value = Q, fanin[0] = D
+  kConst0,  // constant 0 (no fanin)
+  kConst1,  // constant 1 (no fanin)
+};
+
+/// Human-readable gate-type name matching the .bench keyword where one
+/// exists ("AND", "DFF", ...).
+constexpr std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+      return "INPUT";
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kNand:
+      return "NAND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kNor:
+      return "NOR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kXnor:
+      return "XNOR";
+    case GateType::kDff:
+      return "DFF";
+    case GateType::kConst0:
+      return "CONST0";
+    case GateType::kConst1:
+      return "CONST1";
+  }
+  return "?";
+}
+
+/// True for the AND/OR families that have a controlling input value.
+constexpr bool has_controlling_value(GateType t) {
+  return t == GateType::kAnd || t == GateType::kNand || t == GateType::kOr ||
+         t == GateType::kNor;
+}
+
+/// The controlling input value (0 for AND/NAND, 1 for OR/NOR).  Only valid
+/// when has_controlling_value(t).
+constexpr bool controlling_value(GateType t) {
+  return t == GateType::kOr || t == GateType::kNor;
+}
+
+/// True when the gate inverts: output = f(inputs) XOR 1 relative to the
+/// non-inverting family member (NAND vs AND, NOR vs OR, NOT vs BUF, XNOR vs
+/// XOR).
+constexpr bool inverts(GateType t) {
+  return t == GateType::kNand || t == GateType::kNor || t == GateType::kNot ||
+         t == GateType::kXnor;
+}
+
+/// True for gate types evaluated during the combinational phase (everything
+/// with fanins except DFFs).
+constexpr bool is_combinational(GateType t) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for source nodes that have no fanin.
+constexpr bool is_source(GateType t) {
+  return t == GateType::kInput || t == GateType::kConst0 ||
+         t == GateType::kConst1;
+}
+
+}  // namespace gatpg::netlist

@@ -1,0 +1,52 @@
+#include "netlist/levelize.h"
+
+namespace gatpg::netlist {
+
+std::vector<char> transitive_fanout(const Circuit& c, NodeId from) {
+  std::vector<char> mark(c.node_count(), 0);
+  std::vector<NodeId> stack{from};
+  mark[from] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId out : c.fanouts(n)) {
+      if (!mark[out]) {
+        mark[out] = 1;
+        // A DFF's fanout is its Q, which fans out in the next time frame;
+        // structurally we keep walking, because observability "eventually"
+        // is what the caller asks about.
+        stack.push_back(out);
+      }
+    }
+  }
+  return mark;
+}
+
+std::vector<char> transitive_fanin(const Circuit& c, NodeId to,
+                                   bool cross_dffs) {
+  std::vector<char> mark(c.node_count(), 0);
+  std::vector<NodeId> stack{to};
+  mark[to] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (c.type(n) == GateType::kDff && n != to && !cross_dffs) continue;
+    for (NodeId in : c.fanins(n)) {
+      if (!mark[in]) {
+        mark[in] = 1;
+        stack.push_back(in);
+      }
+    }
+  }
+  return mark;
+}
+
+bool reaches_observation_point(const Circuit& c, NodeId from) {
+  const auto mark = transitive_fanout(c, from);
+  for (NodeId po : c.primary_outputs()) {
+    if (mark[po]) return true;
+  }
+  return false;
+}
+
+}  // namespace gatpg::netlist

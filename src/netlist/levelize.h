@@ -1,0 +1,31 @@
+// Structural cone analysis utilities.
+//
+// Levelization itself happens when a Circuit is frozen (builder.cpp); this
+// header provides the cone/reachability queries the ATPG engines need:
+// the transitive fanout of a fault site (which outputs/flip-flops can observe
+// it) and the transitive fanin cone of a node (which inputs/flip-flops can
+// control it).
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::netlist {
+
+/// Nodes in the transitive fanout of `from` (including `from` itself),
+/// marked in a node-indexed flag vector.
+std::vector<char> transitive_fanout(const Circuit& c, NodeId from);
+
+/// Nodes in the transitive fanin of `to` (including `to` itself), stopping
+/// at flip-flop outputs (a DFF's Q is included but the walk does not cross
+/// into its D cone unless cross_dffs is true).
+std::vector<char> transitive_fanin(const Circuit& c, NodeId to,
+                                   bool cross_dffs = false);
+
+/// True if any primary output, or the D input of any flip-flop, lies in the
+/// transitive fanout of `from` — i.e. whether a fault at `from` is
+/// potentially observable now or in a later time frame.
+bool reaches_observation_point(const Circuit& c, NodeId from);
+
+}  // namespace gatpg::netlist

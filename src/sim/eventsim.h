@@ -1,0 +1,68 @@
+// Level-ordered event scheduling for selective-trace (event-driven)
+// simulation.
+//
+// All simulators in the library share this queue: nodes are bucketed by
+// logic level and drained in level order, so every gate is evaluated at most
+// once per vector even under heavy event activity.  The drain callback
+// returns whether the node's value changed; fanout gates of changed nodes
+// are scheduled automatically.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatpg::sim {
+
+class LevelQueue {
+ public:
+  explicit LevelQueue(const netlist::Circuit& c)
+      : circuit_(c),
+        buckets_(c.max_level() + 2),
+        queued_(c.node_count(), 0) {}
+
+  /// Schedules a combinational node for evaluation (no-op if queued already
+  /// or if the node is not combinational).
+  void schedule(netlist::NodeId n) {
+    if (queued_[n] || !netlist::is_combinational(circuit_.type(n))) return;
+    queued_[n] = 1;
+    buckets_[circuit_.level(n)].push_back(n);
+  }
+
+  /// Schedules the combinational fanouts of `n` (used to seed activity from
+  /// changed sources: PIs, flip-flop outputs, fault sites).
+  void schedule_fanouts(netlist::NodeId n) {
+    for (netlist::NodeId out : circuit_.fanouts(n)) schedule(out);
+  }
+
+  /// Drains in level order.  `eval(NodeId) -> bool` evaluates the node and
+  /// reports whether its value changed; on change, fanouts are scheduled.
+  template <typename Eval>
+  void drain(Eval&& eval) {
+    for (std::size_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+      // Same-level insertions are impossible (fanouts are strictly deeper),
+      // but deeper buckets grow while draining this one.
+      auto& bucket = buckets_[lvl];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const netlist::NodeId n = bucket[i];
+        queued_[n] = 0;
+        if (eval(n)) schedule_fanouts(n);
+      }
+      bucket.clear();
+    }
+  }
+
+  bool empty() const {
+    for (const auto& b : buckets_) {
+      if (!b.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  const netlist::Circuit& circuit_;
+  std::vector<std::vector<netlist::NodeId>> buckets_;
+  std::vector<char> queued_;
+};
+
+}  // namespace gatpg::sim

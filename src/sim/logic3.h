@@ -1,0 +1,177 @@
+// Three-valued (0/1/X) logic, scalar and 64-way bit-parallel.
+//
+// Packed encoding follows the paper (two machine words per node): bit i of
+// plane `v1` is set when slot i carries logic 1, bit i of plane `v0` when it
+// carries logic 0, and neither for X.  (v1 & v0) != 0 is invalid by
+// construction.  The paper used 32-bit words; we use 64-bit words, so 64
+// candidate sequences (GA fitness) or 64 faults (fault simulation) are
+// evaluated per pass.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "netlist/gate.h"
+
+namespace gatpg::sim {
+
+/// Scalar ternary value.
+enum class V3 : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+constexpr V3 v3_not(V3 a) {
+  if (a == V3::k0) return V3::k1;
+  if (a == V3::k1) return V3::k0;
+  return V3::kX;
+}
+
+constexpr V3 v3_and(V3 a, V3 b) {
+  if (a == V3::k0 || b == V3::k0) return V3::k0;
+  if (a == V3::k1 && b == V3::k1) return V3::k1;
+  return V3::kX;
+}
+
+constexpr V3 v3_or(V3 a, V3 b) {
+  if (a == V3::k1 || b == V3::k1) return V3::k1;
+  if (a == V3::k0 && b == V3::k0) return V3::k0;
+  return V3::kX;
+}
+
+constexpr V3 v3_xor(V3 a, V3 b) {
+  if (a == V3::kX || b == V3::kX) return V3::kX;
+  return a == b ? V3::k0 : V3::k1;
+}
+
+constexpr char v3_char(V3 a) {
+  return a == V3::k0 ? '0' : (a == V3::k1 ? '1' : 'X');
+}
+
+/// 64 ternary values packed in two planes.
+struct PackedV3 {
+  std::uint64_t v1 = 0;
+  std::uint64_t v0 = 0;
+
+  static constexpr PackedV3 all_x() { return {0, 0}; }
+  static constexpr PackedV3 broadcast(V3 v) {
+    switch (v) {
+      case V3::k0:
+        return {0, ~0ULL};
+      case V3::k1:
+        return {~0ULL, 0};
+      default:
+        return {0, 0};
+    }
+  }
+
+  V3 get(unsigned slot) const {
+    const std::uint64_t m = 1ULL << slot;
+    if (v1 & m) return V3::k1;
+    if (v0 & m) return V3::k0;
+    return V3::kX;
+  }
+
+  void set(unsigned slot, V3 v) {
+    const std::uint64_t m = 1ULL << slot;
+    v1 &= ~m;
+    v0 &= ~m;
+    if (v == V3::k1) {
+      v1 |= m;
+    } else if (v == V3::k0) {
+      v0 |= m;
+    }
+  }
+
+  /// Slots holding a defined (non-X) value.
+  std::uint64_t defined() const { return v1 | v0; }
+
+  friend constexpr bool operator==(const PackedV3&, const PackedV3&) = default;
+};
+
+inline constexpr PackedV3 p_not(PackedV3 a) { return {a.v0, a.v1}; }
+
+inline constexpr PackedV3 p_and(PackedV3 a, PackedV3 b) {
+  return {a.v1 & b.v1, a.v0 | b.v0};
+}
+
+inline constexpr PackedV3 p_or(PackedV3 a, PackedV3 b) {
+  return {a.v1 | b.v1, a.v0 & b.v0};
+}
+
+inline constexpr PackedV3 p_xor(PackedV3 a, PackedV3 b) {
+  return {(a.v1 & b.v0) | (a.v0 & b.v1), (a.v1 & b.v1) | (a.v0 & b.v0)};
+}
+
+/// Evaluates one combinational gate over packed fanin values fetched through
+/// `value(NodeId)`.  `Fetch` is any callable NodeId -> PackedV3.
+template <typename Fetch>
+PackedV3 eval_gate_packed(netlist::GateType type,
+                          std::span<const netlist::NodeId> fanins,
+                          Fetch&& value) {
+  using netlist::GateType;
+  PackedV3 acc = value(fanins[0]);
+  switch (type) {
+    case GateType::kBuf:
+      return acc;
+    case GateType::kNot:
+      return p_not(acc);
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = p_and(acc, value(fanins[i]));
+      }
+      return type == GateType::kNand ? p_not(acc) : acc;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = p_or(acc, value(fanins[i]));
+      }
+      return type == GateType::kNor ? p_not(acc) : acc;
+    case GateType::kXor:
+    case GateType::kXnor:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = p_xor(acc, value(fanins[i]));
+      }
+      return type == GateType::kXnor ? p_not(acc) : acc;
+    default:
+      assert(false && "eval_gate_packed on non-combinational node");
+      return PackedV3::all_x();
+  }
+}
+
+/// Scalar gate evaluation (used by the reference/oblivious simulators and
+/// property tests).
+template <typename Fetch>
+V3 eval_gate_scalar(netlist::GateType type,
+                    std::span<const netlist::NodeId> fanins, Fetch&& value) {
+  using netlist::GateType;
+  V3 acc = value(fanins[0]);
+  switch (type) {
+    case GateType::kBuf:
+      return acc;
+    case GateType::kNot:
+      return v3_not(acc);
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = v3_and(acc, value(fanins[i]));
+      }
+      return type == GateType::kNand ? v3_not(acc) : acc;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = v3_or(acc, value(fanins[i]));
+      }
+      return type == GateType::kNor ? v3_not(acc) : acc;
+    case GateType::kXor:
+    case GateType::kXnor:
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        acc = v3_xor(acc, value(fanins[i]));
+      }
+      return type == GateType::kXnor ? v3_not(acc) : acc;
+    default:
+      assert(false && "eval_gate_scalar on non-combinational node");
+      return V3::kX;
+  }
+}
+
+}  // namespace gatpg::sim

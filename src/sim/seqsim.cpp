@@ -1,0 +1,224 @@
+#include "sim/seqsim.h"
+
+#include <stdexcept>
+
+namespace gatpg::sim {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+SequenceSimulator::SequenceSimulator(const netlist::Circuit& c)
+    : circuit_(c),
+      values_(c.node_count()),
+      queue_(c),
+      node_has_in_over_(c.node_count(), 0) {
+  reset();
+}
+
+void SequenceSimulator::reset() {
+  for (auto& v : values_) v = PackedV3::all_x();
+  for (NodeId n = 0; n < circuit_.node_count(); ++n) {
+    if (circuit_.type(n) == GateType::kConst0) {
+      values_[n] = PackedV3::broadcast(V3::k0);
+    } else if (circuit_.type(n) == GateType::kConst1) {
+      values_[n] = PackedV3::broadcast(V3::k1);
+    }
+  }
+  force_source_overrides();
+  first_vector_ = true;
+}
+
+void SequenceSimulator::set_state(const State3& state) {
+  const auto ffs = circuit_.flip_flops();
+  if (state.size() != ffs.size()) {
+    throw std::invalid_argument("set_state: state arity mismatch");
+  }
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    values_[ffs[i]] = PackedV3::broadcast(state[i]);
+  }
+  force_source_overrides();
+  first_vector_ = true;
+}
+
+void SequenceSimulator::set_ff_packed(std::size_t ff_index, PackedV3 value) {
+  values_[circuit_.flip_flops()[ff_index]] = value;
+  force_source_overrides();
+  first_vector_ = true;
+}
+
+void SequenceSimulator::add_output_override(NodeId n, bool stuck,
+                                            std::uint64_t slot_mask) {
+  Masks& m = out_over_[n];
+  if (stuck) {
+    m.one |= slot_mask;
+    m.zero &= ~slot_mask;
+  } else {
+    m.zero |= slot_mask;
+    m.one &= ~slot_mask;
+  }
+  if (!netlist::is_combinational(circuit_.type(n))) {
+    overridden_sources_.push_back(n);
+    force_source_overrides();
+  }
+  mark_dirty();
+}
+
+void SequenceSimulator::add_input_override(NodeId n, unsigned pin, bool stuck,
+                                           std::uint64_t slot_mask) {
+  Masks& m = in_over_[in_key(n, pin)];
+  if (stuck) {
+    m.one |= slot_mask;
+    m.zero &= ~slot_mask;
+  } else {
+    m.zero |= slot_mask;
+    m.one &= ~slot_mask;
+  }
+  node_has_in_over_[n] = 1;
+  mark_dirty();
+}
+
+void SequenceSimulator::clear_overrides() {
+  out_over_.clear();
+  in_over_.clear();
+  std::fill(node_has_in_over_.begin(), node_has_in_over_.end(), 0);
+  overridden_sources_.clear();
+  mark_dirty();
+}
+
+void SequenceSimulator::mark_dirty() { first_vector_ = true; }
+
+void SequenceSimulator::force_source_overrides() {
+  for (NodeId n : overridden_sources_) {
+    values_[n] = apply_masks(values_[n], out_over_[n]);
+  }
+}
+
+bool SequenceSimulator::evaluate(NodeId n) {
+  PackedV3 next;
+  if (node_has_in_over_[n]) {
+    // Slow path: this gate carries injected input-pin faults; fetch fanin
+    // values with the per-pin masks applied.
+    const auto fanins = circuit_.fanins(n);
+    std::vector<PackedV3> ins(fanins.size());
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      ins[i] = values_[fanins[i]];
+      auto it = in_over_.find(in_key(n, static_cast<unsigned>(i)));
+      if (it != in_over_.end()) ins[i] = apply_masks(ins[i], it->second);
+    }
+    std::vector<NodeId> idx(fanins.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      idx[i] = static_cast<NodeId>(i);
+    }
+    next = eval_gate_packed(circuit_.type(n), idx,
+                            [&](NodeId i) { return ins[i]; });
+  } else {
+    next = eval_gate_packed(circuit_.type(n), circuit_.fanins(n),
+                            [this](NodeId f) { return values_[f]; });
+  }
+  if (!out_over_.empty()) {
+    auto it = out_over_.find(n);
+    if (it != out_over_.end()) next = apply_masks(next, it->second);
+  }
+  if (next == values_[n]) return false;
+  values_[n] = next;
+  return true;
+}
+
+void SequenceSimulator::apply_packed(const std::vector<PackedV3>& pi_values) {
+  const auto pis = circuit_.primary_inputs();
+  if (pi_values.size() != pis.size()) {
+    throw std::invalid_argument("apply_packed: PI arity mismatch");
+  }
+  if (first_vector_) {
+    // Full evaluation establishes a consistent baseline; afterwards only
+    // events are traced.
+    for (std::size_t i = 0; i < pis.size(); ++i) values_[pis[i]] = pi_values[i];
+    force_source_overrides();
+    for (NodeId g : circuit_.topo_order()) evaluate(g);
+    first_vector_ = false;
+    return;
+  }
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    PackedV3 v = pi_values[i];
+    auto it = out_over_.find(pis[i]);
+    if (it != out_over_.end()) v = apply_masks(v, it->second);
+    if (values_[pis[i]] == v) continue;
+    values_[pis[i]] = v;
+    queue_.schedule_fanouts(pis[i]);
+  }
+  queue_.drain([this](NodeId n) { return evaluate(n); });
+}
+
+void SequenceSimulator::apply_vector(const Vector3& v) {
+  std::vector<PackedV3> packed(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    packed[i] = PackedV3::broadcast(v[i]);
+  }
+  apply_packed(packed);
+}
+
+void SequenceSimulator::clock() {
+  const auto ffs = circuit_.flip_flops();
+  std::vector<PackedV3> next(ffs.size());
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const NodeId ff = ffs[i];
+    PackedV3 d = values_[circuit_.fanins(ff)[0]];
+    if (node_has_in_over_[ff]) {
+      auto it = in_over_.find(in_key(ff, 0));
+      if (it != in_over_.end()) d = apply_masks(d, it->second);
+    }
+    auto out = out_over_.find(ff);
+    if (out != out_over_.end()) d = apply_masks(d, out->second);
+    next[i] = d;
+  }
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (values_[ffs[i]] == next[i]) continue;
+    values_[ffs[i]] = next[i];
+    queue_.schedule_fanouts(ffs[i]);
+  }
+  // Settle the combinational logic so post-clock reads are consistent with
+  // the new state (costs nothing when the next apply would drain anyway).
+  queue_.drain([this](NodeId n) { return evaluate(n); });
+}
+
+void SequenceSimulator::run_sequence(const Sequence& seq) {
+  for (const auto& v : seq) {
+    apply_vector(v);
+    clock();
+  }
+}
+
+State3 SequenceSimulator::state(unsigned slot) const {
+  const auto ffs = circuit_.flip_flops();
+  State3 s(ffs.size());
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    s[i] = values_[ffs[i]].get(slot);
+  }
+  return s;
+}
+
+unsigned SequenceSimulator::state_match_count(const State3& desired,
+                                              unsigned slot) const {
+  const auto ffs = circuit_.flip_flops();
+  unsigned count = 0;
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (desired[i] == V3::kX || desired[i] == values_[ffs[i]].get(slot)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t SequenceSimulator::state_match_mask(const State3& desired) const {
+  const auto ffs = circuit_.flip_flops();
+  std::uint64_t mask = ~0ULL;
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (desired[i] == V3::kX) continue;
+    const PackedV3 v = values_[ffs[i]];
+    mask &= desired[i] == V3::k1 ? v.v1 : v.v0;
+    if (mask == 0) break;
+  }
+  return mask;
+}
+
+}  // namespace gatpg::sim

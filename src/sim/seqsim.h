@@ -1,0 +1,127 @@
+// Good/faulty-machine sequence simulator, 64-way bit-parallel, event-driven.
+//
+// Each of the 64 packed slots is an independent simulation context (the GA
+// uses one slot per candidate sequence; the PROOFS-style fault simulator
+// uses one slot per fault).  Flip-flop state persists across
+// apply_packed()/clock() calls; reset() returns all flip-flops to X,
+// matching the power-up-unknown model used throughout the paper.
+//
+// Fault injection follows PROOFS: a stuck-at fault is modeled by forcing a
+// pin to a constant in selected slots.  Overrides are expressed as 64-bit
+// slot masks, so one simulator instance can carry a different fault in every
+// slot (parallel-fault simulation) or the same fault in all slots (GA
+// fitness evaluation of 64 candidate sequences against one fault).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/eventsim.h"
+#include "sim/logic3.h"
+
+namespace gatpg::sim {
+
+/// One input vector: a V3 per primary input, in Circuit::primary_inputs()
+/// order.
+using Vector3 = std::vector<V3>;
+/// A test sequence: vectors applied on successive clock cycles.
+using Sequence = std::vector<Vector3>;
+
+/// A state assignment: a V3 per flip-flop, in Circuit::flip_flops() order
+/// (kX = don't care).
+using State3 = std::vector<V3>;
+
+class SequenceSimulator {
+ public:
+  explicit SequenceSimulator(const netlist::Circuit& c);
+
+  const netlist::Circuit& circuit() const { return circuit_; }
+
+  /// Returns all flip-flops to X in every slot and clears node values.
+  void reset();
+
+  /// Overwrites the flip-flop state in every slot (broadcast).
+  void set_state(const State3& state);
+  /// Overwrites one flip-flop's packed value directly.
+  void set_ff_packed(std::size_t ff_index, PackedV3 value);
+
+  // -- Fault injection ------------------------------------------------------
+
+  /// Forces the *output* of node n to `stuck` in the slots of `slot_mask`.
+  void add_output_override(netlist::NodeId n, bool stuck,
+                           std::uint64_t slot_mask);
+  /// Forces fanin `pin` of node n to `stuck` in the slots of `slot_mask`
+  /// (a fanout-branch fault: other fanouts of the driver are unaffected).
+  void add_input_override(netlist::NodeId n, unsigned pin, bool stuck,
+                          std::uint64_t slot_mask);
+  void clear_overrides();
+  bool has_overrides() const { return !out_over_.empty() || !in_over_.empty(); }
+
+  // -- Simulation -----------------------------------------------------------
+
+  /// Applies one packed input vector (one PackedV3 per PI) and propagates
+  /// events through the combinational logic.  Does not clock.
+  void apply_packed(const std::vector<PackedV3>& pi_values);
+
+  /// Broadcast convenience: applies the same scalar vector to all slots.
+  void apply_vector(const Vector3& v);
+
+  /// Latches flip-flop next-state values and schedules resulting activity
+  /// for the next apply call.
+  void clock();
+
+  /// Applies every vector of a sequence (apply + clock each cycle).
+  void run_sequence(const Sequence& seq);
+
+  PackedV3 value(netlist::NodeId n) const { return values_[n]; }
+  V3 scalar_value(netlist::NodeId n, unsigned slot = 0) const {
+    return values_[n].get(slot);
+  }
+
+  /// Current state (one slot).
+  State3 state(unsigned slot = 0) const;
+
+  /// Number of flip-flops whose slot-`slot` value matches `desired`
+  /// (desired kX always matches — "requires no particular value").
+  unsigned state_match_count(const State3& desired, unsigned slot) const;
+
+  /// Per-slot mask of "all flip-flops match `desired`".
+  std::uint64_t state_match_mask(const State3& desired) const;
+
+ private:
+  struct Masks {
+    std::uint64_t one = 0;   // slots forced to 1
+    std::uint64_t zero = 0;  // slots forced to 0
+  };
+
+  static PackedV3 apply_masks(PackedV3 v, const Masks& m) {
+    const std::uint64_t touched = m.one | m.zero;
+    v.v1 = (v.v1 & ~touched) | m.one;
+    v.v0 = (v.v0 & ~touched) | m.zero;
+    return v;
+  }
+
+  static std::uint64_t in_key(netlist::NodeId n, unsigned pin) {
+    return (static_cast<std::uint64_t>(n) << 16) | pin;
+  }
+
+  bool evaluate(netlist::NodeId n);
+  void force_source_overrides();
+  void mark_dirty();
+
+  const netlist::Circuit& circuit_;
+  std::vector<PackedV3> values_;
+  LevelQueue queue_;
+  bool first_vector_ = true;
+
+  std::unordered_map<netlist::NodeId, Masks> out_over_;
+  std::unordered_map<std::uint64_t, Masks> in_over_;
+  std::vector<char> node_has_in_over_;
+  // Overridden nodes that are not evaluated combinationally (PIs, DFF
+  // outputs, constants) must be re-forced whenever their value is set.
+  std::vector<netlist::NodeId> overridden_sources_;
+};
+
+}  // namespace gatpg::sim

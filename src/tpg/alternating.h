@@ -1,0 +1,51 @@
+// Alternating simulation/deterministic hybrid — Saab, Saab & Abraham's
+// "iterative [simulation-based genetics + deterministic techniques] =
+// complete ATPG" (the paper's reference [19] and the hybrid design GA-HITEC
+// is explicitly contrasted against in §I).
+//
+// The generator runs the simulation-based GA (simgen.h) until a fixed
+// number of evolved sequences add no detections, then *switches* to the
+// deterministic engine for a single targeted fault (excitation, propagation
+// and reverse-time justification), applies the resulting test, and resumes
+// simulation-based generation.  Compare with GA-HITEC, which instead fuses
+// the two approaches inside each targeted fault.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/limits.h"
+#include "sim/seqsim.h"
+#include "netlist/circuit.h"
+
+namespace gatpg::tpg {
+
+struct AlternatingConfig {
+  /// Simulation-phase GA settings (see SimGenConfig).
+  std::size_t population = 64;
+  unsigned generations = 8;
+  unsigned sequence_length = 20;
+  std::size_t fault_sample = 64;
+  /// Switch to the deterministic phase after this many barren GA rounds.
+  unsigned switch_after = 3;
+  /// Per-fault limits for the deterministic phase.
+  atpg::SearchLimits det_limits;
+  /// Stop after this many consecutive deterministic targets fail.
+  unsigned det_failures_to_stop = 8;
+  double time_limit_s = 10.0;
+  std::uint64_t seed = 1;
+};
+
+struct AlternatingResult {
+  sim::Sequence test_set;
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t total_faults = 0;
+  long ga_rounds = 0;
+  long det_targets = 0;
+  long det_successes = 0;
+};
+
+AlternatingResult alternating_hybrid_generate(const netlist::Circuit& c,
+                                              const AlternatingConfig& config);
+
+}  // namespace gatpg::tpg

@@ -1,0 +1,74 @@
+#include "tpg/randgen.h"
+
+#include "fault/faultsim.h"
+#include "util/rng.h"
+
+namespace gatpg::tpg {
+
+namespace {
+
+sim::Sequence weighted_block(const netlist::Circuit& c, util::Rng& rng,
+                             std::size_t length,
+                             const std::vector<double>& weights) {
+  sim::Sequence block(length, sim::Vector3(c.primary_inputs().size()));
+  for (auto& v : block) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = rng.chance(weights[i]) ? sim::V3::k1 : sim::V3::k0;
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+RandomGenResult random_pattern_generate(const netlist::Circuit& c,
+                                        const RandomGenConfig& config) {
+  util::Rng rng(config.seed);
+  const std::size_t npi = c.primary_inputs().size();
+  const auto fault_list = fault::collapse(c);
+
+  RandomGenResult result;
+  result.total_faults = fault_list.size();
+  result.weights.assign(npi, 0.5);
+
+  if (config.weighted && npi > 0) {
+    // Audition profiles: uniform 0.5 plus `weight_trials` random draws from
+    // a small palette; keep whichever detects most in one trial block from
+    // power-up.
+    static constexpr double kPalette[] = {0.1, 0.25, 0.5, 0.75, 0.9};
+    std::size_t best_score = 0;
+    for (std::size_t trial = 0; trial <= config.weight_trials; ++trial) {
+      std::vector<double> candidate(npi, 0.5);
+      if (trial > 0) {
+        for (auto& w : candidate) {
+          w = kPalette[rng.below(std::size(kPalette))];
+        }
+      }
+      util::Rng trial_rng(config.seed ^ (0xabcdULL + trial));
+      fault::FaultSimulator probe(c, fault_list.faults);
+      probe.run(weighted_block(c, trial_rng, 2 * config.block_size,
+                               candidate));
+      if (probe.detected_count() > best_score) {
+        best_score = probe.detected_count();
+        result.weights = candidate;
+      }
+    }
+  }
+
+  fault::FaultSimulator fsim(c, fault_list.faults);
+  unsigned stagnant = 0;
+  while (result.test_set.size() < config.max_vectors &&
+         stagnant < config.stagnation_blocks &&
+         fsim.detected_count() < fault_list.size()) {
+    const std::size_t remaining = config.max_vectors - result.test_set.size();
+    const auto block = weighted_block(
+        c, rng, std::min(config.block_size, remaining), result.weights);
+    const auto newly = fsim.run(block);
+    result.test_set.insert(result.test_set.end(), block.begin(), block.end());
+    stagnant = newly.empty() ? stagnant + 1 : 0;
+  }
+  result.detected = fsim.detected_count();
+  return result;
+}
+
+}  // namespace gatpg::tpg

@@ -1,0 +1,44 @@
+// Random and weighted-random sequential test generation baselines.
+//
+// §I of the paper traces simulation-based test generation from random [9]
+// and weighted-random [10-12] pattern generators; these are the floor any
+// targeted generator must beat.  Vectors are generated in blocks, graded by
+// the fault simulator (with fault dropping and state continuity), and
+// generation stops when a run of blocks adds no detections.
+//
+// The weighted generator first scores a handful of per-input one-probability
+// profiles by trial blocks and keeps the best (a pragmatic stand-in for the
+// testability-driven weight computation of [11]).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/faultlist.h"
+#include "netlist/circuit.h"
+#include "sim/seqsim.h"
+
+namespace gatpg::tpg {
+
+struct RandomGenConfig {
+  std::size_t max_vectors = 4096;
+  std::size_t block_size = 32;
+  /// Stop after this many consecutive blocks without a new detection.
+  unsigned stagnation_blocks = 8;
+  bool weighted = false;
+  /// Weight profiles auditioned when weighted == true.
+  std::size_t weight_trials = 6;
+  std::uint64_t seed = 1;
+};
+
+struct RandomGenResult {
+  sim::Sequence test_set;
+  std::size_t detected = 0;
+  std::size_t total_faults = 0;
+  /// The per-PI one-probabilities used (all 0.5 when unweighted).
+  std::vector<double> weights;
+};
+
+RandomGenResult random_pattern_generate(const netlist::Circuit& c,
+                                        const RandomGenConfig& config);
+
+}  // namespace gatpg::tpg

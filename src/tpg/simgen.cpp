@@ -1,0 +1,96 @@
+#include "tpg/simgen.h"
+
+#include <algorithm>
+
+namespace gatpg::tpg {
+
+using sim::Sequence;
+using sim::V3;
+using sim::Vector3;
+
+SimulationTestGenerator::SimulationTestGenerator(const netlist::Circuit& c,
+                                                 SimGenConfig config)
+    : c_(c),
+      config_(config),
+      faults_(fault::collapse(c)),
+      fsim_(c, faults_.faults),
+      rng_(config.seed) {}
+
+std::vector<std::size_t> SimulationTestGenerator::sample_undetected() {
+  std::vector<std::size_t> undetected;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!fsim_.detected()[i]) undetected.push_back(i);
+  }
+  if (undetected.size() <= config_.fault_sample) return undetected;
+  // Partial Fisher-Yates for an unbiased sample.
+  for (std::size_t i = 0; i < config_.fault_sample; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.below(undetected.size() - i));
+    std::swap(undetected[i], undetected[j]);
+  }
+  undetected.resize(config_.fault_sample);
+  return undetected;
+}
+
+std::size_t SimulationTestGenerator::apply(const Sequence& seq) {
+  const auto newly = fsim_.run(seq);
+  test_set_.insert(test_set_.end(), seq.begin(), seq.end());
+  return newly.size();
+}
+
+std::size_t SimulationTestGenerator::step(const util::Deadline& deadline) {
+  const std::size_t npi = c_.primary_inputs().size();
+  if (npi == 0) return 0;
+  const auto sample = sample_undetected();
+  if (sample.empty()) return 0;
+
+  ga::GaConfig ga_config;
+  ga_config.population_size = config_.population;
+  ga_config.generations = config_.generations;
+  ga_config.chromosome_bits = config_.sequence_length * npi;
+  ga_config.seed = config_.seed ^ (0x51ed2701ULL * ++round_counter_);
+
+  auto decode = [&](const ga::Chromosome& chromosome) {
+    Sequence seq(config_.sequence_length, Vector3(npi));
+    for (unsigned t = 0; t < config_.sequence_length; ++t) {
+      for (std::size_t i = 0; i < npi; ++i) {
+        seq[t][i] = chromosome[t * npi + i] ? V3::k1 : V3::k0;
+      }
+    }
+    return seq;
+  };
+
+  const auto evaluate = [&](std::span<const ga::Chromosome> population,
+                            std::span<double> fitness) {
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const auto what = fsim_.what_if(sample, decode(population[i]));
+      fitness[i] = static_cast<double>(what.detected) +
+                   config_.effect_weight * what.state_effects;
+      ++evaluations_;
+    }
+    return deadline.expired();
+  };
+
+  const ga::GaResult best = ga::GaEngine(ga_config).run(evaluate);
+  if (best.best.empty()) return 0;
+  return apply(decode(best.best));
+}
+
+SimGenResult SimulationTestGenerator::run() {
+  SimGenResult result;
+  result.total_faults = faults_.size();
+  const auto deadline = util::Deadline::after_seconds(config_.time_limit_s);
+  unsigned stagnant = 0;
+  while (stagnant < config_.stagnation_rounds && !deadline.expired() &&
+         fsim_.detected_count() < faults_.size()) {
+    const std::size_t newly = step(deadline);
+    ++result.rounds;
+    stagnant = newly == 0 ? stagnant + 1 : 0;
+  }
+  result.test_set = test_set_;
+  result.detected = fsim_.detected_count();
+  result.evaluations = evaluations_;
+  return result;
+}
+
+}  // namespace gatpg::tpg

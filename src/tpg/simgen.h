@@ -1,0 +1,86 @@
+// Simulation-based GA test generation (GATEST/CRIS style, the paper's
+// references [15-18] and the other half of its motivation).
+//
+// Where GA-HITEC targets one fault and uses the GA only for state
+// justification, this generator evolves whole candidate *test sequences*
+// against the undetected-fault population: the fitness of a candidate is
+// the number of sampled faults it would detect plus partial credit for
+// fault effects it parks on flip-flops (the classic GATEST shaping term).
+// The best sequence of each GA round is appended to the test set (with
+// fault dropping), and generation stops when rounds stop paying.
+//
+// It is both a baseline for the hybrid benches and the simulation-based
+// phase of the alternating hybrid (alternating.h).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+#include "ga/genetic.h"
+#include "netlist/circuit.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::tpg {
+
+struct SimGenConfig {
+  std::size_t population = 64;   // multiple of 2 (GA requirement)
+  unsigned generations = 8;
+  unsigned sequence_length = 20;
+  /// Undetected faults sampled per fitness evaluation round.
+  std::size_t fault_sample = 64;
+  /// Partial credit for a fault effect left on a flip-flop.
+  double effect_weight = 0.2;
+  /// Stop after this many consecutive rounds without a new detection.
+  unsigned stagnation_rounds = 4;
+  double time_limit_s = 10.0;
+  std::uint64_t seed = 1;
+};
+
+struct SimGenResult {
+  sim::Sequence test_set;
+  std::size_t detected = 0;
+  std::size_t total_faults = 0;
+  long rounds = 0;
+  long evaluations = 0;
+};
+
+class SimulationTestGenerator {
+ public:
+  SimulationTestGenerator(const netlist::Circuit& c, SimGenConfig config);
+
+  /// Runs rounds until coverage stalls, time expires, or everything is
+  /// detected.
+  SimGenResult run();
+
+  // -- Stepwise interface (used by the alternating hybrid) -----------------
+
+  /// One GA round: evolves a sequence against the current undetected set
+  /// and commits the best.  Returns the number of newly detected faults.
+  std::size_t step(const util::Deadline& deadline);
+
+  /// Applies an externally generated sequence (e.g. from the deterministic
+  /// engine) with fault dropping.  Returns newly detected count.
+  std::size_t apply(const sim::Sequence& seq);
+
+  const fault::FaultSimulator& fault_simulator() const { return fsim_; }
+  fault::FaultSimulator& fault_simulator() { return fsim_; }
+  const fault::FaultList& fault_list() const { return faults_; }
+  const sim::Sequence& test_set() const { return test_set_; }
+  long evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<std::size_t> sample_undetected();
+
+  const netlist::Circuit& c_;
+  SimGenConfig config_;
+  fault::FaultList faults_;
+  fault::FaultSimulator fsim_;
+  sim::Sequence test_set_;
+  util::Rng rng_;
+  long evaluations_ = 0;
+  std::uint64_t round_counter_ = 0;
+};
+
+}  // namespace gatpg::tpg

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace gatpg::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace gatpg::util

@@ -1,0 +1,69 @@
+// Wall-clock timing and per-fault deadline handling.
+//
+// The paper's pass schedule is defined by per-fault time limits (1 s / 10 s /
+// 100 s on a 1995 SPARCstation).  Deadline encapsulates "has this fault's
+// budget expired", and Stopwatch accumulates pass/run times for the result
+// tables.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace gatpg::util {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// A deadline that can also be infinite (limit <= 0 means "no limit").
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline after_seconds(double s) {
+    Deadline d;
+    if (s > 0) {
+      d.limited_ = true;
+      d.end_ = Stopwatch::clock::now() +
+               std::chrono::duration_cast<Stopwatch::clock::duration>(
+                   std::chrono::duration<double>(s));
+    }
+    return d;
+  }
+
+  static Deadline unlimited() { return Deadline{}; }
+
+  bool expired() const {
+    return limited_ && Stopwatch::clock::now() >= end_;
+  }
+
+  double remaining_seconds() const {
+    if (!limited_) return 1e18;
+    return std::chrono::duration<double>(end_ - Stopwatch::clock::now())
+        .count();
+  }
+
+ private:
+  bool limited_ = false;
+  Stopwatch::clock::time_point end_{};
+};
+
+/// Formats a duration the way the paper's tables do: "49.5s", "5.96m",
+/// "2.39h" (three significant digits).
+std::string format_duration(double seconds);
+
+}  // namespace gatpg::util

@@ -1,0 +1,90 @@
+#include "util/tableprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+
+namespace gatpg::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TablePrinter row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_rule() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    out << std::string(total, '-') << '\n';
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+void TablePrinter::print() const {
+  std::fputs(to_string().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string format_sig(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace gatpg::util

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Each bench binary reproduces one of the paper's tables; TablePrinter
+// renders aligned columns with a header rule so the output reads like the
+// published table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gatpg::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal rule between row groups (rendered as dashes).
+  void add_rule();
+
+  /// Renders the table to a string with columns padded to their widest cell.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Empty vector encodes a rule row.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (used for times and
+/// coverage percentages in the tables).
+std::string format_sig(double value, int digits);
+
+}  // namespace gatpg::util

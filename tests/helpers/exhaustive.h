@@ -1,0 +1,70 @@
+// Ground-truth sequential detectability by product-machine reachability.
+//
+// Explores the reachable (good-state, faulty-state) product space from the
+// power-up all-X pair under all binary input vectors, using the reference
+// simulator's 3-valued semantics (the same detection criterion as the
+// production fault simulator: both PO values defined and different).
+// Intended for tiny circuits only — the caller provides a state cap; if the
+// exploration exceeds it the answer is "unknown" (nullopt).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "helpers/reference_sim.h"
+
+namespace gatpg::test {
+
+inline std::optional<bool> exhaustively_detectable(
+    const netlist::Circuit& c, const fault::Fault& f,
+    std::size_t max_states = 20000) {
+  const std::size_t npi = c.primary_inputs().size();
+  if (npi > 8) return std::nullopt;
+  const std::size_t num_inputs = std::size_t{1} << npi;
+
+  auto key_of = [&](const sim::State3& g, const sim::State3& b) {
+    std::string k;
+    for (sim::V3 v : g) k += sim::v3_char(v);
+    k += '|';
+    for (sim::V3 v : b) k += sim::v3_char(v);
+    return k;
+  };
+
+  const sim::State3 all_x(c.flip_flops().size(), sim::V3::kX);
+  std::set<std::string> seen{key_of(all_x, all_x)};
+  std::deque<std::pair<sim::State3, sim::State3>> frontier{{all_x, all_x}};
+
+  while (!frontier.empty()) {
+    if (seen.size() > max_states) return std::nullopt;
+    auto [gs, bs] = frontier.front();
+    frontier.pop_front();
+    for (std::size_t iv = 0; iv < num_inputs; ++iv) {
+      sim::Vector3 vec(npi);
+      for (std::size_t i = 0; i < npi; ++i) {
+        vec[i] = (iv >> i) & 1 ? sim::V3::k1 : sim::V3::k0;
+      }
+      ReferenceSimulator good(c);
+      ReferenceSimulator bad(c, f);
+      good.set_state(gs);
+      bad.set_state(bs);
+      const auto gp = good.apply(vec);
+      const auto bp = bad.apply(vec);
+      for (std::size_t p = 0; p < gp.size(); ++p) {
+        if (gp[p] != sim::V3::kX && bp[p] != sim::V3::kX && gp[p] != bp[p]) {
+          return true;  // detected
+        }
+      }
+      good.clock();
+      bad.clock();
+      const std::string k = key_of(good.state(), bad.state());
+      if (seen.insert(k).second) {
+        frontier.push_back({good.state(), bad.state()});
+      }
+    }
+  }
+  return false;  // full reachable product space explored, never detected
+}
+
+}  // namespace gatpg::test

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/faultlist.h"
+#include "gen/s27.h"
+#include "helpers/random_circuit.h"
+#include "helpers/reference_sim.h"
+
+namespace gatpg::fault {
+namespace {
+
+TEST(FaultUniverse, CountsStemsAndBranches) {
+  // a, b -> AND g -> output.  Universe: stems on a, b, g (6) + branch pins
+  // on g (4) = 10.
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto bb = b.add_input("b");
+  const auto g = b.add_gate(netlist::GateType::kAnd, "g", {a, bb});
+  b.mark_output(g);
+  const auto c = std::move(b).build("and2");
+  EXPECT_EQ(all_pin_faults(c).size(), 10u);
+}
+
+TEST(FaultUniverse, SkipsConstants) {
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto k = b.add_const(true, "k");
+  b.mark_output(b.add_gate(netlist::GateType::kAnd, "g", {a, k}));
+  const auto c = std::move(b).build("withconst");
+  for (const Fault& f : all_pin_faults(c)) {
+    EXPECT_NE(c.name(f.node), "k");
+  }
+}
+
+TEST(Collapse, SingleAndGate) {
+  // Classic result: a 2-input AND with fanout-free inputs collapses
+  // 10 faults to 4 classes (in-a-sa1, in-b-sa1, out-sa1, {out-sa0 = a-sa0 =
+  // b-sa0}... plus stem/branch merging of the PI stems).
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto bb = b.add_input("b");
+  b.mark_output(b.add_gate(netlist::GateType::kAnd, "g", {a, bb}));
+  const auto c = std::move(b).build("and2");
+  const FaultList list = collapse(c);
+  EXPECT_EQ(list.size(), 4u);
+  unsigned total = 0;
+  for (unsigned s : list.class_sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Collapse, InverterChainCollapsesToTwo) {
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto n1 = b.add_gate(netlist::GateType::kNot, "n1", {a});
+  const auto n2 = b.add_gate(netlist::GateType::kNot, "n2", {n1});
+  b.mark_output(n2);
+  const auto c = std::move(b).build("invchain");
+  EXPECT_EQ(collapse(c).size(), 2u);
+}
+
+TEST(Collapse, FanoutBranchesStayDistinct) {
+  // a feeds two gates: branch faults must not merge with the stem.
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto x = b.add_input("x");
+  b.mark_output(b.add_gate(netlist::GateType::kAnd, "g1", {a, x}));
+  b.mark_output(b.add_gate(netlist::GateType::kOr, "g2", {a, x}));
+  const auto c = std::move(b).build("fanout");
+  const FaultList list = collapse(c);
+  // The sa-1 on g1's a-branch and sa-0 on g2's a-branch stay separate from
+  // the stem classes.
+  std::set<std::string> reps;
+  for (const Fault& f : list.faults) reps.insert(to_string(c, f));
+  EXPECT_GT(list.size(), 6u);
+}
+
+TEST(Collapse, RepresentativesCoverWholeUniverse) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    test::RandomCircuitSpec spec;
+    spec.seed = seed;
+    const auto c = test::make_random_circuit(spec);
+    const auto universe = all_pin_faults(c);
+    const FaultList list = collapse(c);
+    unsigned total = 0;
+    for (unsigned s : list.class_sizes) total += s;
+    EXPECT_EQ(total, universe.size());
+    EXPECT_LE(list.size(), universe.size());
+    EXPECT_GE(list.size(), 2u);
+  }
+}
+
+TEST(Collapse, S27HasThirtyTwoCollapsedFaults) {
+  // The standard collapsed fault count for s27 is 32.
+  EXPECT_EQ(collapse(gen::make_s27()).size(), 32u);
+}
+
+// Soundness of the equivalence rules: for random circuits and random
+// sequences, every fault in a class has the same detection status as its
+// representative.
+class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseEquivalence, ClassMembersDetectTogether) {
+  test::RandomCircuitSpec spec;
+  spec.seed = GetParam() + 40;
+  spec.num_gates = 15;
+  spec.num_ffs = 2;
+  const auto c = test::make_random_circuit(spec);
+  util::Rng rng(GetParam());
+  const auto seq = test::random_sequence(c, rng, 6);
+
+  // Recompute the classes the same way collapse() does, then check pairwise
+  // agreement via the reference simulator.  We approximate by checking that
+  // representative detection == detection of every universe fault mapped
+  // into some class with identical to_string keys is infeasible; instead
+  // verify the defining local rules directly on gates of the circuit.
+  for (netlist::NodeId n = 0; n < c.node_count(); ++n) {
+    const auto t = c.type(n);
+    if (t == netlist::GateType::kAnd || t == netlist::GateType::kNand) {
+      const bool out_v = netlist::inverts(t);
+      for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
+        const Fault in_f{n, static_cast<int>(p), false};
+        const Fault out_f{n, kOutputPin, out_v};
+        EXPECT_EQ(test::reference_detects(c, in_f, seq),
+                  test::reference_detects(c, out_f, seq))
+            << to_string(c, in_f) << " vs " << to_string(c, out_f);
+      }
+    }
+    if (t == netlist::GateType::kOr || t == netlist::GateType::kNor) {
+      const bool out_v = !netlist::inverts(t);
+      for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
+        const Fault in_f{n, static_cast<int>(p), true};
+        const Fault out_f{n, kOutputPin, out_v};
+        EXPECT_EQ(test::reference_detects(c, in_f, seq),
+                  test::reference_detects(c, out_f, seq));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, CollapseEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace gatpg::fault

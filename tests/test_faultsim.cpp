@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "fault/faultsim.h"
+#include "fault/grading.h"
+#include "gen/s27.h"
+#include "helpers/random_circuit.h"
+#include "helpers/reference_sim.h"
+
+namespace gatpg::fault {
+namespace {
+
+TEST(FaultSimulator, EmptySequenceDetectsNothing) {
+  const auto c = gen::make_s27();
+  FaultSimulator fs(c, collapse(c).faults);
+  EXPECT_TRUE(fs.run({}).empty());
+  EXPECT_EQ(fs.detected_count(), 0u);
+}
+
+TEST(FaultSimulator, DetectionIsMonotone) {
+  const auto c = gen::make_s27();
+  util::Rng rng(3);
+  FaultSimulator fs(c, collapse(c).faults);
+  std::size_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    fs.run(test::random_sequence(c, rng, 10));
+    EXPECT_GE(fs.detected_count(), last);
+    last = fs.detected_count();
+  }
+}
+
+TEST(FaultSimulator, NewlyDetectedReportedExactlyOnce) {
+  const auto c = gen::make_s27();
+  util::Rng rng(5);
+  FaultSimulator fs(c, collapse(c).faults);
+  std::vector<char> seen(fs.faults().size(), 0);
+  for (int i = 0; i < 6; ++i) {
+    for (std::size_t fi : fs.run(test::random_sequence(c, rng, 8))) {
+      EXPECT_FALSE(seen[fi]) << "fault reported twice";
+      seen[fi] = 1;
+    }
+  }
+  std::size_t total = 0;
+  for (char s : seen) total += s;
+  EXPECT_EQ(total, fs.detected_count());
+}
+
+// Central property: the 64-way parallel-fault simulator agrees with a naive
+// serial single-fault reference on every fault, including continuation
+// across multiple run() calls (persistent faulty state).
+class FaultSimEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSimEquivalence, MatchesSerialReference) {
+  test::RandomCircuitSpec spec;
+  spec.seed = GetParam() + 200;
+  spec.num_gates = 35 + (GetParam() % 23);
+  spec.num_ffs = 3 + (GetParam() % 4);
+  const auto c = test::make_random_circuit(spec);
+  const auto faults = collapse(c).faults;
+  util::Rng rng(GetParam() * 17);
+  const auto seq1 = test::random_sequence(c, rng, 7, 0.1);
+  const auto seq2 = test::random_sequence(c, rng, 7, 0.1);
+
+  FaultSimulator fs(c, faults);
+  fs.run(seq1);
+  fs.run(seq2);
+
+  sim::Sequence all(seq1);
+  all.insert(all.end(), seq2.begin(), seq2.end());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const bool expected = test::reference_detects(c, faults[i], all);
+    EXPECT_EQ(static_cast<bool>(fs.detected()[i]), expected)
+        << to_string(c, faults[i]) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, FaultSimEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(FaultSimulator, MoreThan64FaultsAreGrouped) {
+  test::RandomCircuitSpec spec;
+  spec.seed = 777;
+  spec.num_gates = 60;  // yields well over 64 collapsed faults
+  const auto c = test::make_random_circuit(spec);
+  const auto faults = collapse(c).faults;
+  ASSERT_GT(faults.size(), 64u);
+  util::Rng rng(9);
+  const auto seq = test::random_sequence(c, rng, 10);
+  FaultSimulator fs(c, faults);
+  fs.run(seq);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(fs.detected()[i]),
+              test::reference_detects(c, faults[i], seq))
+        << to_string(c, faults[i]);
+  }
+}
+
+TEST(FaultSimulator, GoodStateTracksSession) {
+  const auto c = gen::make_s27();
+  util::Rng rng(11);
+  const auto seq = test::random_sequence(c, rng, 5);
+  FaultSimulator fs(c, collapse(c).faults);
+  fs.run(seq);
+  test::ReferenceSimulator ref(c);
+  for (const auto& v : seq) {
+    ref.apply(v);
+    ref.clock();
+  }
+  EXPECT_EQ(fs.good_state(), ref.state());
+}
+
+TEST(FaultSimulator, WouldDetectAgreesWithCommit) {
+  const auto c = gen::make_s27();
+  util::Rng rng(13);
+  const auto faults = collapse(c).faults;
+  FaultSimulator fs(c, faults);
+  fs.run(test::random_sequence(c, rng, 4));  // advance the session a little
+
+  const auto probe = test::random_sequence(c, rng, 8);
+  std::vector<bool> predicted(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    predicted[i] = fs.detected()[i] ? true : fs.would_detect(i, probe);
+  }
+  fs.run(probe);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(fs.detected()[i]), predicted[i])
+        << to_string(c, faults[i]);
+  }
+}
+
+TEST(FaultSimulator, WouldDetectDoesNotMutate) {
+  const auto c = gen::make_s27();
+  util::Rng rng(15);
+  FaultSimulator fs(c, collapse(c).faults);
+  fs.run(test::random_sequence(c, rng, 4));
+  const auto state_before = fs.good_state();
+  const auto ndet_before = fs.detected_count();
+  fs.would_detect(0, test::random_sequence(c, rng, 6));
+  EXPECT_EQ(fs.good_state(), state_before);
+  EXPECT_EQ(fs.detected_count(), ndet_before);
+}
+
+TEST(FaultSimulator, ResetAllClearsDetection) {
+  const auto c = gen::make_s27();
+  util::Rng rng(17);
+  FaultSimulator fs(c, collapse(c).faults);
+  fs.run(test::random_sequence(c, rng, 10));
+  ASSERT_GT(fs.detected_count(), 0u);
+  fs.reset_all();
+  EXPECT_EQ(fs.detected_count(), 0u);
+  for (sim::V3 v : fs.good_state()) EXPECT_EQ(v, sim::V3::kX);
+}
+
+TEST(Grading, MatchesFaultSimulator) {
+  const auto c = gen::make_s27();
+  util::Rng rng(19);
+  const auto seq = test::random_sequence(c, rng, 20);
+  const auto report = grade_sequence(c, seq);
+  FaultSimulator fs(c, collapse(c).faults);
+  fs.run(seq);
+  EXPECT_EQ(report.detected, fs.detected_count());
+  EXPECT_EQ(report.total_faults, fs.faults().size());
+  EXPECT_EQ(report.vectors, seq.size());
+  EXPECT_GT(report.coverage(), 0.0);
+  EXPECT_LE(report.coverage(), 1.0);
+}
+
+TEST(Grading, XVectorsNeverOverclaim) {
+  // An all-X sequence can detect nothing.
+  const auto c = gen::make_s27();
+  sim::Sequence seq(5, sim::Vector3(4, sim::V3::kX));
+  EXPECT_EQ(grade_sequence(c, seq).detected, 0u);
+}
+
+}  // namespace
+}  // namespace gatpg::fault

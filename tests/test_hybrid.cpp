@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "fault/grading.h"
+#include "gen/registry.h"
+#include "netlist/builder.h"
+#include "gen/s27.h"
+#include "helpers/exhaustive.h"
+#include "hybrid/hybrid_atpg.h"
+
+namespace gatpg::hybrid {
+namespace {
+
+HybridConfig fast_config(std::uint64_t seed = 1) {
+  HybridConfig cfg;
+  cfg.schedule = PassSchedule::ga_hitec(/*time_scale=*/0.05);
+  // Keep CI time bounded: large analog circuits would otherwise spend the
+  // full per-fault budget on every aborted fault.
+  for (auto& pass : cfg.schedule.passes) pass.pass_budget_s = 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PassSchedule, MatchesTableOne) {
+  const PassSchedule s = PassSchedule::ga_hitec(1.0);
+  ASSERT_EQ(s.passes.size(), 3u);
+  EXPECT_EQ(s.passes[0].mode, JustifyMode::kGenetic);
+  EXPECT_DOUBLE_EQ(s.passes[0].time_limit_s, 1.0);
+  EXPECT_EQ(s.passes[0].ga_population, 64u);
+  EXPECT_EQ(s.passes[0].ga_generations, 4u);
+  EXPECT_EQ(s.passes[1].mode, JustifyMode::kGenetic);
+  EXPECT_DOUBLE_EQ(s.passes[1].time_limit_s, 10.0);
+  EXPECT_EQ(s.passes[1].ga_population, 128u);
+  EXPECT_EQ(s.passes[1].ga_generations, 8u);
+  EXPECT_DOUBLE_EQ(s.passes[1].seq_len_multiplier,
+                   2.0 * s.passes[0].seq_len_multiplier);
+  EXPECT_EQ(s.passes[2].mode, JustifyMode::kDeterministic);
+  EXPECT_DOUBLE_EQ(s.passes[2].time_limit_s, 100.0);
+}
+
+TEST(PassSchedule, HitecBaselineEscalatesTimesAndBacktracks) {
+  const PassSchedule s = PassSchedule::hitec(1.0);
+  ASSERT_EQ(s.passes.size(), 3u);
+  for (const auto& p : s.passes) {
+    EXPECT_EQ(p.mode, JustifyMode::kDeterministic);
+  }
+  EXPECT_DOUBLE_EQ(s.passes[1].time_limit_s, 10 * s.passes[0].time_limit_s);
+  EXPECT_EQ(s.passes[1].max_backtracks, 10 * s.passes[0].max_backtracks);
+}
+
+TEST(HybridAtpg, FullCoverageOnS27) {
+  const auto c = gen::make_s27();
+  HybridAtpg atpg(c, fast_config());
+  const AtpgResult result = atpg.run();
+  EXPECT_EQ(result.total_faults, 32u);
+  EXPECT_EQ(result.detected() + result.untestable(), 32u);
+  EXPECT_EQ(result.untestable(), 0u);  // s27 is fully testable
+  // Independent grading must confirm every claimed detection.
+  const auto report = fault::grade_sequence(c, result.test_set);
+  EXPECT_EQ(report.detected, result.detected());
+}
+
+TEST(HybridAtpg, GradingNeverBelowClaimedDetections) {
+  for (const char* name : {"g386", "mult4", "div4"}) {
+    const auto c = gen::make_circuit(name);
+    HybridConfig cfg = fast_config();
+    cfg.schedule = PassSchedule::ga_hitec(0.01);
+    HybridAtpg atpg(c, cfg);
+    const AtpgResult result = atpg.run();
+    const auto report = fault::grade_sequence(c, result.test_set);
+    // Claimed detections are all verified before commit, so independent
+    // grading of the full test set must reach at least that count.
+    EXPECT_GE(report.detected, result.detected()) << name;
+  }
+}
+
+TEST(HybridAtpg, PassOutcomesAreCumulative) {
+  const auto c = gen::make_circuit("g386");
+  HybridConfig cfg = fast_config();
+  cfg.schedule = PassSchedule::ga_hitec(0.01);
+  const AtpgResult result = HybridAtpg(c, cfg).run();
+  ASSERT_EQ(result.passes.size(), 3u);
+  for (std::size_t p = 1; p < result.passes.size(); ++p) {
+    EXPECT_GE(result.passes[p].detected, result.passes[p - 1].detected);
+    EXPECT_GE(result.passes[p].vectors, result.passes[p - 1].vectors);
+    EXPECT_GE(result.passes[p].untestable, result.passes[p - 1].untestable);
+    EXPECT_GE(result.passes[p].time_s, result.passes[p - 1].time_s);
+  }
+}
+
+TEST(HybridAtpg, FaultStatesPartitionTheList) {
+  const auto c = gen::make_s27();
+  const AtpgResult result = HybridAtpg(c, fast_config()).run();
+  std::size_t det = 0, unt = 0, und = 0;
+  for (FaultState s : result.fault_state) {
+    det += s == FaultState::kDetected;
+    unt += s == FaultState::kUntestable;
+    und += s == FaultState::kUndetected;
+  }
+  EXPECT_EQ(det, result.detected());
+  EXPECT_EQ(unt, result.untestable());
+  EXPECT_EQ(det + unt + und, result.total_faults);
+}
+
+TEST(HybridAtpg, UntestableClaimsHoldOnSmallCircuits) {
+  // Redundant logic: y = a OR (a AND b); plus a state bit to make it
+  // sequential.
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto bb = b.add_input("b");
+  const auto g = b.add_gate(netlist::GateType::kAnd, "g", {a, bb});
+  const auto y = b.add_gate(netlist::GateType::kOr, "y", {a, g});
+  const auto ff = b.add_dff("ff");
+  b.set_dff_input(ff, y);
+  b.mark_output(b.add_gate(netlist::GateType::kAnd, "z", {ff, y}));
+  const auto c = std::move(b).build("red_seq");
+
+  const AtpgResult result = HybridAtpg(c, fast_config()).run();
+  const auto& faults = HybridAtpg(c, fast_config()).fault_list().faults;
+  for (std::size_t i = 0; i < result.fault_state.size(); ++i) {
+    if (result.fault_state[i] == FaultState::kUntestable) {
+      const auto truth = test::exhaustively_detectable(c, faults[i]);
+      if (truth.has_value()) {
+        EXPECT_FALSE(*truth) << fault::to_string(c, faults[i]);
+      }
+    }
+  }
+  EXPECT_GT(result.untestable(), 0u) << "redundancy should be identified";
+}
+
+TEST(HybridAtpg, DeterministicForSameSeed) {
+  const auto c = gen::make_s27();
+  const AtpgResult a = HybridAtpg(c, fast_config(7)).run();
+  const AtpgResult b = HybridAtpg(c, fast_config(7)).run();
+  EXPECT_EQ(a.detected(), b.detected());
+  EXPECT_EQ(a.test_set, b.test_set);
+}
+
+TEST(HybridAtpg, HitecModeAlsoCoversS27) {
+  const auto c = gen::make_s27();
+  HybridConfig cfg = fast_config();
+  cfg.schedule = PassSchedule::hitec(0.05);
+  const AtpgResult result = HybridAtpg(c, cfg).run();
+  EXPECT_EQ(result.detected(), 32u);
+  EXPECT_EQ(fault::grade_sequence(c, result.test_set).detected, 32u);
+  // Pure deterministic mode never calls the GA.
+  EXPECT_EQ(result.counters.ga_invocations, 0);
+}
+
+TEST(HybridAtpg, GaModeActuallyUsesGa) {
+  const auto c = gen::make_circuit("g298");
+  HybridConfig cfg = fast_config();
+  cfg.schedule = PassSchedule::ga_hitec(0.01);
+  const AtpgResult result = HybridAtpg(c, cfg).run();
+  EXPECT_GT(result.counters.ga_invocations, 0);
+}
+
+TEST(HybridAtpg, PrefilterOnlyRemovesUntestables) {
+  const auto c = gen::make_circuit("g386");
+  HybridConfig plain = fast_config(3);
+  plain.schedule = PassSchedule::ga_hitec(0.01);
+  HybridConfig filtered = plain;
+  filtered.prefilter_untestable = true;
+  const AtpgResult a = HybridAtpg(c, plain).run();
+  const AtpgResult b = HybridAtpg(c, filtered).run();
+  // The prefilter must not reduce detections below the plain run by more
+  // than noise; in particular everything it marks untestable must also be
+  // consistent with the plain run's detections.
+  for (std::size_t i = 0; i < a.fault_state.size(); ++i) {
+    if (b.fault_state[i] == FaultState::kUntestable) {
+      EXPECT_NE(a.fault_state[i], FaultState::kDetected)
+          << "prefilter discarded a detectable fault (index " << i << ")";
+    }
+  }
+}
+
+TEST(HybridAtpg, SequenceLengthFollowsSchedule) {
+  // seq_len_override wins over the depth multiplier (Table III note).
+  const auto c = gen::make_s27();
+  HybridConfig cfg = fast_config();
+  cfg.schedule.passes[0].seq_len_override = 24;
+  cfg.schedule.passes[1].seq_len_override = 48;
+  EXPECT_NO_THROW(HybridAtpg(c, cfg).run());
+}
+
+}  // namespace
+}  // namespace gatpg::hybrid

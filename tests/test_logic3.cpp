@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "sim/logic3.h"
+
+namespace gatpg::sim {
+namespace {
+
+const V3 kAll[] = {V3::k0, V3::k1, V3::kX};
+
+TEST(ScalarLogic3, NotTruthTable) {
+  EXPECT_EQ(v3_not(V3::k0), V3::k1);
+  EXPECT_EQ(v3_not(V3::k1), V3::k0);
+  EXPECT_EQ(v3_not(V3::kX), V3::kX);
+}
+
+TEST(ScalarLogic3, AndTruthTable) {
+  EXPECT_EQ(v3_and(V3::k0, V3::kX), V3::k0);  // controlling beats X
+  EXPECT_EQ(v3_and(V3::kX, V3::k0), V3::k0);
+  EXPECT_EQ(v3_and(V3::k1, V3::k1), V3::k1);
+  EXPECT_EQ(v3_and(V3::k1, V3::kX), V3::kX);
+  EXPECT_EQ(v3_and(V3::kX, V3::kX), V3::kX);
+}
+
+TEST(ScalarLogic3, OrTruthTable) {
+  EXPECT_EQ(v3_or(V3::k1, V3::kX), V3::k1);
+  EXPECT_EQ(v3_or(V3::kX, V3::k1), V3::k1);
+  EXPECT_EQ(v3_or(V3::k0, V3::k0), V3::k0);
+  EXPECT_EQ(v3_or(V3::k0, V3::kX), V3::kX);
+}
+
+TEST(ScalarLogic3, XorTruthTable) {
+  EXPECT_EQ(v3_xor(V3::k1, V3::k0), V3::k1);
+  EXPECT_EQ(v3_xor(V3::k1, V3::k1), V3::k0);
+  EXPECT_EQ(v3_xor(V3::kX, V3::k0), V3::kX);
+  EXPECT_EQ(v3_xor(V3::k1, V3::kX), V3::kX);
+}
+
+TEST(PackedV3, BroadcastAndGet) {
+  for (V3 v : kAll) {
+    const PackedV3 p = PackedV3::broadcast(v);
+    for (unsigned slot : {0u, 1u, 31u, 63u}) EXPECT_EQ(p.get(slot), v);
+  }
+}
+
+TEST(PackedV3, SetGetRoundTrip) {
+  PackedV3 p = PackedV3::all_x();
+  p.set(5, V3::k1);
+  p.set(6, V3::k0);
+  EXPECT_EQ(p.get(5), V3::k1);
+  EXPECT_EQ(p.get(6), V3::k0);
+  EXPECT_EQ(p.get(7), V3::kX);
+  p.set(5, V3::kX);
+  EXPECT_EQ(p.get(5), V3::kX);
+  // Planes stay disjoint.
+  EXPECT_EQ(p.v1 & p.v0, 0u);
+}
+
+TEST(PackedV3, DefinedMask) {
+  PackedV3 p = PackedV3::all_x();
+  EXPECT_EQ(p.defined(), 0u);
+  p.set(0, V3::k0);
+  p.set(63, V3::k1);
+  EXPECT_EQ(p.defined(), (1ULL << 0) | (1ULL << 63));
+}
+
+// Property: every packed operator agrees with its scalar counterpart on all
+// 9 value pairs, in every slot position.
+class PackedVsScalar : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(PackedVsScalar, AllBinaryOpsAgree) {
+  const V3 a = kAll[std::get<0>(GetParam())];
+  const V3 b = kAll[std::get<1>(GetParam())];
+  // Place the pair at several slots, with different noise elsewhere.
+  for (unsigned slot : {0u, 17u, 63u}) {
+    PackedV3 pa = PackedV3::broadcast(V3::k1);
+    PackedV3 pb = PackedV3::broadcast(V3::k0);
+    pa.set(slot, a);
+    pb.set(slot, b);
+    EXPECT_EQ(p_and(pa, pb).get(slot), v3_and(a, b));
+    EXPECT_EQ(p_or(pa, pb).get(slot), v3_or(a, b));
+    EXPECT_EQ(p_xor(pa, pb).get(slot), v3_xor(a, b));
+    EXPECT_EQ(p_not(pa).get(slot), v3_not(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PackedVsScalar,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+TEST(PackedOps, PlanesNeverOverlap) {
+  // Closure: ops on valid encodings yield valid encodings.
+  const PackedV3 vals[] = {
+      PackedV3::broadcast(V3::k0), PackedV3::broadcast(V3::k1),
+      PackedV3::all_x(), {0x5555555555555555ULL, 0xAAAAAAAAAAAAAAAAULL}};
+  for (const auto& a : vals) {
+    for (const auto& b : vals) {
+      EXPECT_EQ(p_and(a, b).v1 & p_and(a, b).v0, 0u);
+      EXPECT_EQ(p_or(a, b).v1 & p_or(a, b).v0, 0u);
+      EXPECT_EQ(p_xor(a, b).v1 & p_xor(a, b).v0, 0u);
+      EXPECT_EQ(p_not(a).v1 & p_not(a).v0, 0u);
+    }
+  }
+}
+
+TEST(GateEval, MultiInputGatesScalar) {
+  using netlist::GateType;
+  using netlist::NodeId;
+  const V3 vals[] = {V3::k1, V3::k1, V3::k0};
+  const NodeId ids[] = {0, 1, 2};
+  auto fetch = [&](NodeId n) { return vals[n]; };
+  const std::span<const NodeId> fan(ids, 3);
+  EXPECT_EQ(eval_gate_scalar(GateType::kAnd, fan, fetch), V3::k0);
+  EXPECT_EQ(eval_gate_scalar(GateType::kNand, fan, fetch), V3::k1);
+  EXPECT_EQ(eval_gate_scalar(GateType::kOr, fan, fetch), V3::k1);
+  EXPECT_EQ(eval_gate_scalar(GateType::kNor, fan, fetch), V3::k0);
+  EXPECT_EQ(eval_gate_scalar(GateType::kXor, fan, fetch), V3::k0);
+  EXPECT_EQ(eval_gate_scalar(GateType::kXnor, fan, fetch), V3::k1);
+}
+
+TEST(GateEval, PackedMatchesScalarOnRandomWords) {
+  using netlist::GateType;
+  using netlist::NodeId;
+  // Three fanins with mixed values per slot; compare slotwise.
+  PackedV3 w[3];
+  w[0] = {0x123456789abcdef0ULL, 0x0a0a0a0a00000000ULL &
+                                     ~0x123456789abcdef0ULL};
+  w[1] = {0x00ff00ff00ff00ffULL, 0xff00ff00ff00ff00ULL &
+                                     ~0x00ff00ff00ff00ffULL};
+  w[2] = PackedV3::all_x();
+  w[2].set(3, V3::k1);
+  w[2].set(4, V3::k0);
+  const NodeId ids[] = {0, 1, 2};
+  const std::span<const NodeId> fan(ids, 3);
+  auto pf = [&](NodeId n) { return w[n]; };
+  for (GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                     GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    const PackedV3 packed = eval_gate_packed(t, fan, pf);
+    for (unsigned slot = 0; slot < 64; ++slot) {
+      auto sf = [&](NodeId n) { return w[n].get(slot); };
+      EXPECT_EQ(packed.get(slot), eval_gate_scalar(t, fan, sf))
+          << gate_type_name(t) << " slot " << slot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gatpg::sim

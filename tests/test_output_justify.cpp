@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "gen/multiplier.h"
+#include "gen/s27.h"
+#include "helpers/reference_sim.h"
+#include "hybrid/output_justify.h"
+#include "netlist/builder.h"
+
+namespace gatpg::hybrid {
+namespace {
+
+using sim::State3;
+using sim::V3;
+
+GaJustifyConfig config(unsigned len = 8, std::uint64_t seed = 1) {
+  GaJustifyConfig c;
+  c.population = 64;
+  c.generations = 8;
+  c.sequence_length = len;
+  c.seed = seed;
+  return c;
+}
+
+/// Applies `seq` from all-X and returns whether the last vector's outputs
+/// satisfy the goals.
+bool verify_goals(const netlist::Circuit& c,
+                  const std::vector<OutputGoal>& goals,
+                  const sim::Sequence& seq) {
+  test::ReferenceSimulator ref(c);
+  std::vector<V3> last_po;
+  for (const auto& v : seq) {
+    last_po = ref.apply(v);
+    ref.clock();
+  }
+  for (const auto& goal : goals) {
+    if (last_po.at(goal.po_index) != goal.value) return false;
+  }
+  return true;
+}
+
+TEST(GaOutputJustifier, DrivesS27Output) {
+  const auto c = gen::make_s27();
+  const GaOutputJustifier justifier(c);
+  const State3 all_x(3, V3::kX);
+  for (V3 target : {V3::k0, V3::k1}) {
+    const std::vector<OutputGoal> goals{{0, target}};
+    const auto r = justifier.justify(goals, all_x, config(8, 3),
+                                     util::Deadline::unlimited());
+    ASSERT_TRUE(r.success) << "target " << sim::v3_char(target);
+    EXPECT_TRUE(verify_goals(c, goals, r.sequence));
+  }
+}
+
+TEST(GaOutputJustifier, DrivesMultiplierProductValue) {
+  // Architectural-level goal from §VI: make the 4-bit multiplier's product
+  // output show a specific value (p0 = 1 and done = 1) with no backtracing
+  // through the multiplier at all.
+  const auto c = gen::make_multiplier(4);
+  const auto pos = c.primary_outputs();
+  std::size_t p0 = pos.size(), done = pos.size();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (c.name(pos[i]) == "p0") p0 = i;
+    if (c.name(pos[i]) == "done") done = i;
+  }
+  ASSERT_LT(p0, pos.size());
+  ASSERT_LT(done, pos.size());
+
+  const GaOutputJustifier justifier(c);
+  const State3 all_x(c.flip_flops().size(), V3::kX);
+  const std::vector<OutputGoal> goals{{p0, V3::k1}, {done, V3::k1}};
+  const auto r = justifier.justify(goals, all_x, config(16, 5),
+                                   util::Deadline::after_seconds(20));
+  ASSERT_TRUE(r.success) << "best fitness " << r.best_fitness;
+  EXPECT_TRUE(verify_goals(c, goals, r.sequence));
+}
+
+TEST(GaOutputJustifier, ImpossibleGoalFails) {
+  // y = AND(a, NOT a) can never be 1.
+  netlist::CircuitBuilder b;
+  const auto a = b.add_input("a");
+  const auto ff = b.add_dff("ff");  // justifier needs a sequential circuit
+  b.set_dff_input(ff, a);
+  const auto na = b.add_gate(netlist::GateType::kNot, "na", {a});
+  b.mark_output(b.add_gate(netlist::GateType::kAnd, "y", {a, na}));
+  b.mark_output(ff);
+  const auto c = std::move(b).build("contra");
+  const GaOutputJustifier justifier(c);
+  const auto r = justifier.justify({{0, sim::V3::k1}},
+                                   State3(1, V3::kX), config(6, 7),
+                                   util::Deadline::after_seconds(2));
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.best_fitness, 1.0);
+}
+
+TEST(GaOutputJustifier, RejectsBadGoals) {
+  const auto c = gen::make_s27();
+  const GaOutputJustifier justifier(c);
+  const State3 all_x(3, V3::kX);
+  EXPECT_THROW(justifier.justify({{99, V3::k1}}, all_x, config(),
+                                 util::Deadline::unlimited()),
+               std::invalid_argument);
+  EXPECT_THROW(justifier.justify({{0, V3::kX}}, all_x, config(),
+                                 util::Deadline::unlimited()),
+               std::invalid_argument);
+}
+
+TEST(GaOutputJustifier, SequenceEndsAtMatchingCycle) {
+  const auto c = gen::make_s27();
+  const GaOutputJustifier justifier(c);
+  const State3 all_x(3, V3::kX);
+  const std::vector<OutputGoal> goals{{0, V3::k1}};
+  const auto r = justifier.justify(goals, all_x, config(8, 9),
+                                   util::Deadline::unlimited());
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(r.sequence.size(), 8u);
+  EXPECT_GE(r.sequence.size(), 1u);
+  EXPECT_TRUE(verify_goals(c, goals, r.sequence));
+}
+
+}  // namespace
+}  // namespace gatpg::hybrid
