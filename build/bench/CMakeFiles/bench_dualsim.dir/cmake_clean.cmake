@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dualsim.dir/bench_dualsim.cpp.o"
+  "CMakeFiles/bench_dualsim.dir/bench_dualsim.cpp.o.d"
+  "bench_dualsim"
+  "bench_dualsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dualsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

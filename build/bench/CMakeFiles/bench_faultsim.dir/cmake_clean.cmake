@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faultsim.dir/bench_faultsim.cpp.o"
+  "CMakeFiles/bench_faultsim.dir/bench_faultsim.cpp.o.d"
+  "bench_faultsim"
+  "bench_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fitness_weights.dir/bench_fitness_weights.cpp.o"
+  "CMakeFiles/bench_fitness_weights.dir/bench_fitness_weights.cpp.o.d"
+  "bench_fitness_weights"
+  "bench_fitness_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitness_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_params.dir/bench_ga_params.cpp.o"
+  "CMakeFiles/bench_ga_params.dir/bench_ga_params.cpp.o.d"
+  "bench_ga_params"
+  "bench_ga_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

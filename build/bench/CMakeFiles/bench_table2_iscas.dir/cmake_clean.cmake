@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_iscas.dir/bench_table2_iscas.cpp.o"
+  "CMakeFiles/bench_table2_iscas.dir/bench_table2_iscas.cpp.o.d"
+  "bench_table2_iscas"
+  "bench_table2_iscas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_iscas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatpg_bench_common.dir/common.cpp.o"
+  "CMakeFiles/gatpg_bench_common.dir/common.cpp.o.d"
+  "libgatpg_bench_common.a"
+  "libgatpg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatpg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgatpg_bench_common.a"
+)

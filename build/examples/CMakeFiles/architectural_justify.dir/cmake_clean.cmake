@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architectural_justify.dir/architectural_justify.cpp.o"
+  "CMakeFiles/architectural_justify.dir/architectural_justify.cpp.o.d"
+  "architectural_justify"
+  "architectural_justify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architectural_justify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for architectural_justify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for architectural_justify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_tool.dir/bench_io_tool.cpp.o"
+  "CMakeFiles/bench_io_tool.dir/bench_io_tool.cpp.o.d"
+  "bench_io_tool"
+  "bench_io_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_circuit_atpg.dir/custom_circuit_atpg.cpp.o"
+  "CMakeFiles/custom_circuit_atpg.dir/custom_circuit_atpg.cpp.o.d"
+  "custom_circuit_atpg"
+  "custom_circuit_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_circuit_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

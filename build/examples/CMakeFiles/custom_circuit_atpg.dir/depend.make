@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_circuit_atpg.
+# This may be replaced when dependencies are built.

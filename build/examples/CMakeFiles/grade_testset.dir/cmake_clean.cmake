@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grade_testset.dir/grade_testset.cpp.o"
+  "CMakeFiles/grade_testset.dir/grade_testset.cpp.o.d"
+  "grade_testset"
+  "grade_testset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grade_testset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

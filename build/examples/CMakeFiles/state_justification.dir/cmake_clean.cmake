@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_justification.dir/state_justification.cpp.o"
+  "CMakeFiles/state_justification.dir/state_justification.cpp.o.d"
+  "state_justification"
+  "state_justification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_justification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

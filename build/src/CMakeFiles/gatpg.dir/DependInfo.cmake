@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/detengine.cpp" "src/CMakeFiles/gatpg.dir/atpg/detengine.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/atpg/detengine.cpp.o.d"
+  "/root/repo/src/atpg/frame_model.cpp" "src/CMakeFiles/gatpg.dir/atpg/frame_model.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/atpg/frame_model.cpp.o.d"
+  "/root/repo/src/atpg/justify.cpp" "src/CMakeFiles/gatpg.dir/atpg/justify.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/atpg/justify.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/CMakeFiles/gatpg.dir/atpg/podem.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/atpg/podem.cpp.o.d"
+  "/root/repo/src/fault/compaction.cpp" "src/CMakeFiles/gatpg.dir/fault/compaction.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/fault/compaction.cpp.o.d"
+  "/root/repo/src/fault/faultlist.cpp" "src/CMakeFiles/gatpg.dir/fault/faultlist.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/fault/faultlist.cpp.o.d"
+  "/root/repo/src/fault/faultsim.cpp" "src/CMakeFiles/gatpg.dir/fault/faultsim.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/fault/faultsim.cpp.o.d"
+  "/root/repo/src/fault/grading.cpp" "src/CMakeFiles/gatpg.dir/fault/grading.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/fault/grading.cpp.o.d"
+  "/root/repo/src/ga/genetic.cpp" "src/CMakeFiles/gatpg.dir/ga/genetic.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/ga/genetic.cpp.o.d"
+  "/root/repo/src/gen/am2910.cpp" "src/CMakeFiles/gatpg.dir/gen/am2910.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/am2910.cpp.o.d"
+  "/root/repo/src/gen/analogs.cpp" "src/CMakeFiles/gatpg.dir/gen/analogs.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/analogs.cpp.o.d"
+  "/root/repo/src/gen/datapath.cpp" "src/CMakeFiles/gatpg.dir/gen/datapath.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/datapath.cpp.o.d"
+  "/root/repo/src/gen/divider.cpp" "src/CMakeFiles/gatpg.dir/gen/divider.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/divider.cpp.o.d"
+  "/root/repo/src/gen/fsmgen.cpp" "src/CMakeFiles/gatpg.dir/gen/fsmgen.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/fsmgen.cpp.o.d"
+  "/root/repo/src/gen/multiplier.cpp" "src/CMakeFiles/gatpg.dir/gen/multiplier.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/multiplier.cpp.o.d"
+  "/root/repo/src/gen/pcont.cpp" "src/CMakeFiles/gatpg.dir/gen/pcont.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/pcont.cpp.o.d"
+  "/root/repo/src/gen/registry.cpp" "src/CMakeFiles/gatpg.dir/gen/registry.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/registry.cpp.o.d"
+  "/root/repo/src/gen/s27.cpp" "src/CMakeFiles/gatpg.dir/gen/s27.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/gen/s27.cpp.o.d"
+  "/root/repo/src/hybrid/ga_justify.cpp" "src/CMakeFiles/gatpg.dir/hybrid/ga_justify.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/hybrid/ga_justify.cpp.o.d"
+  "/root/repo/src/hybrid/hybrid_atpg.cpp" "src/CMakeFiles/gatpg.dir/hybrid/hybrid_atpg.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/hybrid/hybrid_atpg.cpp.o.d"
+  "/root/repo/src/hybrid/output_justify.cpp" "src/CMakeFiles/gatpg.dir/hybrid/output_justify.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/hybrid/output_justify.cpp.o.d"
+  "/root/repo/src/hybrid/pass.cpp" "src/CMakeFiles/gatpg.dir/hybrid/pass.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/hybrid/pass.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/gatpg.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/gatpg.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/CMakeFiles/gatpg.dir/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/netlist/circuit.cpp.o.d"
+  "/root/repo/src/netlist/depth.cpp" "src/CMakeFiles/gatpg.dir/netlist/depth.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/netlist/depth.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/gatpg.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/sim/seqsim.cpp" "src/CMakeFiles/gatpg.dir/sim/seqsim.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/sim/seqsim.cpp.o.d"
+  "/root/repo/src/tpg/alternating.cpp" "src/CMakeFiles/gatpg.dir/tpg/alternating.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/tpg/alternating.cpp.o.d"
+  "/root/repo/src/tpg/randgen.cpp" "src/CMakeFiles/gatpg.dir/tpg/randgen.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/tpg/randgen.cpp.o.d"
+  "/root/repo/src/tpg/simgen.cpp" "src/CMakeFiles/gatpg.dir/tpg/simgen.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/tpg/simgen.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/gatpg.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/tableprint.cpp" "src/CMakeFiles/gatpg.dir/util/tableprint.cpp.o" "gcc" "src/CMakeFiles/gatpg.dir/util/tableprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compaction.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_compaction.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_compaction.cpp.o.d"
+  "/root/repo/tests/test_detengine.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_detengine.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_detengine.cpp.o.d"
+  "/root/repo/tests/test_faultlist.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_faultlist.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_faultlist.cpp.o.d"
+  "/root/repo/tests/test_faultsim.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_faultsim.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_faultsim.cpp.o.d"
+  "/root/repo/tests/test_frame_model.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_frame_model.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_frame_model.cpp.o.d"
+  "/root/repo/tests/test_ga.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_ga.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_ga.cpp.o.d"
+  "/root/repo/tests/test_ga_justify.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_ga_justify.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_ga_justify.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_justify.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_justify.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_justify.cpp.o.d"
+  "/root/repo/tests/test_logic3.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_logic3.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_logic3.cpp.o.d"
+  "/root/repo/tests/test_more_props.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_more_props.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_more_props.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_output_justify.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_output_justify.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_output_justify.cpp.o.d"
+  "/root/repo/tests/test_podem.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_podem.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_podem.cpp.o.d"
+  "/root/repo/tests/test_seqsim.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_seqsim.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_seqsim.cpp.o.d"
+  "/root/repo/tests/test_small_units.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_small_units.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_small_units.cpp.o.d"
+  "/root/repo/tests/test_tpg.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_tpg.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_tpg.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gatpg_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gatpg_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gatpg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
