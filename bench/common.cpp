@@ -18,6 +18,9 @@ BenchOptions parse_options(int argc, char** argv,
       options.full = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (positional) {
       positional->push_back(arg);
     }
@@ -42,6 +45,7 @@ ComparisonRow run_comparison(
     pass.pass_budget_s = options.pass_budget_s;
   }
   ga_config.seed = options.seed;
+  ga_config.parallel.threads = options.threads;
   hybrid::HybridAtpg ga_engine(c, ga_config);
   row.total_faults = ga_engine.fault_list().size();
   row.ga_hitec = ga_engine.run();
@@ -52,6 +56,7 @@ ComparisonRow run_comparison(
     pass.pass_budget_s = options.pass_budget_s;
   }
   hitec_config.seed = options.seed;
+  hitec_config.parallel.threads = options.threads;
   row.hitec = hybrid::HybridAtpg(c, hitec_config).run();
   return row;
 }

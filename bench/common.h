@@ -31,10 +31,14 @@ struct BenchOptions {
   double pass_budget_s = 2.0;
   bool full = false;  // include the slowest circuits
   std::uint64_t seed = 1;
+  /// Worker threads for fault simulation / GA evaluation (0 =
+  /// hardware_concurrency, 1 = serial); results are thread-count-invariant.
+  unsigned threads = 0;
 };
 
-/// Parses --time-scale=X, --pass-budget=X, --full, --seed=N; everything else
-/// is returned as a positional arg (circuit names for the table benches).
+/// Parses --time-scale=X, --pass-budget=X, --full, --seed=N, --threads=N;
+/// everything else is returned as a positional arg (circuit names for the
+/// table benches).
 BenchOptions parse_options(int argc, char** argv,
                            std::vector<std::string>* positional = nullptr);
 

@@ -9,12 +9,13 @@ using sim::State3;
 using sim::V3;
 
 FaultSimulator::FaultSimulator(const netlist::Circuit& c,
-                               std::vector<Fault> faults)
+                               std::vector<Fault> faults,
+                               util::ParallelConfig parallel)
     : c_(c),
       faults_(std::move(faults)),
+      parallel_(parallel),
       detected_(faults_.size(), 0),
       good_(c),
-      group_machine_(c),
       faulty_state_(faults_.size(),
                     State3(c.flip_flops().size(), V3::kX)) {}
 
@@ -29,6 +30,19 @@ void FaultSimulator::reset_all() {
   reset_machines();
   std::fill(detected_.begin(), detected_.end(), 0);
   num_detected_ = 0;
+}
+
+std::vector<std::vector<PackedV3>> FaultSimulator::pack_sequence(
+    const Sequence& seq) const {
+  const auto pis = c_.primary_inputs();
+  std::vector<std::vector<PackedV3>> packed(
+      seq.size(), std::vector<PackedV3>(pis.size()));
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    for (std::size_t p = 0; p < pis.size(); ++p) {
+      packed[t][p] = PackedV3::broadcast(seq[t][p]);
+    }
+  }
+  return packed;
 }
 
 std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
@@ -46,76 +60,95 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
     good_.clock();
   }
 
-  // Pass 2: undetected faults in groups of 64.
+  // Pass 2: undetected faults in groups of 64, groups fanned out across
+  // lanes.  Each group only touches its own faults' faulty_state_ entries
+  // and its own lane's machine; detections are collected per group and
+  // merged in group order below, so the result is schedule-independent.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (!detected_[i]) pending.push_back(i);
   }
 
   const std::size_t nff = c_.flip_flops().size();
-  const auto pis = c_.primary_inputs();
-  std::vector<PackedV3> packed_pi(pis.size());
+  const auto packed_seq = pack_sequence(seq);
 
-  for (std::size_t base = 0; base < pending.size(); base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, pending.size() - base);
+  const std::size_t n_groups = (pending.size() + 63) / 64;
+  std::vector<std::vector<std::size_t>> group_newly(n_groups);
+  const unsigned lanes = util::max_lanes(parallel_, pending.size(), 64);
+  if (group_machines_.size() < lanes) group_machines_.resize(lanes);
 
-    group_machine_.clear_overrides();
-    group_machine_.reset();
-    for (std::size_t s = 0; s < count; ++s) {
-      const Fault& f = faults_[pending[base + s]];
-      const std::uint64_t mask = 1ULL << s;
-      if (f.pin == kOutputPin) {
-        group_machine_.add_output_override(f.node, f.stuck_at, mask);
-      } else {
-        group_machine_.add_input_override(
-            f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
-      }
-    }
-    // Load persisted per-fault flip-flop states.
-    for (std::size_t ff = 0; ff < nff; ++ff) {
-      PackedV3 w = PackedV3::all_x();
-      for (std::size_t s = 0; s < count; ++s) {
-        w.set(static_cast<unsigned>(s),
-              faulty_state_[pending[base + s]][ff]);
-      }
-      group_machine_.set_ff_packed(ff, w);
-    }
+  util::parallel_for_chunks(
+      parallel_, pending.size(), 64,
+      [&](std::size_t g, std::size_t begin, std::size_t end, unsigned lane) {
+        if (!group_machines_[lane]) {
+          group_machines_[lane] =
+              std::make_unique<sim::SequenceSimulator>(c_);
+        }
+        sim::SequenceSimulator& machine = *group_machines_[lane];
+        const std::size_t count = end - begin;
 
-    std::uint64_t live = count == 64 ? ~0ULL : ((1ULL << count) - 1);
-    for (std::size_t t = 0; t < seq.size(); ++t) {
-      for (std::size_t p = 0; p < pis.size(); ++p) {
-        packed_pi[p] = PackedV3::broadcast(seq[t][p]);
-      }
-      group_machine_.apply_packed(packed_pi);
-      std::uint64_t hit = 0;
-      for (std::size_t p = 0; p < pos.size(); ++p) {
-        const V3 g = good_po[t][p];
-        if (g == V3::kX) continue;
-        const PackedV3 w = group_machine_.value(pos[p]);
-        hit |= (g == V3::k1) ? w.v0 : w.v1;
-      }
-      hit &= live;
-      while (hit) {
-        const unsigned s = static_cast<unsigned>(__builtin_ctzll(hit));
-        hit &= hit - 1;
-        live &= ~(1ULL << s);
-        const std::size_t fi = pending[base + s];
-        detected_[fi] = 1;
-        ++num_detected_;
-        newly.push_back(fi);
-      }
-      group_machine_.clock();
-    }
+        machine.clear_overrides();
+        machine.reset();
+        for (std::size_t s = 0; s < count; ++s) {
+          const Fault& f = faults_[pending[begin + s]];
+          const std::uint64_t mask = 1ULL << s;
+          if (f.pin == kOutputPin) {
+            machine.add_output_override(f.node, f.stuck_at, mask);
+          } else {
+            machine.add_input_override(
+                f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
+          }
+        }
+        // Load persisted per-fault flip-flop states.
+        for (std::size_t ff = 0; ff < nff; ++ff) {
+          PackedV3 w = PackedV3::all_x();
+          for (std::size_t s = 0; s < count; ++s) {
+            w.set(static_cast<unsigned>(s),
+                  faulty_state_[pending[begin + s]][ff]);
+          }
+          machine.set_ff_packed(ff, w);
+        }
 
-    // Persist faulty flip-flop states for still-undetected faults.
-    for (std::size_t s = 0; s < count; ++s) {
-      const std::size_t fi = pending[base + s];
-      if (detected_[fi]) continue;
-      for (std::size_t ff = 0; ff < nff; ++ff) {
-        faulty_state_[fi][ff] =
-            group_machine_.value(c_.flip_flops()[ff]).get(
-                static_cast<unsigned>(s));
-      }
+        std::uint64_t live = count == 64 ? ~0ULL : ((1ULL << count) - 1);
+        for (std::size_t t = 0; t < seq.size(); ++t) {
+          machine.apply_packed(packed_seq[t]);
+          std::uint64_t hit = 0;
+          for (std::size_t p = 0; p < pos.size(); ++p) {
+            const V3 good_value = good_po[t][p];
+            if (good_value == V3::kX) continue;
+            const PackedV3 w = machine.value(pos[p]);
+            hit |= (good_value == V3::k1) ? w.v0 : w.v1;
+          }
+          hit &= live;
+          while (hit) {
+            const unsigned s = static_cast<unsigned>(__builtin_ctzll(hit));
+            hit &= hit - 1;
+            live &= ~(1ULL << s);
+            group_newly[g].push_back(pending[begin + s]);
+          }
+          machine.clock();
+        }
+
+        // Persist faulty flip-flop states for still-undetected faults
+        // (slots still live).
+        for (std::size_t s = 0; s < count; ++s) {
+          if (!(live & (1ULL << s))) continue;
+          const std::size_t fi = pending[begin + s];
+          for (std::size_t ff = 0; ff < nff; ++ff) {
+            faulty_state_[fi][ff] =
+                machine.value(c_.flip_flops()[ff]).get(
+                    static_cast<unsigned>(s));
+          }
+        }
+      });
+
+  // Deterministic merge: detections land in (group, time, slot) order —
+  // exactly the order the serial sweep produced them in.
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (std::size_t fi : group_newly[g]) {
+      detected_[fi] = 1;
+      ++num_detected_;
+      newly.push_back(fi);
     }
   }
   return newly;
@@ -167,65 +200,74 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
   }
   const sim::State3 good_final = good.state();
 
-  const auto pis = c_.primary_inputs();
   const std::size_t nff = c_.flip_flops().size();
-  std::vector<PackedV3> packed_pi(pis.size());
+  const auto packed_seq = pack_sequence(seq);
 
-  for (std::size_t base = 0; base < fault_indices.size(); base += 64) {
-    const std::size_t count =
-        std::min<std::size_t>(64, fault_indices.size() - base);
-    sim::SequenceSimulator machine(c_);
-    for (std::size_t s = 0; s < count; ++s) {
-      const Fault& f = faults_[fault_indices[base + s]];
-      const std::uint64_t mask = 1ULL << s;
-      if (f.pin == kOutputPin) {
-        machine.add_output_override(f.node, f.stuck_at, mask);
-      } else {
-        machine.add_input_override(f.node, static_cast<unsigned>(f.pin),
-                                   f.stuck_at, mask);
-      }
-    }
-    for (std::size_t ff = 0; ff < nff; ++ff) {
-      PackedV3 w = PackedV3::all_x();
-      for (std::size_t s = 0; s < count; ++s) {
-        w.set(static_cast<unsigned>(s),
-              faulty_state_[fault_indices[base + s]][ff]);
-      }
-      machine.set_ff_packed(ff, w);
-    }
+  // Group counts are sums of per-group popcounts — order-independent, but
+  // accumulated per group and reduced serially anyway so the arithmetic is
+  // schedule-independent too.
+  const std::size_t n_groups = (fault_indices.size() + 63) / 64;
+  std::vector<WhatIf> per_group(n_groups);
 
-    const std::uint64_t live_all =
-        count == 64 ? ~0ULL : ((1ULL << count) - 1);
-    std::uint64_t detected_mask = 0;
-    for (std::size_t t = 0; t < seq.size(); ++t) {
-      for (std::size_t p = 0; p < pis.size(); ++p) {
-        packed_pi[p] = PackedV3::broadcast(seq[t][p]);
-      }
-      machine.apply_packed(packed_pi);
-      for (std::size_t p = 0; p < pos.size(); ++p) {
-        const V3 g = good_po[t][p];
-        if (g == V3::kX) continue;
-        const PackedV3 w = machine.value(pos[p]);
-        detected_mask |= (g == V3::k1) ? w.v0 : w.v1;
-      }
-      machine.clock();
-    }
-    detected_mask &= live_all;
-    result.detected += static_cast<unsigned>(__builtin_popcountll(detected_mask));
+  util::parallel_for_chunks(
+      parallel_, fault_indices.size(), 64,
+      [&](std::size_t g, std::size_t begin, std::size_t end, unsigned) {
+        const std::size_t count = end - begin;
+        sim::SequenceSimulator machine(c_);
+        for (std::size_t s = 0; s < count; ++s) {
+          const Fault& f = faults_[fault_indices[begin + s]];
+          const std::uint64_t mask = 1ULL << s;
+          if (f.pin == kOutputPin) {
+            machine.add_output_override(f.node, f.stuck_at, mask);
+          } else {
+            machine.add_input_override(f.node, static_cast<unsigned>(f.pin),
+                                       f.stuck_at, mask);
+          }
+        }
+        for (std::size_t ff = 0; ff < nff; ++ff) {
+          PackedV3 w = PackedV3::all_x();
+          for (std::size_t s = 0; s < count; ++s) {
+            w.set(static_cast<unsigned>(s),
+                  faulty_state_[fault_indices[begin + s]][ff]);
+          }
+          machine.set_ff_packed(ff, w);
+        }
 
-    // Fault effects parked in the state at sequence end (undetected slots
-    // whose faulty flip-flop value is defined and differs from the good
-    // machine's).
-    std::uint64_t effect_mask = 0;
-    for (std::size_t ff = 0; ff < nff; ++ff) {
-      const V3 g = good_final[ff];
-      if (g == V3::kX) continue;
-      const PackedV3 w = machine.value(c_.flip_flops()[ff]);
-      effect_mask |= (g == V3::k1) ? w.v0 : w.v1;
-    }
-    effect_mask &= live_all & ~detected_mask;
-    result.state_effects +=
-        static_cast<unsigned>(__builtin_popcountll(effect_mask));
+        const std::uint64_t live_all =
+            count == 64 ? ~0ULL : ((1ULL << count) - 1);
+        std::uint64_t detected_mask = 0;
+        for (std::size_t t = 0; t < seq.size(); ++t) {
+          machine.apply_packed(packed_seq[t]);
+          for (std::size_t p = 0; p < pos.size(); ++p) {
+            const V3 good_value = good_po[t][p];
+            if (good_value == V3::kX) continue;
+            const PackedV3 w = machine.value(pos[p]);
+            detected_mask |= (good_value == V3::k1) ? w.v0 : w.v1;
+          }
+          machine.clock();
+        }
+        detected_mask &= live_all;
+        per_group[g].detected =
+            static_cast<unsigned>(__builtin_popcountll(detected_mask));
+
+        // Fault effects parked in the state at sequence end (undetected
+        // slots whose faulty flip-flop value is defined and differs from
+        // the good machine's).
+        std::uint64_t effect_mask = 0;
+        for (std::size_t ff = 0; ff < nff; ++ff) {
+          const V3 g_v = good_final[ff];
+          if (g_v == V3::kX) continue;
+          const PackedV3 w = machine.value(c_.flip_flops()[ff]);
+          effect_mask |= (g_v == V3::k1) ? w.v0 : w.v1;
+        }
+        effect_mask &= live_all & ~detected_mask;
+        per_group[g].state_effects =
+            static_cast<unsigned>(__builtin_popcountll(effect_mask));
+      });
+
+  for (const WhatIf& g : per_group) {
+    result.detected += g.detected;
+    result.state_effects += g.state_effects;
   }
   return result;
 }

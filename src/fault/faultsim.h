@@ -8,19 +8,29 @@
 // the way the test generators extend the test set.  Detection is recorded
 // when a primary output has a defined good value and the opposite defined
 // faulty value (X outputs never detect — the standard pessimistic rule).
+//
+// The 64-fault groups are independent, so run() and what_if() fan them out
+// across the shared worker pool (util::parallel), one thread-local
+// SequenceSimulator per lane.  Per-group detections are merged serially in
+// group order, so the returned lists and all member state are bit-identical
+// to the serial sweep for any thread count (threads = 1 is the exact legacy
+// code path).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fault/fault.h"
 #include "sim/seqsim.h"
+#include "util/parallel.h"
 
 namespace gatpg::fault {
 
 class FaultSimulator {
  public:
-  FaultSimulator(const netlist::Circuit& c, std::vector<Fault> faults);
+  FaultSimulator(const netlist::Circuit& c, std::vector<Fault> faults,
+                 util::ParallelConfig parallel = {});
 
   /// Simulates `seq` as a continuation of everything simulated so far.
   /// Returns the indices (into faults()) of faults newly detected by it.
@@ -64,12 +74,20 @@ class FaultSimulator {
                       const sim::Sequence& seq);
 
  private:
+  /// The input sequence broadcast into packed form once per call (shared
+  /// read-only by every fault group).
+  std::vector<std::vector<sim::PackedV3>> pack_sequence(
+      const sim::Sequence& seq) const;
+
   const netlist::Circuit& c_;
   std::vector<Fault> faults_;
+  util::ParallelConfig parallel_;
   std::vector<char> detected_;
   std::size_t num_detected_ = 0;
   sim::SequenceSimulator good_;
-  sim::SequenceSimulator group_machine_;
+  // One group machine per lane, created on first use and reused across
+  // run() calls; lane 0 is the (only) machine of the serial path.
+  std::vector<std::unique_ptr<sim::SequenceSimulator>> group_machines_;
   std::vector<sim::State3> faulty_state_;  // one per fault
 };
 

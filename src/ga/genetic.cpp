@@ -65,13 +65,20 @@ std::vector<std::size_t> GaEngine::select_parents(
     return tournament_parents(fitness, rng_);
   }
   // Proportionate (roulette wheel).  Negative fitness is clamped to zero; a
-  // degenerate all-zero wheel falls back to uniform draws.
+  // degenerate all-zero wheel falls back to uniform draws.  The wheel is a
+  // prefix-sum searched with std::lower_bound — O(log n) per draw instead
+  // of the O(n) linear scan, with one rng_.uniform() (or rng_.below on the
+  // degenerate wheel) per parent in the same order as before, so seeded
+  // runs draw the same random stream.  lower_bound matches the scan's
+  // boundary rule: the first index whose cumulative weight reaches the
+  // spin wins, and zero-weight slots are skipped in favor of the first
+  // slot of each tie run.
   const std::size_t n = fitness.size();
-  std::vector<double> wheel(n);
+  std::vector<double> cumulative(n);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    wheel[i] = std::max(fitness[i], 0.0);
-    total += wheel[i];
+    total += std::max(fitness[i], 0.0);
+    cumulative[i] = total;
   }
   std::vector<std::size_t> parents(n);
   for (auto& p : parents) {
@@ -79,16 +86,12 @@ std::vector<std::size_t> GaEngine::select_parents(
       p = rng_.below(n);
       continue;
     }
-    double spin = rng_.uniform() * total;
-    std::size_t pick = n - 1;
-    for (std::size_t i = 0; i < n; ++i) {
-      spin -= wheel[i];
-      if (spin <= 0.0) {
-        pick = i;
-        break;
-      }
-    }
-    p = pick;
+    const double spin = rng_.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), spin);
+    p = it == cumulative.end()
+            ? n - 1
+            : static_cast<std::size_t>(it - cumulative.begin());
   }
   return parents;
 }

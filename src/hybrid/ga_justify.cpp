@@ -1,5 +1,7 @@
 #include "hybrid/ga_justify.h"
 
+#include <atomic>
+#include <limits>
 #include <stdexcept>
 
 namespace gatpg::hybrid {
@@ -48,66 +50,101 @@ GaJustifyResult GaStateJustifier::justify(
   ga_config.selection = config.selection;
   ga_config.seed = config.seed;
 
-  // Batch evaluator: 64 candidates per bit-parallel simulation.
+  // Batch evaluator: 64 candidates per bit-parallel simulation, batches
+  // fanned out across the worker pool.  Each batch owns its own pair of
+  // simulators and writes a disjoint fitness range.  The serial scan's
+  // early exit (first batch, in batch order, whose prefix reaches both
+  // desired states — at its earliest vector, lowest slot) becomes a
+  // lowest-batch-wins reduction: each batch records its own first match,
+  // the winner is the matching batch with the smallest index, and an
+  // atomic stop flag lets higher batches abandon early without affecting
+  // the result.
+  constexpr std::size_t kNoBatch = std::numeric_limits<std::size_t>::max();
   auto evaluate = [&](std::span<const ga::Chromosome> population,
                       std::span<double> fitness) -> bool {
-    for (std::size_t base = 0; base < population.size(); base += 64) {
-      const std::size_t count = std::min<std::size_t>(64, population.size() - base);
+    const std::size_t n_batches = (population.size() + 63) / 64;
+    std::atomic<std::size_t> best_batch{kNoBatch};
+    struct BatchMatch {
+      unsigned t = 0;
+      unsigned slot = 0;
+    };
+    std::vector<BatchMatch> matches(n_batches);
 
-      sim::SequenceSimulator good(c_);
-      good.set_state(current_good_state);
-      sim::SequenceSimulator faulty(c_);
-      if (fault.pin == fault::kOutputPin) {
-        faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
-      } else {
-        faulty.add_input_override(fault.node,
-                                  static_cast<unsigned>(fault.pin),
-                                  fault.stuck_at, ~0ULL);
-      }
+    util::parallel_for_chunks(
+        config.parallel, population.size(), 64,
+        [&](std::size_t batch, std::size_t base, std::size_t end, unsigned) {
+          const std::size_t count = end - base;
 
-      std::vector<PackedV3> pi_words(num_pi);
-      for (unsigned t = 0; t < config.sequence_length; ++t) {
-        for (std::size_t i = 0; i < num_pi; ++i) {
-          PackedV3 w = PackedV3::broadcast(V3::k0);
-          for (std::size_t s = 0; s < count; ++s) {
-            if (population[base + s][t * num_pi + i]) {
-              w.set(static_cast<unsigned>(s), V3::k1);
+          sim::SequenceSimulator good(c_);
+          good.set_state(current_good_state);
+          sim::SequenceSimulator faulty(c_);
+          if (fault.pin == fault::kOutputPin) {
+            faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
+          } else {
+            faulty.add_input_override(fault.node,
+                                      static_cast<unsigned>(fault.pin),
+                                      fault.stuck_at, ~0ULL);
+          }
+
+          std::vector<PackedV3> pi_words(num_pi);
+          for (unsigned t = 0; t < config.sequence_length; ++t) {
+            // A lower batch already matched: this batch cannot win, and on
+            // success every fitness value is zeroed anyway.
+            if (batch > best_batch.load(std::memory_order_acquire)) return;
+            for (std::size_t i = 0; i < num_pi; ++i) {
+              PackedV3 w = PackedV3::broadcast(V3::k0);
+              for (std::size_t s = 0; s < count; ++s) {
+                if (population[base + s][t * num_pi + i]) {
+                  w.set(static_cast<unsigned>(s), V3::k1);
+                }
+              }
+              pi_words[i] = w;
+            }
+            good.apply_packed(pi_words);
+            faulty.apply_packed(pi_words);
+            good.clock();
+            faulty.clock();
+
+            const std::uint64_t match =
+                good.state_match_mask(desired_good) &
+                faulty.state_match_mask(desired_faulty);
+            if (match != 0) {
+              matches[batch] = {t, static_cast<unsigned>(
+                                       __builtin_ctzll(match))};
+              std::size_t cur = best_batch.load(std::memory_order_relaxed);
+              while (batch < cur &&
+                     !best_batch.compare_exchange_weak(
+                         cur, batch, std::memory_order_release,
+                         std::memory_order_relaxed)) {
+              }
+              return;
             }
           }
-          pi_words[i] = w;
-        }
-        good.apply_packed(pi_words);
-        faulty.apply_packed(pi_words);
-        good.clock();
-        faulty.clock();
 
-        // Early exit: some candidate's prefix reaches both desired states.
-        const std::uint64_t match = good.state_match_mask(desired_good) &
-                                    faulty.state_match_mask(desired_faulty);
-        if (match != 0) {
-          const unsigned slot =
-              static_cast<unsigned>(__builtin_ctzll(match));
-          result.success = true;
-          result.sequence = decode(population[base + slot], num_pi, t + 1);
-          // Score what was evaluated so far so the engine bookkeeping stays
-          // sane, then request termination.
-          for (std::size_t s = 0; s < population.size(); ++s) {
-            fitness[s] = 0.0;
+          for (std::size_t s = 0; s < count; ++s) {
+            const double raw =
+                config.good_weight *
+                    good.state_match_count(desired_good,
+                                           static_cast<unsigned>(s)) +
+                config.faulty_weight *
+                    faulty.state_match_count(desired_faulty,
+                                             static_cast<unsigned>(s));
+            fitness[base + s] = config.square_fitness ? raw * raw : raw;
           }
-          return true;
-        }
-      }
+        });
 
-      for (std::size_t s = 0; s < count; ++s) {
-        const double raw =
-            config.good_weight *
-                good.state_match_count(desired_good,
-                                       static_cast<unsigned>(s)) +
-            config.faulty_weight *
-                faulty.state_match_count(desired_faulty,
-                                         static_cast<unsigned>(s));
-        fitness[base + s] = config.square_fitness ? raw * raw : raw;
+    const std::size_t winner = best_batch.load(std::memory_order_acquire);
+    if (winner != kNoBatch) {
+      const BatchMatch m = matches[winner];
+      result.success = true;
+      result.sequence =
+          decode(population[winner * 64 + m.slot], num_pi, m.t + 1);
+      // Score what was evaluated so far so the engine bookkeeping stays
+      // sane, then request termination.
+      for (std::size_t s = 0; s < population.size(); ++s) {
+        fitness[s] = 0.0;
       }
+      return true;
     }
     return deadline.expired();
   };

@@ -24,12 +24,17 @@
 #include "fault/fault.h"
 #include "ga/genetic.h"
 #include "sim/seqsim.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::hybrid {
 
 struct GaJustifyConfig {
   std::size_t population = 64;  // multiple of 64 (word parallelism)
+  /// Fans the 64-candidate sub-batches of each generation across the worker
+  /// pool.  Results are bit-identical for any thread count: the early exit
+  /// is a lowest-batch-wins reduction matching the serial scan order.
+  util::ParallelConfig parallel;
   unsigned generations = 4;
   unsigned sequence_length = 8;
   double good_weight = 0.9;

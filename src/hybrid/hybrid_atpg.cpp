@@ -133,6 +133,7 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
         ga_config.faulty_weight = config_.ga_faulty_weight;
         ga_config.square_fitness = config_.ga_square_fitness;
         ga_config.selection = config_.selection;
+        ga_config.parallel = config_.parallel;
         ga_config.seed = config_.seed ^ (0x9e3779b9ULL * (fault_index + 1)) ^
                          (attempt << 20);
         const GaJustifyResult ga = ga_justifier.justify(
@@ -199,7 +200,7 @@ AtpgResult HybridAtpg::run() {
   result.total_faults = faults_.size();
   result.fault_state.assign(faults_.size(), FaultState::kUndetected);
 
-  fault::FaultSimulator fsim(c_, faults_.faults);
+  fault::FaultSimulator fsim(c_, faults_.faults, config_.parallel);
   Sequence test_set;
   std::vector<Sequence> segments;
   util::Stopwatch total;

@@ -28,6 +28,7 @@
 #include "fault/faultsim.h"
 #include "hybrid/ga_justify.h"
 #include "hybrid/pass.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gatpg::hybrid {
@@ -89,6 +90,10 @@ struct HybridConfig {
   ga::SelectionScheme selection =
       ga::SelectionScheme::kTournamentWithoutReplacement;
   std::uint64_t seed = 1;
+  /// Worker-pool sizing for the fault simulator's group sweeps and the GA
+  /// justifier's batch evaluation (0 = hardware_concurrency, 1 = serial).
+  /// Results are bit-identical for any thread count.
+  util::ParallelConfig parallel;
   /// Conclusion-section option: cheap combinational-exhaustion prescreen
   /// that marks easy untestables before pass 1 (bench_prefilter).
   bool prefilter_untestable = false;
