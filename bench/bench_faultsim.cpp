@@ -1,67 +1,260 @@
-// Substrate microbenchmark: PROOFS-style 64-way parallel-fault simulation vs
-// serial single-fault simulation (the speedup that makes simulation-based
-// test generation practical — §I of the paper).
-#include <benchmark/benchmark.h>
+// Differential-vs-full-sweep fault-simulation bench (the tentpole metric of
+// the PROOFS rework): the Table-II session workload (several run()
+// extensions with fault dropping) plus the what_if fitness kernel, for both
+// engines at 1 and 4 threads.
+//
+// Emits BENCH_faultsim.json with wall-clock, gate-evaluation counts, skip
+// rates, and repack counts per configuration, plus the gate-eval reduction
+// and wall-clock speedup of the differential engine over the full-sweep
+// baseline at equal thread count.  Verifies on the way that every
+// configuration produces identical detection counts and what_if results
+// (the engines' bit-identity contract); exit status is nonzero on any
+// mismatch.
+//
+// Usage: bench_faultsim [--seed=N] [--full] [--vectors=N] [--repeat=N]
+//                       [names...]
+//   --full adds the largest analog (g5378).
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
 
+#include "common.h"
 #include "fault/faultlist.h"
 #include "fault/faultsim.h"
-#include "gen/registry.h"
 #include "helpers_bench.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace {
 
 using namespace gatpg;
 
-void BM_ParallelFaultSim(benchmark::State& state, const char* name) {
-  const auto c = gen::make_circuit(name);
-  const auto faults = fault::collapse(c).faults;
-  util::Rng rng(1);
-  const auto seq = bench::random_sequence(c, rng, 32);
-  for (auto _ : state) {
-    fault::FaultSimulator fs(c, faults);
-    benchmark::DoNotOptimize(fs.run(seq));
-  }
-  state.counters["faults"] = static_cast<double>(faults.size());
-  state.counters["fault_vectors_per_s"] = benchmark::Counter(
-      static_cast<double>(faults.size() * seq.size()),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
+struct Sample {
+  bool differential = false;
+  unsigned threads = 0;
+  double run_s = 0.0;      // session sweep (FaultSimulator::run)
+  double what_if_s = 0.0;  // fitness kernel (FaultSimulator::what_if)
+  fault::SimStats run_stats;
+  std::size_t detected = 0;
+  unsigned what_if_detected = 0;
+  unsigned what_if_effects = 0;
 
-void BM_SerialFaultSim(benchmark::State& state, const char* name) {
-  const auto c = gen::make_circuit(name);
-  const auto faults = fault::collapse(c).faults;
-  util::Rng rng(1);
-  const auto seq = bench::random_sequence(c, rng, 32);
-  for (auto _ : state) {
-    std::size_t detected = 0;
-    for (const auto& f : faults) {
-      fault::FaultSimulator fs(c, std::vector<fault::Fault>{f});
-      detected += fs.run(seq).size();
+  std::uint64_t total_evals() const {
+    return run_stats.gate_evals + run_stats.good_gate_evals;
+  }
+};
+
+struct CircuitResult {
+  std::string name;
+  std::size_t faults = 0;
+  std::vector<Sample> samples;
+
+  /// The full-sweep sample at the same thread count (the baseline each
+  /// differential sample is judged against).
+  const Sample* baseline_for(const Sample& s) const {
+    for (const Sample& b : samples) {
+      if (!b.differential && b.threads == s.threads) return &b;
     }
-    benchmark::DoNotOptimize(detected);
+    return nullptr;
   }
-  state.counters["faults"] = static_cast<double>(faults.size());
-  state.counters["fault_vectors_per_s"] = benchmark::Counter(
-      static_cast<double>(faults.size() * seq.size()),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-
-BENCHMARK_CAPTURE(BM_ParallelFaultSim, s27, "s27")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SerialFaultSim, s27, "s27")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ParallelFaultSim, g298, "g298")
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SerialFaultSim, g298, "g298")
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
-BENCHMARK_CAPTURE(BM_ParallelFaultSim, g1423, "g1423")
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
-BENCHMARK_CAPTURE(BM_SerialFaultSim, g1423, "g1423")
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, &positional);
+  std::size_t vectors = 96;
+  int repeat = 3;
+  unsigned window = fault::FaultSimConfig{}.window;
+  std::vector<std::string> names;
+  for (const std::string& arg : positional) {
+    if (arg.rfind("--vectors=", 0) == 0) {
+      vectors = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      window = static_cast<unsigned>(std::atoi(arg.c_str() + 9));
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) {
+    names = {"g298", "g526", "g820", "g1423"};
+    if (options.full) names.push_back("g5378");
+  }
+  const std::vector<unsigned> thread_counts = {1, 4};
+
+  std::printf("Differential vs full-sweep fault simulation (vectors=%zu, "
+              "repeat=%d, hardware_concurrency=%u)\n\n",
+              vectors, repeat, util::ParallelConfig{}.resolved());
+
+  bool consistent = true;
+  double worst_eval_reduction = 1e9;
+  std::uint64_t full_evals_total = 0;
+  std::uint64_t diff_evals_total = 0;
+  std::vector<CircuitResult> results;
+  for (const std::string& name : names) {
+    const auto c = gen::make_circuit(name);
+    const auto faults = fault::collapse(c).faults;
+    CircuitResult cr;
+    cr.name = name;
+    cr.faults = faults.size();
+
+    std::vector<std::size_t> all_indices(faults.size());
+    std::iota(all_indices.begin(), all_indices.end(), 0);
+
+    for (const bool differential : {false, true}) {
+      for (const unsigned threads : thread_counts) {
+        Sample sample;
+        sample.differential = differential;
+        sample.threads = threads;
+        fault::FaultSimConfig config;
+        config.parallel.threads = threads;
+        config.differential = differential;
+        config.window = window;
+        fault::FaultSimulator fs(c, faults, config);
+
+        // Session sweep: fresh session per repeat, several run() extensions
+        // so persistent faulty state, fault dropping, and (differentially)
+        // screening and repacking are exercised.
+        double run_s = 0.0;
+        for (int rep = 0; rep < repeat; ++rep) {
+          fs.reset_all();
+          fs.reset_stats();
+          util::Rng rng(options.seed);
+          const util::Stopwatch sw;
+          for (int chunk = 0; chunk < 4; ++chunk) {
+            fs.run(bench::random_sequence(c, rng, vectors / 4));
+          }
+          run_s += sw.seconds();
+          sample.detected = fs.detected_count();
+          sample.run_stats = fs.stats();
+        }
+        sample.run_s = run_s / repeat;
+
+        // Fitness kernel: what_if over the full fault list from the
+        // power-up session state (the GA's per-candidate grading workload).
+        fs.reset_all();
+        util::Rng rng(options.seed + 7);
+        const auto probe = bench::random_sequence(c, rng, vectors / 4);
+        double what_if_s = 0.0;
+        for (int rep = 0; rep < repeat; ++rep) {
+          const util::Stopwatch sw;
+          const auto w = fs.what_if(all_indices, probe);
+          what_if_s += sw.seconds();
+          sample.what_if_detected = w.detected;
+          sample.what_if_effects = w.state_effects;
+        }
+        sample.what_if_s = what_if_s / repeat;
+        cr.samples.push_back(sample);
+      }
+    }
+
+    const Sample& base = cr.samples.front();
+    for (const Sample& s : cr.samples) {
+      if (s.detected != base.detected ||
+          s.what_if_detected != base.what_if_detected ||
+          s.what_if_effects != base.what_if_effects) {
+        std::printf("ERROR: %s %s threads=%u diverges from baseline "
+                    "(det %zu vs %zu, what_if %u/%u vs %u/%u)\n",
+                    cr.name.c_str(), s.differential ? "diff" : "full",
+                    s.threads, s.detected, base.detected, s.what_if_detected,
+                    s.what_if_effects, base.what_if_detected,
+                    base.what_if_effects);
+        consistent = false;
+      }
+      const Sample* b = cr.baseline_for(s);
+      const double speedup = b && s.run_s > 0 ? b->run_s / s.run_s : 0.0;
+      const double eval_ratio =
+          b && s.total_evals() > 0
+              ? static_cast<double>(b->total_evals()) /
+                    static_cast<double>(s.total_evals())
+              : 0.0;
+      if (s.differential && eval_ratio < worst_eval_reduction) {
+        worst_eval_reduction = eval_ratio;
+      }
+      if (s.threads == 1) {
+        (s.differential ? diff_evals_total : full_evals_total) +=
+            s.total_evals();
+      }
+      std::printf("%-8s %-4s threads=%u  run=%8.2fms (x%.2f)  "
+                  "what_if=%8.2fms  gate_evals=%11llu (x%.2f)  "
+                  "skip=%5.1f%%  repacks=%llu  det=%zu\n",
+                  cr.name.c_str(), s.differential ? "diff" : "full",
+                  s.threads, s.run_s * 1e3, speedup, s.what_if_s * 1e3,
+                  static_cast<unsigned long long>(s.total_evals()),
+                  eval_ratio, s.run_stats.skip_rate() * 100.0,
+                  static_cast<unsigned long long>(s.run_stats.groups_repacked),
+                  s.detected);
+    }
+    std::printf("\n");
+    results.push_back(std::move(cr));
+  }
+
+  FILE* json = std::fopen("BENCH_faultsim.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"faultsim\",\n");
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
+               util::ParallelConfig{}.resolved());
+  std::fprintf(json, "  \"vectors\": %zu,\n  \"repeat\": %d,\n", vectors,
+               repeat);
+  std::fprintf(json, "  \"consistent_across_configs\": %s,\n",
+               consistent ? "true" : "false");
+  const double overall_reduction =
+      diff_evals_total > 0 ? static_cast<double>(full_evals_total) /
+                                 static_cast<double>(diff_evals_total)
+                           : 0.0;
+  std::fprintf(json, "  \"min_gate_eval_reduction\": %.3f,\n",
+               worst_eval_reduction);
+  std::fprintf(json, "  \"overall_gate_eval_reduction\": %.3f,\n",
+               overall_reduction);
+  std::fprintf(json, "  \"circuits\": [\n");
+  for (std::size_t ci = 0; ci < results.size(); ++ci) {
+    const CircuitResult& cr = results[ci];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"faults\": %zu, \"results\": [\n",
+                 cr.name.c_str(), cr.faults);
+    for (std::size_t si = 0; si < cr.samples.size(); ++si) {
+      const Sample& s = cr.samples[si];
+      const Sample* b = cr.baseline_for(s);
+      std::fprintf(
+          json,
+          "      {\"engine\": \"%s\", \"threads\": %u, \"run_s\": %.6f, "
+          "\"what_if_s\": %.6f, \"gate_evals\": %llu, "
+          "\"good_gate_evals\": %llu, \"group_vectors\": %llu, "
+          "\"group_vectors_skipped\": %llu, \"skip_rate\": %.4f, "
+          "\"groups_repacked\": %llu, \"detected\": %zu, "
+          "\"speedup_vs_full_sweep\": %.3f, "
+          "\"gate_eval_reduction\": %.3f}%s\n",
+          s.differential ? "differential" : "full_sweep", s.threads, s.run_s,
+          s.what_if_s, static_cast<unsigned long long>(s.run_stats.gate_evals),
+          static_cast<unsigned long long>(s.run_stats.good_gate_evals),
+          static_cast<unsigned long long>(s.run_stats.group_vectors),
+          static_cast<unsigned long long>(s.run_stats.group_vectors_skipped),
+          s.run_stats.skip_rate(),
+          static_cast<unsigned long long>(s.run_stats.groups_repacked),
+          s.detected, b && s.run_s > 0 ? b->run_s / s.run_s : 0.0,
+          b && s.total_evals() > 0
+              ? static_cast<double>(b->total_evals()) /
+                    static_cast<double>(s.total_evals())
+              : 0.0,
+          si + 1 < cr.samples.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]}%s\n", ci + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("overall gate-eval reduction (differential vs full sweep): "
+              "x%.2f\n",
+              overall_reduction);
+  std::printf("wrote BENCH_faultsim.json%s\n",
+              consistent ? "" : " (INCONSISTENT RESULTS)");
+  return consistent ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "fault/faultsim.h"
 
+#include <algorithm>
+
 namespace gatpg::fault {
 
 using netlist::NodeId;
@@ -8,12 +10,31 @@ using sim::Sequence;
 using sim::State3;
 using sim::V3;
 
+namespace {
+
+/// Slots of `a` whose value differs from the scalar `good` (any difference,
+/// including defined-vs-X in either direction — the exactness of the
+/// differential screen depends on counting weak differences too, because
+/// they can park into the state and matter later).
+std::uint64_t differing_slots(PackedV3 a, V3 good) {
+  switch (good) {
+    case V3::k1:
+      return ~a.v1;
+    case V3::k0:
+      return ~a.v0;
+    default:
+      return a.v1 | a.v0;
+  }
+}
+
+}  // namespace
+
 FaultSimulator::FaultSimulator(const netlist::Circuit& c,
                                std::vector<Fault> faults,
-                               util::ParallelConfig parallel)
+                               FaultSimConfig config)
     : c_(c),
       faults_(std::move(faults)),
-      parallel_(parallel),
+      config_(config),
       detected_(faults_.size(), 0),
       good_(c),
       faulty_state_(faults_.size(),
@@ -32,6 +53,22 @@ void FaultSimulator::reset_all() {
   num_detected_ = 0;
 }
 
+void FaultSimulator::ensure_lanes(unsigned lanes) const {
+  if (lanes_.size() < lanes) lanes_.resize(lanes);
+}
+
+void FaultSimulator::drain_lane_stats(unsigned lanes) const {
+  for (unsigned l = 0; l < lanes && l < lanes_.size(); ++l) {
+    Lane& lane = lanes_[l];
+    stats_ += lane.stats;
+    lane.stats = SimStats{};
+    if (lane.machine) {
+      stats_.gate_evals += lane.machine->gate_evals();
+      lane.machine->reset_gate_evals();
+    }
+  }
+}
+
 std::vector<std::vector<PackedV3>> FaultSimulator::pack_sequence(
     const Sequence& seq) const {
   const auto pis = c_.primary_inputs();
@@ -45,9 +82,306 @@ std::vector<std::vector<PackedV3>> FaultSimulator::pack_sequence(
   return packed;
 }
 
+// ---------------------------------------------------------------------------
+// Differential engine
+// ---------------------------------------------------------------------------
+
+void FaultSimulator::simulate_differential(
+    sim::SequenceSimulator& good, const std::vector<std::size_t>& fault_indices,
+    const Sequence& seq, std::vector<State3>& states, std::vector<char>& live,
+    std::vector<Detection>& detections) const {
+  const auto pos = c_.primary_outputs();
+  const auto ffs = c_.flip_flops();
+  const std::size_t nff = ffs.size();
+  const std::size_t total = seq.size();
+  const std::size_t window = std::max<std::size_t>(1, config_.window);
+
+  const std::uint64_t good_evals_before = good.gate_evals();
+
+  // Excitation-screen site info, one entry per fault: the good-machine line
+  // whose value feeds the fault site, the stuck value, and — for flip-flop
+  // output faults, which also force the *next* state at latch time — the D
+  // line as a second excitation source.
+  struct Site {
+    NodeId line = netlist::kNoNode;
+    NodeId extra = netlist::kNoNode;
+    V3 stuck = V3::k0;
+  };
+  std::vector<Site> sites(fault_indices.size());
+  for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+    const Fault& f = faults_[fault_indices[i]];
+    Site& s = sites[i];
+    s.stuck = f.stuck_at ? V3::k1 : V3::k0;
+    if (f.pin == kOutputPin) {
+      s.line = f.node;
+      if (c_.type(f.node) == netlist::GateType::kDff) {
+        s.extra = c_.fanins(f.node)[0];
+      }
+    } else {
+      s.line = c_.fanins(f.node)[static_cast<std::size_t>(f.pin)];
+    }
+  }
+
+  // Window-reused good-machine recording buffers.
+  std::vector<std::vector<PackedV3>> good_frames(window);
+  std::vector<State3> good_present(window, State3(nff));
+  std::vector<State3> good_next(window, State3(nff));
+  std::vector<std::vector<std::pair<NodeId, V3>>> good_po(window);
+  std::vector<std::size_t> order;
+  order.reserve(fault_indices.size());
+  std::size_t prev_live = fault_indices.size();
+
+  for (std::size_t t0 = 0; t0 < total; t0 += window) {
+    const std::size_t wlen = std::min(window, total - t0);
+
+    // Pass 1: advance the good machine, recording each settled frame (node
+    // values after apply, before clock), the present/next state scalars the
+    // screen tests against, and the defined primary-output values.
+    for (std::size_t k = 0; k < wlen; ++k) {
+      good.apply_vector(seq[t0 + k]);
+      good_frames[k] = good.node_values();
+      for (std::size_t ff = 0; ff < nff; ++ff) {
+        good_present[k][ff] = good_frames[k][ffs[ff]].get(0);
+        good_next[k][ff] = good_frames[k][c_.fanins(ffs[ff])[0]].get(0);
+      }
+      good_po[k].clear();
+      for (NodeId p : pos) {
+        const V3 v = good_frames[k][p].get(0);
+        if (v != V3::kX) good_po[k].emplace_back(p, v);
+      }
+      good.clock();
+    }
+
+    // Dynamic repack: rebuild dense 64-slot groups from the still-live
+    // faults, in stable fault-index order (deterministic and
+    // thread-count-independent by construction).
+    order.clear();
+    for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+      if (live[i]) order.push_back(i);
+    }
+    if (order.empty()) continue;  // keep advancing the good machine
+    if (t0 > 0 && order.size() < prev_live) {
+      stats_.groups_repacked += (order.size() + 63) / 64;
+    }
+    prev_live = order.size();
+
+    const std::size_t n_groups = (order.size() + 63) / 64;
+    std::vector<std::vector<Detection>> group_dets(n_groups);
+    const unsigned lanes = util::max_lanes(config_.parallel, order.size(), 64);
+    ensure_lanes(lanes);
+
+    util::parallel_for_chunks(
+        config_.parallel, order.size(), 64,
+        [&](std::size_t g, std::size_t begin, std::size_t end, unsigned lane) {
+          Lane& scratch = lanes_[lane];
+          if (!scratch.machine) {
+            scratch.machine = std::make_unique<sim::SequenceSimulator>(c_);
+          }
+          sim::SequenceSimulator& machine = *scratch.machine;
+          const std::size_t count = end - begin;
+
+          machine.clear_overrides();
+          for (std::size_t s = 0; s < count; ++s) {
+            const Fault& f = faults_[fault_indices[order[begin + s]]];
+            const std::uint64_t mask = 1ULL << s;
+            if (f.pin == kOutputPin) {
+              machine.add_output_override(f.node, f.stuck_at, mask);
+            } else {
+              machine.add_input_override(
+                  f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
+            }
+          }
+
+          // Packed faulty present state; unused high slots track the good
+          // state so they never disturb the event propagation.
+          scratch.ff.assign(nff, PackedV3::all_x());
+          for (std::size_t ff = 0; ff < nff; ++ff) {
+            PackedV3 w = PackedV3::broadcast(good_present[0][ff]);
+            for (std::size_t s = 0; s < count; ++s) {
+              w.set(static_cast<unsigned>(s), states[order[begin + s]][ff]);
+            }
+            scratch.ff[ff] = w;
+          }
+
+          std::uint64_t live_mask =
+              count == 64 ? ~0ULL : ((1ULL << count) - 1);
+          for (std::size_t k = 0; k < wlen && live_mask; ++k) {
+            ++scratch.stats.group_vectors;
+
+            // Excitation/activity screen: a slot can differ from the good
+            // machine this vector only if its fault site is excited by the
+            // good values or its state carries parked fault effects.
+            std::uint64_t active = 0;
+            for (std::size_t s = 0; s < count; ++s) {
+              const Site& site = sites[order[begin + s]];
+              bool ex = good_frames[k][site.line].get(0) != site.stuck;
+              if (!ex && site.extra != netlist::kNoNode) {
+                ex = good_frames[k][site.extra].get(0) != site.stuck;
+              }
+              active |= static_cast<std::uint64_t>(ex) << s;
+            }
+            for (std::size_t ff = 0; ff < nff; ++ff) {
+              active |= differing_slots(scratch.ff[ff], good_present[k][ff]);
+            }
+            active &= live_mask;
+            if (!active) {
+              // Provable no-op: every live slot equals the good machine
+              // everywhere, so the frame cannot detect and the faulty state
+              // just tracks the good next state.
+              ++scratch.stats.group_vectors_skipped;
+              for (std::size_t ff = 0; ff < nff; ++ff) {
+                scratch.ff[ff] = PackedV3::broadcast(good_next[k][ff]);
+              }
+              continue;
+            }
+
+            machine.apply_differential(good_frames[k], scratch.ff);
+
+            std::uint64_t hit = 0;
+            for (const auto& [p, gv] : good_po[k]) {
+              const PackedV3 w = machine.value(p);
+              hit |= gv == V3::k1 ? w.v0 : w.v1;
+            }
+            hit &= live_mask;
+            const bool retired = hit != 0;
+            while (hit) {
+              const unsigned s = static_cast<unsigned>(__builtin_ctzll(hit));
+              hit &= hit - 1;
+              live_mask &= ~(1ULL << s);
+              group_dets[g].push_back(
+                  {static_cast<std::uint32_t>(order[begin + s]),
+                   static_cast<std::uint32_t>(t0 + k)});
+            }
+            // Retire freshly detected slots on the spot: drop their fault
+            // injection and snap their state onto the good machine below, so
+            // they stop generating differential events immediately instead
+            // of at the next repack boundary.
+            if (retired) machine.retain_override_slots(live_mask);
+
+            for (std::size_t ff = 0; ff < nff; ++ff) {
+              // Live slots latch their faulty next state; dead and unused
+              // slots track the good machine (zero-event ghosts).
+              const PackedV3 faulty = machine.next_state_packed(ff);
+              const PackedV3 g_next = PackedV3::broadcast(good_next[k][ff]);
+              scratch.ff[ff] = {(faulty.v1 & live_mask) |
+                                    (g_next.v1 & ~live_mask),
+                                (faulty.v0 & live_mask) |
+                                    (g_next.v0 & ~live_mask)};
+            }
+          }
+
+          // Write back survivors' states; mark detected slots dead.
+          for (std::size_t s = 0; s < count; ++s) {
+            const std::size_t p = order[begin + s];
+            if (!(live_mask & (1ULL << s))) {
+              live[p] = 0;
+              continue;
+            }
+            for (std::size_t ff = 0; ff < nff; ++ff) {
+              states[p][ff] = scratch.ff[ff].get(static_cast<unsigned>(s));
+            }
+          }
+        });
+
+    drain_lane_stats(lanes);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      detections.insert(detections.end(), group_dets[g].begin(),
+                        group_dets[g].end());
+    }
+  }
+
+  stats_.frames += total;
+  stats_.good_gate_evals += good.gate_evals() - good_evals_before;
+}
+
 std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
+  if (!config_.differential) return run_full_sweep(seq);
   std::vector<std::size_t> newly;
   if (seq.empty()) return newly;
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) pending.push_back(i);
+  }
+  std::vector<State3> states;
+  states.reserve(pending.size());
+  for (std::size_t i : pending) states.push_back(faulty_state_[i]);
+  std::vector<char> live(pending.size(), 1);
+  std::vector<Detection> dets;
+
+  simulate_differential(good_, pending, seq, states, live, dets);
+
+  // Reproduce the full-sweep engine's exact detection order regardless of
+  // windowing and repacking: group-of-origin (pending position / 64) first,
+  // then detection time, then slot.
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              if ((a.pos >> 6) != (b.pos >> 6)) {
+                return (a.pos >> 6) < (b.pos >> 6);
+              }
+              if (a.t != b.t) return a.t < b.t;
+              return a.pos < b.pos;
+            });
+  for (const Detection& d : dets) {
+    const std::size_t fi = pending[d.pos];
+    detected_[fi] = 1;
+    ++num_detected_;
+    newly.push_back(fi);
+  }
+  // Persist faulty flip-flop states for still-undetected faults only, like
+  // the full-sweep engine (faults detected during this run keep their
+  // pre-run state).
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (live[i]) faulty_state_[pending[i]] = std::move(states[i]);
+  }
+  return newly;
+}
+
+FaultSimulator::WhatIf FaultSimulator::what_if(
+    std::span<const std::size_t> fault_indices, const Sequence& seq) const {
+  WhatIf result;
+  if (seq.empty() || fault_indices.empty()) return result;
+  if (!config_.differential) return what_if_full_sweep(fault_indices, seq);
+
+  sim::SequenceSimulator good = good_;  // copy: session state untouched
+  good.reset_gate_evals();
+  std::vector<std::size_t> idx(fault_indices.begin(), fault_indices.end());
+  std::vector<State3> states;
+  states.reserve(idx.size());
+  for (std::size_t i : idx) states.push_back(faulty_state_[i]);
+  std::vector<char> live(idx.size(), 1);
+  std::vector<Detection> dets;
+
+  simulate_differential(good, idx, seq, states, live, dets);
+
+  result.detected = static_cast<unsigned>(dets.size());
+  // Fault effects parked in the state at sequence end (undetected slots
+  // whose faulty flip-flop value is defined and differs from the good
+  // machine's defined value).
+  const State3 good_final = good.state();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (!live[i]) continue;
+    for (std::size_t ff = 0; ff < good_final.size(); ++ff) {
+      const V3 g = good_final[ff];
+      const V3 b = states[i][ff];
+      if (g != V3::kX && b != V3::kX && g != b) {
+        ++result.state_effects;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Full-sweep reference engine
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
+  std::vector<std::size_t> newly;
+  if (seq.empty()) return newly;
+
+  const std::uint64_t good_evals_before = good_.gate_evals();
 
   // Pass 1: good machine, recording per-vector PO values (slot 0).
   const auto pos = c_.primary_outputs();
@@ -59,6 +393,8 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
     }
     good_.clock();
   }
+  stats_.frames += seq.size();
+  stats_.good_gate_evals += good_.gate_evals() - good_evals_before;
 
   // Pass 2: undetected faults in groups of 64, groups fanned out across
   // lanes.  Each group only touches its own faults' faulty_state_ entries
@@ -74,17 +410,17 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
 
   const std::size_t n_groups = (pending.size() + 63) / 64;
   std::vector<std::vector<std::size_t>> group_newly(n_groups);
-  const unsigned lanes = util::max_lanes(parallel_, pending.size(), 64);
-  if (group_machines_.size() < lanes) group_machines_.resize(lanes);
+  const unsigned lanes = util::max_lanes(config_.parallel, pending.size(), 64);
+  ensure_lanes(lanes);
 
   util::parallel_for_chunks(
-      parallel_, pending.size(), 64,
+      config_.parallel, pending.size(), 64,
       [&](std::size_t g, std::size_t begin, std::size_t end, unsigned lane) {
-        if (!group_machines_[lane]) {
-          group_machines_[lane] =
-              std::make_unique<sim::SequenceSimulator>(c_);
+        Lane& scratch = lanes_[lane];
+        if (!scratch.machine) {
+          scratch.machine = std::make_unique<sim::SequenceSimulator>(c_);
         }
-        sim::SequenceSimulator& machine = *group_machines_[lane];
+        sim::SequenceSimulator& machine = *scratch.machine;
         const std::size_t count = end - begin;
 
         machine.clear_overrides();
@@ -109,6 +445,7 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
           machine.set_ff_packed(ff, w);
         }
 
+        scratch.stats.group_vectors += seq.size();
         std::uint64_t live = count == 64 ? ~0ULL : ((1ULL << count) - 1);
         for (std::size_t t = 0; t < seq.size(); ++t) {
           machine.apply_packed(packed_seq[t]);
@@ -141,6 +478,8 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
           }
         }
       });
+
+  drain_lane_stats(lanes);
 
   // Deterministic merge: detections land in (group, time, slot) order —
   // exactly the order the serial sweep produced them in.
@@ -182,13 +521,13 @@ bool FaultSimulator::would_detect(std::size_t fault_index,
   return false;
 }
 
-FaultSimulator::WhatIf FaultSimulator::what_if(
+FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep(
     std::span<const std::size_t> fault_indices, const Sequence& seq) const {
   WhatIf result;
-  if (seq.empty() || fault_indices.empty()) return result;
 
   // Good machine: a copy of the session machine, run once.
   sim::SequenceSimulator good = good_;
+  good.reset_gate_evals();
   const auto pos = c_.primary_outputs();
   std::vector<std::vector<V3>> good_po(seq.size(), std::vector<V3>(pos.size()));
   for (std::size_t t = 0; t < seq.size(); ++t) {
@@ -198,7 +537,9 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
     }
     good.clock();
   }
-  const sim::State3 good_final = good.state();
+  const State3 good_final = good.state();
+  stats_.frames += seq.size();
+  stats_.good_gate_evals += good.gate_evals();
 
   const std::size_t nff = c_.flip_flops().size();
   const auto packed_seq = pack_sequence(seq);
@@ -208,12 +549,22 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
   // schedule-independent too.
   const std::size_t n_groups = (fault_indices.size() + 63) / 64;
   std::vector<WhatIf> per_group(n_groups);
+  const unsigned lanes =
+      util::max_lanes(config_.parallel, fault_indices.size(), 64);
+  ensure_lanes(lanes);
 
   util::parallel_for_chunks(
-      parallel_, fault_indices.size(), 64,
-      [&](std::size_t g, std::size_t begin, std::size_t end, unsigned) {
+      config_.parallel, fault_indices.size(), 64,
+      [&](std::size_t g, std::size_t begin, std::size_t end, unsigned lane) {
+        Lane& scratch = lanes_[lane];
+        if (!scratch.machine) {
+          scratch.machine = std::make_unique<sim::SequenceSimulator>(c_);
+        }
+        sim::SequenceSimulator& machine = *scratch.machine;
         const std::size_t count = end - begin;
-        sim::SequenceSimulator machine(c_);
+
+        machine.clear_overrides();
+        machine.reset();
         for (std::size_t s = 0; s < count; ++s) {
           const Fault& f = faults_[fault_indices[begin + s]];
           const std::uint64_t mask = 1ULL << s;
@@ -233,6 +584,7 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
           machine.set_ff_packed(ff, w);
         }
 
+        scratch.stats.group_vectors += seq.size();
         const std::uint64_t live_all =
             count == 64 ? ~0ULL : ((1ULL << count) - 1);
         std::uint64_t detected_mask = 0;
@@ -264,6 +616,8 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
         per_group[g].state_effects =
             static_cast<unsigned>(__builtin_popcountll(effect_mask));
       });
+
+  drain_lane_stats(lanes);
 
   for (const WhatIf& g : per_group) {
     result.detected += g.detected;

@@ -9,6 +9,27 @@
 // when a primary output has a defined good value and the opposite defined
 // faulty value (X outputs never detect — the standard pessimistic rule).
 //
+// Two engines produce bit-identical results (tested against each other):
+//
+//  * The *differential* engine (default) is the full PROOFS design.  The
+//    good machine is simulated once per window of vectors, recording its
+//    settled node values per frame; each fault group's machine is then
+//    seeded from the good values every vector and only the fault-site and
+//    state differences are propagated event-driven through their fanout
+//    cones.  Before simulating a group for a vector, a screen checks which
+//    slots are excited at their fault site by the good values or carry
+//    parked fault effects in their persisted state — a group with no such
+//    slot skips the vector entirely (this is where late-ATPG time goes,
+//    when only a handful of hard faults remain).  At every window boundary
+//    the still-undetected faults are repacked into dense 64-slot groups in
+//    stable fault-index order, so grouping, results, and detection order
+//    are deterministic and thread-count-independent.
+//
+//  * The *full-sweep* engine (FaultSimConfig::differential = false) is the
+//    retained reference path: each group resets to all-X and re-evaluates
+//    the whole circuit per sequence.  It exists to differentially test the
+//    differential engine and as the fallback baseline in benches.
+//
 // The 64-fault groups are independent, so run() and what_if() fan them out
 // across the shared worker pool (util::parallel), one thread-local
 // SequenceSimulator per lane.  Per-group detections are merged serially in
@@ -27,10 +48,53 @@
 
 namespace gatpg::fault {
 
+/// Engine options.  `parallel` is first so brace-initialization with a bare
+/// thread count ({4}) keeps meaning "4 threads".
+struct FaultSimConfig {
+  util::ParallelConfig parallel;
+  /// true = PROOFS differential engine (good-machine seeding, excitation
+  /// screening, dynamic repacking); false = the retained full-sweep
+  /// reference engine.  Results are bit-identical either way.
+  bool differential = true;
+  /// Vectors per differential window: the good machine is recorded and the
+  /// group sweep advanced window by window, with detected faults repacked
+  /// out of the dense 64-slot groups at every boundary.  Also bounds the
+  /// good-frame recording memory (window × nodes × 16 bytes).
+  unsigned window = 32;
+};
+
+/// Cost and effectiveness counters, accumulated across run()/what_if()
+/// calls; reset with reset_stats().  All counts are deterministic and
+/// thread-count-independent.
+struct SimStats {
+  std::uint64_t gate_evals = 0;       ///< faulty-machine gate evaluations
+  std::uint64_t good_gate_evals = 0;  ///< good-machine gate evaluations
+  std::uint64_t frames = 0;           ///< good-machine vectors simulated
+  std::uint64_t group_vectors = 0;    ///< (group, vector) pairs examined
+  std::uint64_t group_vectors_skipped = 0;  ///< screened out entirely
+  std::uint64_t groups_repacked = 0;  ///< dense rebuilds after detections
+
+  double skip_rate() const {
+    return group_vectors == 0
+               ? 0.0
+               : static_cast<double>(group_vectors_skipped) /
+                     static_cast<double>(group_vectors);
+  }
+  SimStats& operator+=(const SimStats& o) {
+    gate_evals += o.gate_evals;
+    good_gate_evals += o.good_gate_evals;
+    frames += o.frames;
+    group_vectors += o.group_vectors;
+    group_vectors_skipped += o.group_vectors_skipped;
+    groups_repacked += o.groups_repacked;
+    return *this;
+  }
+};
+
 class FaultSimulator {
  public:
   FaultSimulator(const netlist::Circuit& c, std::vector<Fault> faults,
-                 util::ParallelConfig parallel = {});
+                 FaultSimConfig config = {});
 
   /// Simulates `seq` as a continuation of everything simulated so far.
   /// Returns the indices (into faults()) of faults newly detected by it.
@@ -48,6 +112,16 @@ class FaultSimulator {
   /// Good-machine state after everything simulated so far.
   sim::State3 good_state() const { return good_.state(0); }
 
+  /// Persisted faulty flip-flop state of one fault (the parked fault
+  /// effects the differential screen tests against the good state).
+  const sim::State3& fault_state(std::size_t fault_index) const {
+    return faulty_state_[fault_index];
+  }
+
+  const FaultSimConfig& config() const { return config_; }
+  const SimStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SimStats{}; }
+
   /// Non-mutating what-if: would appending `seq` to the session detect
   /// fault `fault_index`?  Simulates copies of the good machine and of that
   /// fault's machine; the session state is untouched.  The test generators
@@ -60,7 +134,9 @@ class FaultSimulator {
   /// (good/faulty both defined and different at sequence end)?  This is the
   /// fitness kernel of the simulation-based test generators (GATEST/CRIS
   /// style), where partial credit for driving fault effects into the state
-  /// guides the search toward eventual detections.
+  /// guides the search toward eventual detections.  Reuses the lane-local
+  /// machines, so concurrent calls on one FaultSimulator are not allowed
+  /// (no caller does that; the engines grade candidates serially).
   struct WhatIf {
     unsigned detected = 0;
     unsigned state_effects = 0;
@@ -74,21 +150,61 @@ class FaultSimulator {
                       const sim::Sequence& seq);
 
  private:
+  /// One detection event inside a sweep: `pos` indexes the sweep's fault
+  /// list, `t` is the global frame.  Sorting by (pos / 64, t, pos)
+  /// reproduces the full-sweep engine's exact detection order regardless of
+  /// windowing and repacking.
+  struct Detection {
+    std::uint32_t pos = 0;
+    std::uint32_t t = 0;
+  };
+
+  /// Per-lane scratch: the group machine plus packed state and counters,
+  /// owned exclusively by one lane of the worker pool during a sweep.
+  struct Lane {
+    std::unique_ptr<sim::SequenceSimulator> machine;
+    std::vector<sim::PackedV3> ff;  ///< per-slot faulty present state
+    SimStats stats;
+  };
+
+  /// The differential core shared by run() and what_if(): advances `good`
+  /// over `seq` window by window and sweeps the faults of `fault_indices`
+  /// differentially against it.  `states` (one per index) and `live` are
+  /// read and updated in place; detections are appended unordered by group.
+  void simulate_differential(sim::SequenceSimulator& good,
+                             const std::vector<std::size_t>& fault_indices,
+                             const sim::Sequence& seq,
+                             std::vector<sim::State3>& states,
+                             std::vector<char>& live,
+                             std::vector<Detection>& detections) const;
+
+  std::vector<std::size_t> run_full_sweep(const sim::Sequence& seq);
+  WhatIf what_if_full_sweep(std::span<const std::size_t> fault_indices,
+                            const sim::Sequence& seq) const;
+
   /// The input sequence broadcast into packed form once per call (shared
-  /// read-only by every fault group).
+  /// read-only by every fault group of the full-sweep engine).
   std::vector<std::vector<sim::PackedV3>> pack_sequence(
       const sim::Sequence& seq) const;
 
+  sim::SequenceSimulator& lane_machine(unsigned lane) const;
+  void ensure_lanes(unsigned lanes) const;
+  /// Serially folds the per-lane counters and machine eval counts into
+  /// stats_ after a parallel sweep (sums are schedule-independent).
+  void drain_lane_stats(unsigned lanes) const;
+
   const netlist::Circuit& c_;
   std::vector<Fault> faults_;
-  util::ParallelConfig parallel_;
+  FaultSimConfig config_;
   std::vector<char> detected_;
   std::size_t num_detected_ = 0;
   sim::SequenceSimulator good_;
-  // One group machine per lane, created on first use and reused across
-  // run() calls; lane 0 is the (only) machine of the serial path.
-  std::vector<std::unique_ptr<sim::SequenceSimulator>> group_machines_;
+  // One group machine (+ scratch) per lane, created on first use and reused
+  // across run()/what_if() calls; lane 0 is the (only) machine of the
+  // serial path.  Mutable: what_if is logically const but reuses them.
+  mutable std::vector<Lane> lanes_;
   std::vector<sim::State3> faulty_state_;  // one per fault
+  mutable SimStats stats_;
 };
 
 }  // namespace gatpg::fault

@@ -200,7 +200,9 @@ AtpgResult HybridAtpg::run() {
   result.total_faults = faults_.size();
   result.fault_state.assign(faults_.size(), FaultState::kUndetected);
 
-  fault::FaultSimulator fsim(c_, faults_.faults, config_.parallel);
+  fault::FaultSimConfig fsim_config = config_.faultsim;
+  fsim_config.parallel = config_.parallel;
+  fault::FaultSimulator fsim(c_, faults_.faults, fsim_config);
   Sequence test_set;
   std::vector<Sequence> segments;
   util::Stopwatch total;

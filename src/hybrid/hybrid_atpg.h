@@ -94,6 +94,10 @@ struct HybridConfig {
   /// justifier's batch evaluation (0 = hardware_concurrency, 1 = serial).
   /// Results are bit-identical for any thread count.
   util::ParallelConfig parallel;
+  /// Fault-simulator engine options (differential vs full-sweep, window).
+  /// The `parallel` member above overrides faultsim.parallel so one knob
+  /// sizes every pool.
+  fault::FaultSimConfig faultsim;
   /// Conclusion-section option: cheap combinational-exhaustion prescreen
   /// that marks easy untestables before pass 1 (bench_prefilter).
   bool prefilter_untestable = false;

@@ -1,5 +1,6 @@
 #include "sim/seqsim.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gatpg::sim {
@@ -12,6 +13,15 @@ SequenceSimulator::SequenceSimulator(const netlist::Circuit& c)
       values_(c.node_count()),
       queue_(c),
       node_has_in_over_(c.node_count(), 0) {
+  std::size_t max_fanin = 1;
+  for (NodeId n = 0; n < c.node_count(); ++n) {
+    max_fanin = std::max(max_fanin, c.fanin_count(n));
+  }
+  eval_ins_.resize(max_fanin);
+  eval_idx_.resize(max_fanin);
+  for (std::size_t i = 0; i < max_fanin; ++i) {
+    eval_idx_[i] = static_cast<NodeId>(i);
+  }
   reset();
 }
 
@@ -85,6 +95,17 @@ void SequenceSimulator::clear_overrides() {
   mark_dirty();
 }
 
+void SequenceSimulator::retain_override_slots(std::uint64_t slot_mask) {
+  for (auto& [n, m] : out_over_) {
+    m.one &= slot_mask;
+    m.zero &= slot_mask;
+  }
+  for (auto& [key, m] : in_over_) {
+    m.one &= slot_mask;
+    m.zero &= slot_mask;
+  }
+}
+
 void SequenceSimulator::mark_dirty() { first_vector_ = true; }
 
 void SequenceSimulator::force_source_overrides() {
@@ -94,23 +115,22 @@ void SequenceSimulator::force_source_overrides() {
 }
 
 bool SequenceSimulator::evaluate(NodeId n) {
+  ++gate_evals_;
   PackedV3 next;
   if (node_has_in_over_[n]) {
     // Slow path: this gate carries injected input-pin faults; fetch fanin
-    // values with the per-pin masks applied.
+    // values with the per-pin masks applied into the preallocated scratch.
     const auto fanins = circuit_.fanins(n);
-    std::vector<PackedV3> ins(fanins.size());
     for (std::size_t i = 0; i < fanins.size(); ++i) {
-      ins[i] = values_[fanins[i]];
+      PackedV3 v = values_[fanins[i]];
       auto it = in_over_.find(in_key(n, static_cast<unsigned>(i)));
-      if (it != in_over_.end()) ins[i] = apply_masks(ins[i], it->second);
+      if (it != in_over_.end()) v = apply_masks(v, it->second);
+      eval_ins_[i] = v;
     }
-    std::vector<NodeId> idx(fanins.size());
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      idx[i] = static_cast<NodeId>(i);
-    }
-    next = eval_gate_packed(circuit_.type(n), idx,
-                            [&](NodeId i) { return ins[i]; });
+    next = eval_gate_packed(
+        circuit_.type(n),
+        std::span<const NodeId>(eval_idx_.data(), fanins.size()),
+        [this](NodeId i) { return eval_ins_[i]; });
   } else {
     next = eval_gate_packed(circuit_.type(n), circuit_.fanins(n),
                             [this](NodeId f) { return values_[f]; });
@@ -179,6 +199,64 @@ void SequenceSimulator::clock() {
   // Settle the combinational logic so post-clock reads are consistent with
   // the new state (costs nothing when the next apply would drain anyway).
   queue_.drain([this](NodeId n) { return evaluate(n); });
+}
+
+void SequenceSimulator::apply_differential(
+    const std::vector<PackedV3>& good_values,
+    std::span<const PackedV3> ff_state) {
+  if (good_values.size() != values_.size()) {
+    throw std::invalid_argument("apply_differential: node arity mismatch");
+  }
+  values_ = good_values;
+
+  // Overlay the faulty flip-flop state; differing flip-flops disturb their
+  // fanout cones.
+  const auto ffs = circuit_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (values_[ffs[i]] == ff_state[i]) continue;
+    values_[ffs[i]] = ff_state[i];
+    queue_.schedule_fanouts(ffs[i]);
+  }
+
+  // Re-force stuck sources (PI/flip-flop/constant output faults); a forced
+  // value differing from the good baseline is a difference to propagate.
+  for (NodeId n : overridden_sources_) {
+    const PackedV3 forced = apply_masks(values_[n], out_over_[n]);
+    if (forced == values_[n]) continue;
+    values_[n] = forced;
+    queue_.schedule_fanouts(n);
+  }
+
+  // Wake the combinational fault sites whose forced value actually differs
+  // from the good baseline this frame (a word compare per site — much
+  // cheaper than unconditionally re-evaluating every site's gate).
+  for (const auto& [n, masks] : out_over_) {
+    if (!netlist::is_combinational(circuit_.type(n))) continue;
+    if (apply_masks(values_[n], masks) == values_[n]) continue;
+    queue_.schedule(n);
+  }
+  for (const auto& [key, masks] : in_over_) {
+    const NodeId n = static_cast<NodeId>(key >> 16);
+    const PackedV3 v =
+        values_[circuit_.fanins(n)[static_cast<std::size_t>(key & 0xFFFF)]];
+    if (apply_masks(v, masks) == v) continue;
+    queue_.schedule(n);
+  }
+
+  queue_.drain([this](NodeId n) { return evaluate(n); });
+  first_vector_ = false;
+}
+
+PackedV3 SequenceSimulator::next_state_packed(std::size_t ff_index) const {
+  const NodeId ff = circuit_.flip_flops()[ff_index];
+  PackedV3 d = values_[circuit_.fanins(ff)[0]];
+  if (node_has_in_over_[ff]) {
+    auto it = in_over_.find(in_key(ff, 0));
+    if (it != in_over_.end()) d = apply_masks(d, it->second);
+  }
+  auto out = out_over_.find(ff);
+  if (out != out_over_.end()) d = apply_masks(d, out->second);
+  return d;
 }
 
 void SequenceSimulator::run_sequence(const Sequence& seq) {

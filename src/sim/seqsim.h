@@ -11,9 +11,19 @@
 // slot masks, so one simulator instance can carry a different fault in every
 // slot (parallel-fault simulation) or the same fault in all slots (GA
 // fitness evaluation of 64 candidate sequences against one fault).
+//
+// Two stepping modes are offered.  apply_packed()/clock() is the
+// self-contained mode: the machine carries its own state and traces its own
+// events from vector to vector.  apply_differential() is the PROOFS
+// differential mode driven by FaultSimulator: the caller supplies the good
+// machine's settled node values for the frame, the machine overlays the
+// per-slot faulty flip-flop state and its fault overrides, and only the
+// disturbed fanout cones are re-evaluated — the cost scales with the size of
+// the fault-effect cones instead of with circuit activity.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +68,10 @@ class SequenceSimulator {
                           std::uint64_t slot_mask);
   void clear_overrides();
   bool has_overrides() const { return !out_over_.empty() || !in_over_.empty(); }
+  /// Restricts every override to the slots of `slot_mask`, dropping fault
+  /// injection for the rest (the fault simulator retires detected slots this
+  /// way mid-sweep so they stop generating differential events).
+  void retain_override_slots(std::uint64_t slot_mask);
 
   // -- Simulation -----------------------------------------------------------
 
@@ -74,6 +88,32 @@ class SequenceSimulator {
 
   /// Applies every vector of a sequence (apply + clock each cycle).
   void run_sequence(const Sequence& seq);
+
+  // -- Differential stepping (PROOFS) ---------------------------------------
+
+  /// One differential frame: seeds every node value from `good_values` (the
+  /// good machine's settled values for this frame, broadcast in all slots),
+  /// overlays the packed per-slot faulty flip-flop state, re-forces stuck
+  /// sources, wakes the fault sites, and event-propagates only the disturbed
+  /// cones.  Afterwards value() reads are consistent faulty values for every
+  /// node, and next_state_packed() yields the faulty next state; the caller
+  /// owns state persistence (clock() is not used in this mode).
+  void apply_differential(const std::vector<PackedV3>& good_values,
+                          std::span<const PackedV3> ff_state);
+
+  /// Faulty next-state value of flip-flop `ff_index` after the current
+  /// frame: the settled D-input value with the flip-flop's own input/output
+  /// fault masks applied — exactly what clock() would latch.
+  PackedV3 next_state_packed(std::size_t ff_index) const;
+
+  /// The full node-value array (the good machine's per-frame recording that
+  /// seeds apply_differential on the faulty machines).
+  const std::vector<PackedV3>& node_values() const { return values_; }
+
+  /// Number of gate evaluations performed since construction or the last
+  /// reset_gate_evals() — the fault simulator's primary cost metric.
+  std::uint64_t gate_evals() const { return gate_evals_; }
+  void reset_gate_evals() { gate_evals_ = 0; }
 
   PackedV3 value(netlist::NodeId n) const { return values_[n]; }
   V3 scalar_value(netlist::NodeId n, unsigned slot = 0) const {
@@ -115,6 +155,11 @@ class SequenceSimulator {
   std::vector<PackedV3> values_;
   LevelQueue queue_;
   bool first_vector_ = true;
+  std::uint64_t gate_evals_ = 0;
+  // Scratch for the input-override slow path of evaluate(), sized to the
+  // widest gate once so no evaluation allocates.
+  std::vector<PackedV3> eval_ins_;
+  std::vector<netlist::NodeId> eval_idx_;
 
   std::unordered_map<netlist::NodeId, Masks> out_over_;
   std::unordered_map<std::uint64_t, Masks> in_over_;

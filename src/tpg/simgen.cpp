@@ -13,7 +13,7 @@ SimulationTestGenerator::SimulationTestGenerator(const netlist::Circuit& c,
     : c_(c),
       config_(config),
       faults_(fault::collapse(c)),
-      fsim_(c, faults_.faults),
+      fsim_(c, faults_.faults, config.faultsim),
       rng_(config.seed) {}
 
 std::vector<std::size_t> SimulationTestGenerator::sample_undetected() {

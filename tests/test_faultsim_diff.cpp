@@ -1,0 +1,237 @@
+// Differential-vs-full-sweep equivalence for the PROOFS fault simulator.
+//
+// The differential engine (good-machine seeding + excitation screening +
+// dynamic repacking) must be bit-identical to the retained full-sweep
+// reference engine: same detections, same detection *order*, same persisted
+// faulty flip-flop states, same good-machine state — across randomized
+// circuits, random (including partially-X) sequences, multi-run sessions,
+// any window size, and any thread count.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+#include "helpers/random_circuit.h"
+
+namespace {
+
+using namespace gatpg;
+using fault::FaultSimConfig;
+using fault::FaultSimulator;
+
+FaultSimConfig make_config(bool differential, unsigned threads,
+                           unsigned window = 32) {
+  FaultSimConfig config;
+  config.parallel.threads = threads;
+  config.differential = differential;
+  config.window = window;
+  return config;
+}
+
+std::vector<test::RandomCircuitSpec> specs() {
+  std::vector<test::RandomCircuitSpec> out;
+  out.push_back({4, 3, 30, 3, 11});
+  out.push_back({6, 5, 90, 4, 22});
+  out.push_back({8, 8, 160, 6, 33});
+  out.push_back({5, 0, 40, 3, 44});  // purely combinational (no flip-flops)
+  return out;
+}
+
+/// A session of several run() extensions with varying X density, exercising
+/// state persistence, fault dropping, and cross-window behaviour.
+std::vector<sim::Sequence> session_chunks(const netlist::Circuit& c,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  return {test::random_sequence(c, rng, 17, 0.0),
+          test::random_sequence(c, rng, 9, 0.25),
+          test::random_sequence(c, rng, 41, 0.1)};
+}
+
+void expect_sessions_match(const netlist::Circuit& c,
+                           const std::vector<fault::Fault>& faults,
+                           const std::vector<sim::Sequence>& chunks,
+                           FaultSimConfig config_a, FaultSimConfig config_b) {
+  FaultSimulator a(c, faults, config_a);
+  FaultSimulator b(c, faults, config_b);
+  for (std::size_t k = 0; k < chunks.size(); ++k) {
+    const auto newly_a = a.run(chunks[k]);
+    const auto newly_b = b.run(chunks[k]);
+    ASSERT_EQ(newly_a, newly_b) << "detection lists differ at chunk " << k;
+  }
+  ASSERT_EQ(a.detected(), b.detected());
+  ASSERT_EQ(a.detected_count(), b.detected_count());
+  ASSERT_EQ(a.good_state(), b.good_state());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    ASSERT_EQ(a.fault_state(i), b.fault_state(i))
+        << "persisted faulty state differs for fault " << i;
+  }
+}
+
+TEST(FaultSimDiff, MatchesFullSweepSerial) {
+  for (const auto& spec : specs()) {
+    const auto c = test::make_random_circuit(spec);
+    const auto faults = fault::collapse(c).faults;
+    expect_sessions_match(c, faults, session_chunks(c, spec.seed),
+                          make_config(true, 1), make_config(false, 1));
+  }
+}
+
+TEST(FaultSimDiff, MatchesFullSweepThreaded) {
+  // Strongest cross-check: differential at 4 threads vs full sweep serial.
+  for (const auto& spec : specs()) {
+    const auto c = test::make_random_circuit(spec);
+    const auto faults = fault::collapse(c).faults;
+    expect_sessions_match(c, faults, session_chunks(c, spec.seed),
+                          make_config(true, 4), make_config(false, 1));
+  }
+}
+
+TEST(FaultSimDiff, ThreadCountIndependent) {
+  for (const auto& spec : specs()) {
+    const auto c = test::make_random_circuit(spec);
+    const auto faults = fault::collapse(c).faults;
+    expect_sessions_match(c, faults, session_chunks(c, spec.seed),
+                          make_config(true, 1), make_config(true, 4));
+  }
+}
+
+TEST(FaultSimDiff, WindowIndependent) {
+  // Window boundaries decide when repacking happens and how much of the good
+  // machine is recorded at once; none of it may show in the results.
+  const test::RandomCircuitSpec spec{6, 5, 90, 4, 7};
+  const auto c = test::make_random_circuit(spec);
+  const auto faults = fault::collapse(c).faults;
+  for (unsigned window : {1u, 2u, 7u, 64u}) {
+    expect_sessions_match(c, faults, session_chunks(c, 99),
+                          make_config(true, 2, window),
+                          make_config(false, 1));
+  }
+}
+
+TEST(FaultSimDiff, WhatIfMatchesFullSweepAndKeepsSessionIntact) {
+  for (const auto& spec : specs()) {
+    const auto c = test::make_random_circuit(spec);
+    const auto faults = fault::collapse(c).faults;
+    FaultSimulator diff(c, faults, make_config(true, 4));
+    FaultSimulator full(c, faults, make_config(false, 1));
+
+    // Advance both sessions so what_if starts from a nontrivial state.
+    util::Rng rng(spec.seed + 5);
+    const auto warmup = test::random_sequence(c, rng, 13, 0.1);
+    ASSERT_EQ(diff.run(warmup), full.run(warmup));
+
+    std::vector<std::size_t> all(faults.size());
+    std::iota(all.begin(), all.end(), 0);
+    const auto probe = test::random_sequence(c, rng, 21, 0.15);
+
+    const auto wa = diff.what_if(all, probe);
+    const auto wb = full.what_if(all, probe);
+    EXPECT_EQ(wa.detected, wb.detected);
+    EXPECT_EQ(wa.state_effects, wb.state_effects);
+
+    // Subset query (the GA's sampled-fault fitness shape).
+    const std::vector<std::size_t> subset(
+        all.begin(), all.begin() + std::min<std::size_t>(all.size(), 7));
+    const auto sa = diff.what_if(subset, probe);
+    const auto sb = full.what_if(subset, probe);
+    EXPECT_EQ(sa.detected, sb.detected);
+    EXPECT_EQ(sa.state_effects, sb.state_effects);
+
+    // what_if must not have touched the sessions: continuing them still
+    // yields identical detections and states.
+    const auto more = test::random_sequence(c, rng, 11, 0.0);
+    EXPECT_EQ(diff.run(more), full.run(more));
+    EXPECT_EQ(diff.good_state(), full.good_state());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      EXPECT_EQ(diff.fault_state(i), full.fault_state(i));
+    }
+  }
+}
+
+TEST(FaultSimDiff, StatsAreDeterministicAndConsistent) {
+  const test::RandomCircuitSpec spec{6, 5, 90, 4, 13};
+  const auto c = test::make_random_circuit(spec);
+  const auto faults = fault::collapse(c).faults;
+
+  auto run_session = [&](unsigned threads) {
+    FaultSimulator fs(c, faults, make_config(true, threads, 8));
+    for (const auto& chunk : session_chunks(c, 42)) fs.run(chunk);
+    return fs.stats();
+  };
+  const auto s1 = run_session(1);
+  const auto s4 = run_session(4);
+
+  // All counters are exactly thread-count-independent.
+  EXPECT_EQ(s1.gate_evals, s4.gate_evals);
+  EXPECT_EQ(s1.good_gate_evals, s4.good_gate_evals);
+  EXPECT_EQ(s1.frames, s4.frames);
+  EXPECT_EQ(s1.group_vectors, s4.group_vectors);
+  EXPECT_EQ(s1.group_vectors_skipped, s4.group_vectors_skipped);
+  EXPECT_EQ(s1.groups_repacked, s4.groups_repacked);
+
+  EXPECT_GT(s1.gate_evals, 0u);
+  EXPECT_GT(s1.good_gate_evals, 0u);
+  EXPECT_EQ(s1.frames, 17u + 9u + 41u);
+  EXPECT_LE(s1.group_vectors_skipped, s1.group_vectors);
+  EXPECT_GE(s1.skip_rate(), 0.0);
+  EXPECT_LE(s1.skip_rate(), 1.0);
+
+  // reset_stats clears everything.
+  FaultSimulator fs(c, faults);
+  fs.run(session_chunks(c, 42)[0]);
+  EXPECT_GT(fs.stats().gate_evals + fs.stats().good_gate_evals, 0u);
+  fs.reset_stats();
+  EXPECT_EQ(fs.stats().gate_evals, 0u);
+  EXPECT_EQ(fs.stats().frames, 0u);
+}
+
+TEST(FaultSimDiff, DifferentialDoesLessWork) {
+  // The whole point: on a session-style workload the differential engine
+  // must evaluate far fewer gates than the full sweep.  (The acceptance
+  // threshold of >= 2x is measured on the ISCAS-style bench circuits; random
+  // circuits here just need to show a reduction.)
+  const test::RandomCircuitSpec spec{8, 8, 160, 6, 21};
+  const auto c = test::make_random_circuit(spec);
+  const auto faults = fault::collapse(c).faults;
+  util::Rng rng(3);
+  const auto seq = test::random_sequence(c, rng, 64, 0.0);
+
+  FaultSimulator diff(c, faults, make_config(true, 1));
+  FaultSimulator full(c, faults, make_config(false, 1));
+  ASSERT_EQ(diff.run(seq), full.run(seq));
+
+  const auto total = [](const fault::SimStats& s) {
+    return s.gate_evals + s.good_gate_evals;
+  };
+  EXPECT_LT(total(diff.stats()), total(full.stats()));
+}
+
+TEST(FaultSimDiff, ScreenSkipsUnexcitedFaults) {
+  // g = AND(a, b) stuck-at-1: while a = b = 1 the good value equals the
+  // stuck value, nothing is excited and no fault effect is parked, so the
+  // screen must skip every vector without a single faulty-machine gate
+  // evaluation.  Dropping b to 0 excites the fault and detects it.
+  netlist::CircuitBuilder builder;
+  const auto a = builder.add_input("a");
+  const auto b = builder.add_input("b");
+  const auto g = builder.add_gate(netlist::GateType::kAnd, "g", {a, b});
+  builder.mark_output(g);
+  const auto c = std::move(builder).build("screen");
+
+  const std::vector<fault::Fault> faults{{g, fault::kOutputPin, true}};
+  FaultSimulator fs(c, faults, make_config(true, 1));
+
+  const sim::Sequence quiet(6, sim::Vector3{sim::V3::k1, sim::V3::k1});
+  EXPECT_TRUE(fs.run(quiet).empty());
+  EXPECT_EQ(fs.stats().group_vectors, 6u);
+  EXPECT_EQ(fs.stats().group_vectors_skipped, 6u);
+  EXPECT_EQ(fs.stats().gate_evals, 0u);
+
+  const sim::Sequence excite(1, sim::Vector3{sim::V3::k1, sim::V3::k0});
+  EXPECT_EQ(fs.run(excite).size(), 1u);
+}
+
+}  // namespace
