@@ -9,7 +9,8 @@
 // competitive everywhere and uniquely able to prove untestability
 // (random/GA baselines report none).
 //
-// Usage: bench_alternatives [--time-scale=X] [--pass-budget=X] [names...]
+// Usage: bench_alternatives [--time-scale=X] [--pass-budget=X] [--json=FILE]
+//        [names...]
 #include <cstdio>
 
 #include "common.h"
@@ -28,57 +29,48 @@ int main(int argc, char** argv) {
 
   std::printf("Test-generator landscape (whole-run budget %.3gs/engine)\n",
               budget);
-  util::TablePrinter table({"Circuit", "Engine", "Det", "Unt", "Vec",
-                            "Time", "Cov%"});
+  bench::JsonReport json;
+  bench::JsonReport* json_ptr = options.json_path.empty() ? nullptr : &json;
+  auto table = bench::make_engine_table();
   for (const auto& name : names) {
     const auto c = gen::make_circuit(name);
     const std::size_t total = fault::collapse(c).size();
-    auto emit = [&](const char* engine, std::size_t det, std::size_t unt,
-                    std::size_t vec, double time_s) {
-      table.add_row({c.name(), engine, std::to_string(det),
-                     std::to_string(unt), std::to_string(vec),
-                     util::format_duration(time_s),
-                     util::format_sig(100.0 * static_cast<double>(det) /
-                                          static_cast<double>(total),
-                                      3)});
+    auto emit = [&](const std::string& engine,
+                    const session::SessionResult& r, double time_s) {
+      bench::add_engine_row(table, c.name(), engine, total, r, time_s);
     };
 
-    {
+    for (const bool weighted : {false, true}) {
       tpg::RandomGenConfig cfg;
       cfg.seed = options.seed;
+      cfg.weighted = weighted;
       cfg.max_vectors = 100000;
       cfg.stagnation_blocks = 30;
+      const char* engine = weighted ? "weighted" : "random";
+      auto observer = bench::JsonReport::observe(json_ptr, c.name(), engine);
       util::Stopwatch timer;
-      const auto r = tpg::random_pattern_generate(c, cfg);
-      emit("random", r.detected, 0, r.test_set.size(), timer.seconds());
-    }
-    {
-      tpg::RandomGenConfig cfg;
-      cfg.seed = options.seed;
-      cfg.weighted = true;
-      cfg.max_vectors = 100000;
-      cfg.stagnation_blocks = 30;
-      util::Stopwatch timer;
-      const auto r = tpg::random_pattern_generate(c, cfg);
-      emit("weighted", r.detected, 0, r.test_set.size(), timer.seconds());
+      const auto r = tpg::random_pattern_generate(c, cfg, &observer);
+      emit(engine, r, timer.seconds());
     }
     {
       tpg::SimGenConfig cfg;
       cfg.seed = options.seed;
       cfg.time_limit_s = budget;
+      auto observer = bench::JsonReport::observe(json_ptr, c.name(), "sim-GA");
       util::Stopwatch timer;
-      const auto r = tpg::SimulationTestGenerator(c, cfg).run();
-      emit("sim-GA", r.detected, 0, r.test_set.size(), timer.seconds());
+      const auto r = tpg::SimulationTestGenerator(c, cfg).run(&observer);
+      emit("sim-GA", r, timer.seconds());
     }
     {
       tpg::AlternatingConfig cfg;
       cfg.seed = options.seed;
       cfg.time_limit_s = budget;
       cfg.det_limits.time_limit_s = 10 * options.time_scale;
+      auto observer =
+          bench::JsonReport::observe(json_ptr, c.name(), "alt-hybrid");
       util::Stopwatch timer;
-      const auto r = tpg::alternating_hybrid_generate(c, cfg);
-      emit("alt-hybrid", r.detected, r.untestable, r.test_set.size(),
-           timer.seconds());
+      const auto r = tpg::alternating_hybrid_generate(c, cfg, &observer);
+      emit("alt-hybrid", r, timer.seconds());
     }
     for (const bool use_ga : {false, true}) {
       hybrid::HybridConfig cfg;
@@ -88,15 +80,17 @@ int main(int argc, char** argv) {
         pass.pass_budget_s = options.pass_budget_s;
       }
       cfg.seed = options.seed;
+      const char* engine = use_ga ? "GA-HITEC" : "HITEC";
+      auto observer = bench::JsonReport::observe(json_ptr, c.name(), engine);
       util::Stopwatch timer;
-      const auto r = hybrid::HybridAtpg(c, cfg).run();
-      emit(use_ga ? "GA-HITEC" : "HITEC", r.detected(), r.untestable(),
-           r.test_set.size(), timer.seconds());
+      const auto r = hybrid::HybridAtpg(c, cfg).run(&observer);
+      emit(engine, r, timer.seconds());
     }
     table.add_rule();
   }
   table.print();
   std::printf("\nShape checks: only the deterministic-capable engines report "
               "Unt > 0; GA-HITEC leads or ties on the datapath rows.\n");
+  bench::finish_json(options, json);
   return 0;
 }

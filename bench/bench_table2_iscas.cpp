@@ -28,14 +28,17 @@ int main(int argc, char** argv) {
   std::printf("Table II: GA-HITEC vs HITEC (time scale %g; analogs unless "
               "real .bench present)\n",
               options.time_scale);
-  std::printf("%46s %-28s %s\n", "", "GA-HITEC", "HITEC");
+  bench::print_comparison_banner();
+  bench::JsonReport json;
+  bench::JsonReport* json_ptr = options.json_path.empty() ? nullptr : &json;
   auto table = bench::make_comparison_table();
   for (const std::string& name : names) {
     const auto circuit = gen::make_circuit(name);
     // The paper used sequence lengths of 1/4 and 1/2 of the sequential depth
     // for the two deepest circuits, 4x/8x otherwise; our analogs are all in
     // the "4x/8x" regime.
-    const auto row = bench::run_comparison(circuit, options);
+    const auto row =
+        bench::run_comparison(circuit, options, std::nullopt, json_ptr);
     bench::add_comparison_rows(table, row);
   }
   table.print();
@@ -43,5 +46,6 @@ int main(int argc, char** argv) {
       "\nShape checks (paper): GA-HITEC Det >= HITEC Det after pass 3 on "
       "most circuits;\nHITEC identifies more untestables in early passes; "
       "counts converge after pass 3.\n");
+  bench::finish_json(options, json);
   return 0;
 }

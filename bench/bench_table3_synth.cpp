@@ -26,11 +26,14 @@ int main(int argc, char** argv) {
   std::printf("Table III: synthesized circuits (time scale %g, GA sequence "
               "lengths 24/48)\n",
               options.time_scale);
-  std::printf("%46s %-28s %s\n", "", "GA-HITEC", "HITEC");
+  bench::print_comparison_banner();
+  bench::JsonReport json;
+  bench::JsonReport* json_ptr = options.json_path.empty() ? nullptr : &json;
   auto table = bench::make_comparison_table();
 
   auto run_named = [&](const netlist::Circuit& c) {
-    const auto row = bench::run_comparison(c, options, {{24u, 48u}});
+    const auto row =
+        bench::run_comparison(c, options, {{24u, 48u}}, json_ptr);
     bench::add_comparison_rows(table, row);
   };
 
@@ -51,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check (paper): GA-HITEC detects more faults than HITEC on "
       "all rows,\nusually in less time.\n");
+  bench::finish_json(options, json);
   return 0;
 }

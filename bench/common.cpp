@@ -1,7 +1,9 @@
 #include "common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace gatpg::bench {
 
@@ -21,6 +23,8 @@ BenchOptions parse_options(int argc, char** argv,
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads =
           static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(7);
     } else if (positional) {
       positional->push_back(arg);
     }
@@ -28,9 +32,77 @@ BenchOptions parse_options(int argc, char** argv,
   return options;
 }
 
+JsonReport::Run::Run(JsonReport* report, std::string circuit,
+                     std::string engine)
+    : report_(report),
+      circuit_(std::move(circuit)),
+      engine_(std::move(engine)) {}
+
+void JsonReport::Run::on_pass_end(const session::Session&, std::size_t,
+                                  const session::PassOutcome& outcome) {
+  if (report_) passes_.push_back(outcome);
+}
+
+void JsonReport::Run::on_session_end(const session::Session&,
+                                     const session::SessionResult& result) {
+  if (!report_) return;
+  Record record;
+  record.circuit = circuit_;
+  record.engine = engine_;
+  record.total_faults = result.total_faults;
+  record.detected = result.detected();
+  record.untestable = result.untestable();
+  record.vectors = result.test_set.size();
+  record.passes = passes_;
+  report_->records_.push_back(std::move(record));
+  passes_.clear();  // a Run may observe several sessions
+}
+
+JsonReport::Run JsonReport::observe(JsonReport* report, std::string circuit,
+                                    std::string engine) {
+  return Run(report, std::move(circuit), std::move(engine));
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fputs("[\n", f);
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    const Record& record = records_[r];
+    std::fprintf(f,
+                 "  {\"circuit\": \"%s\", \"engine\": \"%s\", "
+                 "\"total_faults\": %zu, \"detected\": %zu, "
+                 "\"untestable\": %zu, \"vectors\": %zu, \"passes\": [",
+                 record.circuit.c_str(), record.engine.c_str(),
+                 record.total_faults, record.detected, record.untestable,
+                 record.vectors);
+    for (std::size_t p = 0; p < record.passes.size(); ++p) {
+      const session::PassOutcome& pass = record.passes[p];
+      std::fprintf(f,
+                   "%s{\"detected\": %zu, \"vectors\": %zu, "
+                   "\"untestable\": %zu, \"time_s\": %.6g}",
+                   p == 0 ? "" : ", ", pass.detected, pass.vectors,
+                   pass.untestable, pass.time_s);
+    }
+    std::fprintf(f, "]}%s\n", r + 1 == records_.size() ? "" : ",");
+  }
+  std::fputs("]\n", f);
+  return std::fclose(f) == 0;
+}
+
+void finish_json(const BenchOptions& options, const JsonReport& report) {
+  if (options.json_path.empty()) return;
+  if (report.write_file(options.json_path)) {
+    std::printf("\nResults written to %s\n", options.json_path.c_str());
+  } else {
+    std::printf("\nFailed to write %s\n", options.json_path.c_str());
+  }
+}
+
 ComparisonRow run_comparison(
     const netlist::Circuit& c, const BenchOptions& options,
-    std::optional<std::pair<unsigned, unsigned>> seq_len_override) {
+    std::optional<std::pair<unsigned, unsigned>> seq_len_override,
+    JsonReport* json) {
   ComparisonRow row;
   row.circuit = c.name();
   row.depth = netlist::sequential_depth(c);
@@ -48,7 +120,9 @@ ComparisonRow run_comparison(
   ga_config.parallel.threads = options.threads;
   hybrid::HybridAtpg ga_engine(c, ga_config);
   row.total_faults = ga_engine.fault_list().size();
-  row.ga_hitec = ga_engine.run();
+  JsonReport::Run ga_observer =
+      JsonReport::observe(json, row.circuit, "ga-hitec");
+  row.ga_hitec = ga_engine.run(&ga_observer);
 
   hybrid::HybridConfig hitec_config;
   hitec_config.schedule = hybrid::PassSchedule::hitec(options.time_scale);
@@ -57,7 +131,9 @@ ComparisonRow run_comparison(
   }
   hitec_config.seed = options.seed;
   hitec_config.parallel.threads = options.threads;
-  row.hitec = hybrid::HybridAtpg(c, hitec_config).run();
+  JsonReport::Run hitec_observer =
+      JsonReport::observe(json, row.circuit, "hitec");
+  row.hitec = hybrid::HybridAtpg(c, hitec_config).run(&hitec_observer);
   return row;
 }
 
@@ -65,6 +141,28 @@ util::TablePrinter make_comparison_table() {
   return util::TablePrinter({"Circuit", "Depth", "Faults", "|", "Det", "Vec",
                              "Time", "Unt", "|", "Det", "Vec", "Time",
                              "Unt"});
+}
+
+void print_comparison_banner() {
+  std::printf("%46s %-28s %s\n", "", "GA-HITEC", "HITEC");
+}
+
+util::TablePrinter make_engine_table() {
+  return util::TablePrinter(
+      {"Circuit", "Engine", "Det", "Unt", "Vec", "Time", "Cov%"});
+}
+
+void add_engine_row(util::TablePrinter& table, const std::string& circuit,
+                    const std::string& engine, std::size_t total_faults,
+                    const session::SessionResult& result, double time_s) {
+  table.add_row({circuit, engine, std::to_string(result.detected()),
+                 std::to_string(result.untestable()),
+                 std::to_string(result.test_set.size()),
+                 util::format_duration(time_s),
+                 util::format_sig(
+                     100.0 * static_cast<double>(result.detected()) /
+                         static_cast<double>(total_faults),
+                     3)});
 }
 
 void add_comparison_rows(util::TablePrinter& table, const ComparisonRow& row) {

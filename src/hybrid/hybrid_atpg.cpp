@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "netlist/depth.h"
-#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::hybrid {
@@ -11,20 +10,17 @@ namespace gatpg::hybrid {
 using atpg::ForwardEngine;
 using atpg::ForwardStatus;
 using atpg::SearchLimits;
+using session::FaultStatus;
 using sim::Sequence;
 using sim::State3;
 using sim::V3;
 
-HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
-    : c_(c),
-      config_(std::move(config)),
-      faults_(fault::collapse(c)),
-      depth_(config_.sequential_depth_override
-                 ? config_.sequential_depth_override
-                 : netlist::sequential_depth(c)),
-      rng_(config_.seed) {}
+HybridEngine::HybridEngine(const netlist::Circuit& c,
+                           const HybridConfig& config, unsigned depth,
+                           util::Rng& rng)
+    : c_(c), config_(config), depth_(depth), rng_(rng) {}
 
-unsigned HybridAtpg::ga_sequence_length(const PassConfig& pass) const {
+unsigned HybridEngine::ga_sequence_length(const PassConfig& pass) const {
   if (pass.seq_len_override) return pass.seq_len_override;
   const double len = pass.seq_len_multiplier * std::max(1u, depth_);
   // Floor of 4: a structural depth of 1 (datapaths with direct load paths)
@@ -32,7 +28,7 @@ unsigned HybridAtpg::ga_sequence_length(const PassConfig& pass) const {
   return std::max(4u, static_cast<unsigned>(len));
 }
 
-void HybridAtpg::fill_x(Sequence& seq) {
+void HybridEngine::fill_x(Sequence& seq) {
   for (auto& vec : seq) {
     for (auto& v : vec) {
       if (v == V3::kX) v = rng_.bit() ? V3::k1 : V3::k0;
@@ -40,13 +36,12 @@ void HybridAtpg::fill_x(Sequence& seq) {
   }
 }
 
-HybridAtpg::TargetOutcome HybridAtpg::target_fault(
-    std::size_t fault_index, const PassConfig& pass,
-    fault::FaultSimulator& fsim, Sequence& test_set, AtpgResult& result,
-    std::vector<Sequence>& segments) {
+HybridEngine::TargetOutcome HybridEngine::target_fault(
+    session::Session& s, std::size_t fault_index, const PassConfig& pass) {
   TargetOutcome outcome;
-  const fault::Fault& f = faults_.faults[fault_index];
-  ++result.counters.targeted;
+  const fault::Fault& f = s.faults().fault(fault_index);
+  fault::FaultSimulator& fsim = s.simulator();
+  ++s.counters().targeted;
 
   const auto deadline = util::Deadline::after_seconds(pass.time_limit_s);
 
@@ -92,7 +87,7 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
       return outcome;
     }
     // kSolved.
-    ++result.counters.forward_solutions;
+    ++s.counters().forward_solutions;
     const State3 required = forward.required_state();
     Sequence vectors = forward.vectors();
 
@@ -103,7 +98,7 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
     Sequence justification;
     bool justified = false;
     if (!state_needed) {
-      ++result.counters.no_justification_needed;
+      ++s.counters().no_justification_needed;
       justified = true;
     } else if (pass.mode == JustifyMode::kGenetic) {
       // GA justification from the current good-circuit state; the faulty
@@ -122,9 +117,9 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
         // X requirements, which is exactly what state_needed covers for
         // the faulty target — still attempt without extra vectors.
         justified = true;
-        ++result.counters.no_justification_needed;
+        ++s.counters().no_justification_needed;
       } else {
-        ++result.counters.ga_invocations;
+        ++s.counters().ga_invocations;
         GaJustifyConfig ga_config;
         ga_config.population = pass.ga_population;
         ga_config.generations = pass.ga_generations;
@@ -139,17 +134,17 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
         const GaJustifyResult ga = ga_justifier.justify(
             f, required, required, current, ga_config, deadline);
         if (ga.success) {
-          ++result.counters.ga_successes;
+          ++s.counters().ga_successes;
           justification = ga.sequence;
           justified = true;
         }
         all_rejections_proven = false;  // GA failure proves nothing
       }
     } else {
-      ++result.counters.det_justify_calls;
+      ++s.counters().det_justify_calls;
       const auto det = det_justifier.justify(required, deadline);
       if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
-        ++result.counters.det_justify_successes;
+        ++s.counters().det_justify_successes;
         justification = det.sequence;
         justified = true;
       } else if (det.status ==
@@ -174,7 +169,7 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
     fill_x(candidate);
 
     if (!fsim.would_detect(fault_index, candidate)) {
-      ++result.counters.verify_failures;
+      ++s.counters().verify_failures;
       all_rejections_proven = false;
       if (deadline.expired()) {
         outcome.aborted = true;
@@ -183,10 +178,9 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
       continue;
     }
 
-    // Commit: extend the test set and drop everything it detects.
-    fsim.run(candidate);
-    test_set.insert(test_set.end(), candidate.begin(), candidate.end());
-    segments.push_back(std::move(candidate));
+    // Commit: extend the session test set and drop everything it detects.
+    s.commit_test(std::move(candidate));
+    ++s.counters().committed_tests;
     outcome.detected = true;
     return outcome;
   }
@@ -195,17 +189,70 @@ HybridAtpg::TargetOutcome HybridAtpg::target_fault(
   return outcome;
 }
 
-AtpgResult HybridAtpg::run() {
-  AtpgResult result;
-  result.total_faults = faults_.size();
-  result.fault_state.assign(faults_.size(), FaultState::kUndetected);
+void HybridEngine::resolve_target(session::Session& s, std::size_t fault_index,
+                                  const TargetOutcome& outcome) {
+  if (outcome.detected) {
+    s.faults().mark_detected(fault_index);
+  } else if (outcome.untestable) {
+    s.faults().mark_untestable(fault_index);
+  } else if (outcome.aborted) {
+    s.faults().mark_aborted(fault_index);
+    ++s.counters().aborted_faults;
+  }
+  // Pick up incidental detections recorded by the fault simulator.
+  s.faults().absorb_detections(s.simulator().detected());
+}
 
-  fault::FaultSimConfig fsim_config = config_.faultsim;
-  fsim_config.parallel = config_.parallel;
-  fault::FaultSimulator fsim(c_, faults_.faults, fsim_config);
-  Sequence test_set;
-  std::vector<Sequence> segments;
-  util::Stopwatch total;
+void HybridEngine::run(session::Session& s, const PassConfig& pass,
+                       const util::Deadline& pass_deadline) {
+  session::FaultManager& fm = s.faults();
+  for (std::size_t i = 0; i < fm.size(); ++i) {
+    if (pass_deadline.expired()) break;  // leave the rest for later passes
+    if (fm.status(i) != FaultStatus::kUndetected) continue;
+    if (s.simulator().detected()[i]) {
+      // Incidentally detected by an earlier test.
+      fm.mark_detected(i);
+      continue;
+    }
+    resolve_target(s, i, target_fault(s, i, pass));
+  }
+}
+
+std::size_t HybridEngine::step(session::Session& s,
+                               const util::Deadline& deadline) {
+  session::FaultManager& fm = s.faults();
+  const std::size_t target = fm.next_undetected(next_target_);
+  if (target == fm.size()) return 0;
+  next_target_ = target + 1;
+  const std::size_t before = fm.detected_count();
+  if (s.simulator().detected()[target]) {
+    fm.mark_detected(target);
+    return fm.detected_count() - before;
+  }
+  // Stepwise targeting uses the schedule's final (hardest-limits) pass.
+  const PassConfig pass = config_.schedule.passes.empty()
+                              ? PassConfig{}
+                              : config_.schedule.passes.back();
+  (void)deadline;  // per-fault limits come from the pass config
+  resolve_target(s, target, target_fault(s, target, pass));
+  return fm.detected_count() - before;
+}
+
+HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
+    : c_(c),
+      config_(std::move(config)),
+      faults_(fault::collapse(c)),
+      depth_(config_.sequential_depth_override
+                 ? config_.sequential_depth_override
+                 : netlist::sequential_depth(c)),
+      rng_(config_.seed) {}
+
+AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
+  session::SessionConfig session_config;
+  session_config.faultsim = config_.faultsim;
+  session_config.faultsim.parallel = config_.parallel;
+  session::Session s(c_, faults_, session_config);
+  s.set_observer(observer);
 
   if (config_.prefilter_untestable) {
     SearchLimits pre;
@@ -217,58 +264,13 @@ AtpgResult HybridAtpg::run() {
       const auto st =
           fe.next_solution(util::Deadline::after_seconds(pre.time_limit_s));
       if (st == ForwardStatus::kUntestable) {
-        result.fault_state[i] = FaultState::kUntestable;
+        s.faults().mark_untestable(i);
       }
     }
   }
 
-  for (const PassConfig& pass : config_.schedule.passes) {
-    const auto pass_deadline =
-        util::Deadline::after_seconds(pass.pass_budget_s);
-    for (std::size_t i = 0; i < faults_.size(); ++i) {
-      if (pass_deadline.expired()) break;  // leave the rest for later passes
-      if (result.fault_state[i] != FaultState::kUndetected) continue;
-      if (fsim.detected()[i]) {
-        // Incidentally detected by an earlier test.
-        result.fault_state[i] = FaultState::kDetected;
-        continue;
-      }
-      const TargetOutcome outcome =
-          target_fault(i, pass, fsim, test_set, result, segments);
-      if (outcome.detected) {
-        result.fault_state[i] = FaultState::kDetected;
-      } else if (outcome.untestable) {
-        result.fault_state[i] = FaultState::kUntestable;
-      } else if (outcome.aborted) {
-        ++result.counters.aborted_faults;
-      }
-      // Pick up incidental detections recorded by the fault simulator.
-      for (std::size_t j = 0; j < faults_.size(); ++j) {
-        if (fsim.detected()[j] &&
-            result.fault_state[j] == FaultState::kUndetected) {
-          result.fault_state[j] = FaultState::kDetected;
-        }
-      }
-    }
-
-    PassOutcome po;
-    po.detected = static_cast<std::size_t>(
-        std::count(result.fault_state.begin(), result.fault_state.end(),
-                   FaultState::kDetected));
-    po.untestable = static_cast<std::size_t>(
-        std::count(result.fault_state.begin(), result.fault_state.end(),
-                   FaultState::kUntestable));
-    po.vectors = test_set.size();
-    po.time_s = total.seconds();
-    result.passes.push_back(po);
-    util::log_info() << c_.name() << " pass " << result.passes.size()
-                     << ": det=" << po.detected << " vec=" << po.vectors
-                     << " unt=" << po.untestable << " t=" << po.time_s << "s";
-  }
-
-  result.test_set = std::move(test_set);
-  result.segments = std::move(segments);
-  return result;
+  HybridEngine engine(c_, config_, depth_, rng_);
+  return s.run(engine, config_.schedule);
 }
 
 }  // namespace gatpg::hybrid

@@ -1,7 +1,8 @@
 // The hybrid test generator (GA-HITEC) and the deterministic baseline
-// (HITEC mode), orchestrating all the substrates:
+// (HITEC mode), expressed as a session::Engine over the shared ATPG session
+// substrate:
 //
-//   for each pass in the schedule:
+//   for each pass in the schedule (Session::run):
 //     for each undetected, not-proven-untestable fault:
 //       repeat (Fig. 1 loop, bounded):
 //         ForwardEngine: excite + propagate -> (vectors, required state)
@@ -9,8 +10,8 @@
 //           genetic pass  -> GA from the current good-circuit state
 //           deterministic -> reverse time processing from the all-X state
 //         verify candidate test with the independent fault simulator;
-//         on success: append to test set, fault-simulate for incidental
-//         detections (fault dropping), move to the next fault;
+//         on success: commit to the session test set, fault-simulate for
+//         incidental detections (fault dropping), move to the next fault;
 //         on justification failure: ask the ForwardEngine for an
 //         alternative excitation/propagation solution and retry.
 //
@@ -18,6 +19,10 @@
 // exhaustion with every required state proven unjustifiable, or forward
 // exhaustion before any solution); searches stopped by a limit mark the
 // fault aborted-for-this-pass instead.
+//
+// The HITEC baseline is this same engine driven by a deterministic-only
+// schedule (PassSchedule::hitec); fault-state tracking, fault dropping, and
+// test-set accumulation all live in the session layer.
 #pragma once
 
 #include <vector>
@@ -28,51 +33,17 @@
 #include "fault/faultsim.h"
 #include "hybrid/ga_justify.h"
 #include "hybrid/pass.h"
+#include "session/session.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gatpg::hybrid {
 
-enum class FaultState { kUndetected, kDetected, kUntestable };
-
-/// Cumulative totals at the end of each pass — one row of Table II/III.
-struct PassOutcome {
-  std::size_t detected = 0;
-  std::size_t vectors = 0;
-  std::size_t untestable = 0;
-  double time_s = 0.0;
-};
-
-/// Internal-activity counters (Fig. 1 instrumentation).
-struct EngineCounters {
-  long targeted = 0;             // fault targeting attempts
-  long forward_solutions = 0;    // excitation/propagation solutions found
-  long ga_invocations = 0;
-  long ga_successes = 0;
-  long det_justify_calls = 0;
-  long det_justify_successes = 0;
-  long verify_failures = 0;      // candidate tests rejected by fault sim
-  long no_justification_needed = 0;
-  long aborted_faults = 0;       // per-pass limit hits
-};
-
-struct AtpgResult {
-  std::vector<PassOutcome> passes;
-  sim::Sequence test_set;
-  /// The test set as the list of generated subsequences (one per committed
-  /// target), preserving the boundaries fault::compact_segments needs.
-  std::vector<sim::Sequence> segments;
-  std::size_t total_faults = 0;
-  std::vector<FaultState> fault_state;
-  EngineCounters counters;
-
-  std::size_t detected() const {
-    return passes.empty() ? 0 : passes.back().detected;
-  }
-  std::size_t untestable() const {
-    return passes.empty() ? 0 : passes.back().untestable;
-  }
-};
+// Historical spellings, now provided by the session layer.
+using FaultState = session::FaultStatus;
+using PassOutcome = session::PassOutcome;
+using EngineCounters = session::EngineCounters;
+using AtpgResult = session::SessionResult;
 
 struct HybridConfig {
   PassSchedule schedule = PassSchedule::ga_hitec(0.05);
@@ -105,14 +76,21 @@ struct HybridConfig {
   long prefilter_backtracks = 200;
 };
 
-class HybridAtpg {
+/// The per-fault targeted engine (Fig. 1).  Reusable standalone against any
+/// session; HybridAtpg below is the conventional facade.
+class HybridEngine : public session::Engine {
  public:
-  HybridAtpg(const netlist::Circuit& c, HybridConfig config);
+  /// `rng` supplies the X-fill stream and must outlive the engine.
+  HybridEngine(const netlist::Circuit& c, const HybridConfig& config,
+               unsigned depth, util::Rng& rng);
 
-  /// Runs the full schedule.
-  AtpgResult run();
-
-  const fault::FaultList& fault_list() const { return faults_; }
+  const char* name() const override { return "ga-hitec"; }
+  void run(session::Session& session, const PassConfig& pass,
+           const util::Deadline& deadline) override;
+  /// One targeted fault (round-robin over the undetected set).  Returns
+  /// newly detected count (incidental detections included).
+  std::size_t step(session::Session& session,
+                   const util::Deadline& deadline) override;
 
  private:
   struct TargetOutcome {
@@ -121,13 +99,31 @@ class HybridAtpg {
     bool aborted = false;
   };
 
-  TargetOutcome target_fault(std::size_t fault_index, const PassConfig& pass,
-                             fault::FaultSimulator& fsim,
-                             sim::Sequence& test_set, AtpgResult& result,
-                             std::vector<sim::Sequence>& segments);
+  TargetOutcome target_fault(session::Session& session,
+                             std::size_t fault_index, const PassConfig& pass);
+  void resolve_target(session::Session& session, std::size_t fault_index,
+                      const TargetOutcome& outcome);
   void fill_x(sim::Sequence& seq);
   unsigned ga_sequence_length(const PassConfig& pass) const;
 
+  const netlist::Circuit& c_;
+  const HybridConfig& config_;
+  unsigned depth_;
+  util::Rng& rng_;
+  std::size_t next_target_ = 0;  // stepwise round-robin cursor
+};
+
+class HybridAtpg {
+ public:
+  HybridAtpg(const netlist::Circuit& c, HybridConfig config);
+
+  /// Runs the full schedule on a fresh session.  An optional observer
+  /// receives per-pass reports.
+  AtpgResult run(session::ProgressObserver* observer = nullptr);
+
+  const fault::FaultList& fault_list() const { return faults_; }
+
+ private:
   const netlist::Circuit& c_;
   HybridConfig config_;
   fault::FaultList faults_;

@@ -1,0 +1,43 @@
+// The engine interface every test generator implements.
+//
+// An Engine is a strategy for resolving faults against the shared session
+// substrate (FaultManager + TestSetBuilder + FaultSimulator): the GA-HITEC
+// hybrid, the deterministic HITEC baseline (the hybrid engine under a
+// deterministic-only schedule), the simulation-based GA, the deterministic
+// single-target engine, random patterns, and compositions of these (the
+// alternating hybrid).  Session::run drives one engine through a
+// PassSchedule; the stepwise interface lets composite engines interleave
+// units of work from several engines over one fault population.
+#pragma once
+
+#include "session/pass.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::session {
+
+class Session;
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Engine name for observers/benches ("ga-hitec", "sim-ga", ...).
+  virtual const char* name() const = 0;
+
+  /// One pass over the shared fault population under `pass` limits.
+  /// `deadline` is the pass budget (unlimited when pass_budget_s == 0).
+  /// The engine reads and updates session.faults()/tests()/simulator() and
+  /// reports through session.counters().
+  virtual void run(Session& session, const PassConfig& pass,
+                   const util::Deadline& deadline) = 0;
+
+  /// Optional stepwise interface for composition: one engine-defined unit
+  /// of work (a GA round, one targeted fault).  Returns the number of newly
+  /// detected faults.  Engines that do not support stepping return 0.
+  virtual std::size_t step(Session& /*session*/,
+                           const util::Deadline& /*deadline*/) {
+    return 0;
+  }
+};
+
+}  // namespace gatpg::session

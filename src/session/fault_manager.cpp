@@ -1,0 +1,89 @@
+#include "session/fault_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gatpg::session {
+
+FaultManager::FaultManager(fault::FaultList list)
+    : list_(std::move(list)),
+      status_(list_.size(), FaultStatus::kUndetected),
+      aborted_(list_.size(), 0) {}
+
+void FaultManager::mark_detected(std::size_t i) {
+  if (status_[i] == FaultStatus::kDetected) return;
+  if (status_[i] == FaultStatus::kUntestable) --num_untestable_;
+  status_[i] = FaultStatus::kDetected;
+  ++num_detected_;
+}
+
+void FaultManager::mark_untestable(std::size_t i) {
+  if (status_[i] != FaultStatus::kUndetected) return;
+  status_[i] = FaultStatus::kUntestable;
+  ++num_untestable_;
+}
+
+std::size_t FaultManager::absorb_detections(
+    const std::vector<char>& fsim_detected) {
+  std::size_t newly = 0;
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    if (fsim_detected[i] && status_[i] == FaultStatus::kUndetected) {
+      status_[i] = FaultStatus::kDetected;
+      ++num_detected_;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+void FaultManager::begin_pass() {
+  std::fill(aborted_.begin(), aborted_.end(), 0);
+}
+
+void FaultManager::mark_aborted(std::size_t i) {
+  if (!aborted_[i]) {
+    aborted_[i] = 1;
+  }
+  ++aborted_total_;
+}
+
+std::vector<std::size_t> FaultManager::undetected_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    if (status_[i] == FaultStatus::kUndetected) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> FaultManager::undropped_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    if (status_[i] != FaultStatus::kDetected) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> FaultManager::sample_undropped(
+    util::Rng& rng, std::size_t max) const {
+  std::vector<std::size_t> undropped = undropped_indices();
+  if (undropped.size() <= max) return undropped;
+  // Partial Fisher-Yates for an unbiased sample.
+  for (std::size_t i = 0; i < max; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(undropped.size() - i));
+    std::swap(undropped[i], undropped[j]);
+  }
+  undropped.resize(max);
+  return undropped;
+}
+
+std::size_t FaultManager::next_undetected(std::size_t start) const {
+  const std::size_t n = status_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t i = (start + probe) % n;
+    if (status_[i] == FaultStatus::kUndetected) return i;
+  }
+  return n;
+}
+
+}  // namespace gatpg::session

@@ -1,0 +1,97 @@
+// Shared fault-population bookkeeping for every test generator.
+//
+// GA-HITEC's defining structure is repeated passes over one fault list by
+// different engines; FaultManager is the single owner of that population's
+// lifecycle so the engines stop growing private copies of it.  It tracks a
+// three-state status per collapsed fault (undetected / detected / proven
+// untestable) plus an aborted-this-pass flag, performs fault dropping with
+// detection credit against the session fault simulator's drop list, and
+// provides the deterministic iteration/sampling orders the engines share:
+// ascending undetected scans, round-robin target selection, and the
+// partial-Fisher-Yates fault sampling of the simulation-based GA.
+#pragma once
+
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "util/rng.h"
+
+namespace gatpg::session {
+
+enum class FaultStatus : unsigned char { kUndetected, kDetected, kUntestable };
+
+class FaultManager {
+ public:
+  explicit FaultManager(fault::FaultList list);
+
+  const fault::FaultList& list() const { return list_; }
+  const fault::Fault& fault(std::size_t i) const { return list_.faults[i]; }
+  std::size_t size() const { return status_.size(); }
+
+  FaultStatus status(std::size_t i) const { return status_[i]; }
+  const std::vector<FaultStatus>& status() const { return status_; }
+  bool undetected(std::size_t i) const {
+    return status_[i] == FaultStatus::kUndetected;
+  }
+
+  /// Lifecycle transitions.  Marking an already-detected fault detected is a
+  /// no-op; untestable claims require the fault to still be undetected (a
+  /// detected fault is by definition testable).
+  void mark_detected(std::size_t i);
+  void mark_untestable(std::size_t i);
+
+  /// Fault dropping with detection credit: marks kDetected every fault whose
+  /// flag is set in the fault simulator's drop list.  Returns how many were
+  /// newly credited.  Untestable faults are never credited (the simulator
+  /// cannot detect them; asserting so keeps the claim sound).
+  std::size_t absorb_detections(const std::vector<char>& fsim_detected);
+
+  // -- Aborted-this-pass lifecycle -----------------------------------------
+  // A search stopped by a time/backtrack limit is "aborted", never
+  // "untestable"; the flag is per pass (the next pass retries with larger
+  // limits), the total is an all-run counter.
+
+  void begin_pass();
+  void mark_aborted(std::size_t i);
+  bool aborted_this_pass(std::size_t i) const { return aborted_[i] != 0; }
+  long aborted_total() const { return aborted_total_; }
+
+  std::size_t detected_count() const { return num_detected_; }
+  std::size_t untestable_count() const { return num_untestable_; }
+  std::size_t undetected_count() const {
+    return size() - num_detected_ - num_untestable_;
+  }
+  /// True when no fault is left undetected (everything detected or proven
+  /// untestable) — the engines' common completion condition.
+  bool all_resolved() const { return undetected_count() == 0; }
+
+  /// Indices with status kUndetected, ascending — the deterministic
+  /// iteration order of the targeted engines.
+  std::vector<std::size_t> undetected_indices() const;
+
+  /// Indices not yet detected (kUndetected plus kUntestable), ascending —
+  /// the population the simulation-based engines grade candidates against
+  /// (an unproven untestable claim must not shrink their fitness universe).
+  std::vector<std::size_t> undropped_indices() const;
+
+  /// Unbiased sample of at most `max` undropped faults via partial
+  /// Fisher-Yates, drawing from `rng` only when the population exceeds
+  /// `max` (the legacy simulation-GA sampling contract, preserved so seeded
+  /// runs reproduce bit-identically).
+  std::vector<std::size_t> sample_undropped(util::Rng& rng,
+                                            std::size_t max) const;
+
+  /// Round-robin target selection: the first undetected index at or after
+  /// `start` (wrapping); size() when everything is resolved.
+  std::size_t next_undetected(std::size_t start) const;
+
+ private:
+  fault::FaultList list_;
+  std::vector<FaultStatus> status_;
+  std::vector<char> aborted_;  // this pass only; cleared by begin_pass()
+  std::size_t num_detected_ = 0;
+  std::size_t num_untestable_ = 0;
+  long aborted_total_ = 0;
+};
+
+}  // namespace gatpg::session

@@ -1,0 +1,63 @@
+// Progress reporting shared by every session engine.
+//
+// All engines report through one spigot: cumulative per-pass PassOutcome
+// rows (the paper's Table II/III lines), the Fig. 1 activity counters, and
+// the fault simulator's SimStats.  Benches, logging, and future telemetry
+// attach a ProgressObserver to the Session instead of growing
+// engine-specific result plumbing.
+#pragma once
+
+#include <cstddef>
+
+#include "fault/faultsim.h"
+#include "session/pass.h"
+
+namespace gatpg::session {
+
+class Session;
+struct SessionResult;
+
+/// Cumulative totals at the end of each pass — one row of Table II/III.
+struct PassOutcome {
+  std::size_t detected = 0;
+  std::size_t vectors = 0;
+  std::size_t untestable = 0;
+  double time_s = 0.0;
+};
+
+/// Internal-activity counters (Fig. 1 instrumentation), accumulated across
+/// every pass of a session run.
+struct EngineCounters {
+  long targeted = 0;             // fault targeting attempts
+  long forward_solutions = 0;    // excitation/propagation solutions found
+  long ga_invocations = 0;
+  long ga_successes = 0;
+  long det_justify_calls = 0;
+  long det_justify_successes = 0;
+  long verify_failures = 0;      // candidate tests rejected by fault sim
+  long no_justification_needed = 0;
+  long aborted_faults = 0;       // per-pass limit hits
+  long committed_tests = 0;      // targeted tests committed to the test set
+};
+
+/// Observer hook.  All callbacks default to no-ops; the session pointer
+/// stays valid for the duration of the call only.  Observers may read the
+/// session's FaultManager, TestSetBuilder, counters, and simulator stats;
+/// they must not mutate session state.
+class ProgressObserver {
+ public:
+  virtual ~ProgressObserver() = default;
+
+  virtual void on_session_begin(const Session& /*session*/) {}
+  virtual void on_pass_begin(const Session& /*session*/,
+                             std::size_t /*pass_index*/,
+                             const PassConfig& /*pass*/) {}
+  /// `outcome` is the cumulative row just appended for `pass_index`.
+  virtual void on_pass_end(const Session& /*session*/,
+                           std::size_t /*pass_index*/,
+                           const PassOutcome& /*outcome*/) {}
+  virtual void on_session_end(const Session& /*session*/,
+                              const SessionResult& /*result*/) {}
+};
+
+}  // namespace gatpg::session

@@ -1,6 +1,6 @@
-#include "hybrid/pass.h"
+#include "session/pass.h"
 
-namespace gatpg::hybrid {
+namespace gatpg::session {
 
 PassSchedule PassSchedule::ga_hitec(double time_scale) {
   PassSchedule s;
@@ -46,4 +46,12 @@ PassSchedule PassSchedule::hitec(double time_scale) {
   return s;
 }
 
-}  // namespace gatpg::hybrid
+PassSchedule PassSchedule::single(double budget_s) {
+  PassSchedule s;
+  PassConfig p;
+  p.pass_budget_s = budget_s;
+  s.passes.push_back(p);
+  return s;
+}
+
+}  // namespace gatpg::session

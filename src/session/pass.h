@@ -1,0 +1,58 @@
+// Pass schedules (the paper's Table I), shared by every session engine.
+//
+// Both GA-HITEC and the HITEC baseline make repeated passes over the fault
+// list with escalating resource limits.  GA-HITEC uses genetic state
+// justification in the first two passes (growing population, generations and
+// sequence length) and deterministic justification afterwards; the HITEC
+// baseline uses deterministic justification in every pass with 1 s / 10 s /
+// 100 s per-fault time limits and a 10,000-backtrack cap multiplied by ten
+// per pass.  `time_scale` shrinks the wall-clock limits uniformly — the
+// paper's numbers target a 1995 SPARCstation 20; the schedule structure, not
+// the absolute seconds, is what matters (see DESIGN.md substitutions).
+//
+// Engines that do not make per-fault targeted passes (the simulation-based
+// generators) run under a single pass whose `pass_budget_s` is the whole-run
+// time limit; `PassSchedule::single` builds that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gatpg::session {
+
+enum class JustifyMode { kGenetic, kDeterministic };
+
+struct PassConfig {
+  JustifyMode mode = JustifyMode::kDeterministic;
+  double time_limit_s = 1.0;   // per fault
+  /// Wall-clock budget for the whole pass; once exceeded, remaining faults
+  /// are left for the next pass (0 = unlimited, the paper's setting — its
+  /// runs took up to 39 hours).  Benches set this to keep sweeps bounded.
+  double pass_budget_s = 0.0;
+  long max_backtracks = 10000; // forward-engine budget per fault
+  // GA parameters (kGenetic passes only).
+  std::size_t ga_population = 64;
+  unsigned ga_generations = 4;
+  double seq_len_multiplier = 4.0;  // x sequential depth
+  unsigned seq_len_override = 0;    // absolute length; 0 = use multiplier
+};
+
+struct PassSchedule {
+  std::vector<PassConfig> passes;
+
+  /// Table I: GA (1 s, pop 64, 4 gens, len x/2), GA (10 s, pop 128, 8 gens,
+  /// len x), deterministic (100 s).  With the paper's Table II settings
+  /// x = 8 x sequential depth, so the multipliers are 4 and 8.
+  static PassSchedule ga_hitec(double time_scale = 1.0);
+
+  /// HITEC baseline: deterministic justification every pass; 1 s / 10 s /
+  /// 100 s, backtracks 10k / 100k / 1M.
+  static PassSchedule hitec(double time_scale = 1.0);
+
+  /// One pass whose whole-pass budget is `budget_s` (0 = unlimited) — the
+  /// schedule shape of the single-phase engines (simulation-based GA,
+  /// random patterns, the alternating hybrid).
+  static PassSchedule single(double budget_s = 0.0);
+};
+
+}  // namespace gatpg::session

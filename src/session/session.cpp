@@ -1,0 +1,62 @@
+#include "session/session.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gatpg::session {
+
+Session::Session(const netlist::Circuit& c, fault::FaultList faults,
+                 SessionConfig config)
+    : c_(c),
+      faults_(std::move(faults)),
+      config_(config),
+      fsim_(c, faults_.list().faults, config_.faultsim) {}
+
+Session::Session(const netlist::Circuit& c, SessionConfig config)
+    : Session(c, fault::collapse(c), config) {}
+
+std::size_t Session::commit_test(sim::Sequence candidate) {
+  const auto newly = fsim_.run(candidate);
+  tests_.commit(std::move(candidate));
+  return newly.size();
+}
+
+SessionResult Session::run(Engine& engine, const PassSchedule& schedule) {
+  if (observer_) observer_->on_session_begin(*this);
+
+  SessionResult result;
+  result.total_faults = faults_.size();
+  const long rounds_before = rounds_;
+
+  for (const PassConfig& pass : schedule.passes) {
+    const std::size_t pass_index = result.passes.size();
+    faults_.begin_pass();
+    if (observer_) observer_->on_pass_begin(*this, pass_index, pass);
+
+    const auto deadline = util::Deadline::after_seconds(pass.pass_budget_s);
+    engine.run(*this, pass, deadline);
+
+    PassOutcome po;
+    po.detected = faults_.detected_count();
+    po.vectors = tests_.vectors();
+    po.untestable = faults_.untestable_count();
+    po.time_s = total_.seconds();
+    result.passes.push_back(po);
+    if (observer_) observer_->on_pass_end(*this, pass_index, po);
+    util::log_info() << c_.name() << " pass " << result.passes.size() << ": det="
+                     << po.detected << " vec=" << po.vectors << " unt="
+                     << po.untestable << " t=" << po.time_s << "s";
+  }
+
+  result.test_set = tests_.test_set();
+  result.segments = tests_.segments();
+  result.fault_state = faults_.status();
+  result.counters = counters_;
+  result.rounds = rounds_ - rounds_before;
+  result.evaluations = evaluations_;
+  if (observer_) observer_->on_session_end(*this, result);
+  return result;
+}
+
+}  // namespace gatpg::session

@@ -1,0 +1,131 @@
+// The shared ATPG session: one fault population, one test set, one fault
+// simulator, driven by interchangeable engines over a pass schedule.
+//
+// Ownership:
+//
+//   Session
+//     ├── FaultManager      fault list + per-fault lifecycle + dropping
+//     ├── TestSetBuilder    flat test set + per-target segment boundaries
+//     ├── fault::FaultSimulator   the one continuous simulation of the
+//     │                     growing test set (fault dropping, good state)
+//     └── ProgressObserver* (optional, not owned)  per-pass reporting
+//
+//   Session::run(engine, schedule) drives any Engine implementation through
+//   the schedule and produces the unified SessionResult every generator now
+//   returns.  Engines never keep private fault-state vectors or test-set
+//   copies; everything flows through the session.
+#pragma once
+
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "fault/faultsim.h"
+#include "netlist/circuit.h"
+#include "session/engine.h"
+#include "session/fault_manager.h"
+#include "session/observer.h"
+#include "session/pass.h"
+#include "session/test_set_builder.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::session {
+
+/// The unified result every session-driven generator produces (the former
+/// AtpgResult / SimGenResult / AlternatingResult, collapsed).
+struct SessionResult {
+  /// Cumulative Det/Vec/Unt/Time after each pass (Table II/III rows).
+  std::vector<PassOutcome> passes;
+  sim::Sequence test_set;
+  /// The test set as the list of generated subsequences (one per committed
+  /// target/round/block), preserving the boundaries fault::compact_segments
+  /// needs.  Concatenating them in order reproduces test_set exactly.
+  std::vector<sim::Sequence> segments;
+  std::size_t total_faults = 0;
+  std::vector<FaultStatus> fault_state;
+  EngineCounters counters;
+  /// Engine rounds completed during this run (GA rounds for the
+  /// simulation-based engines; 0 for the targeted engines).
+  long rounds = 0;
+  /// Cumulative fitness evaluations over the session's lifetime.
+  long evaluations = 0;
+
+  std::size_t detected() const {
+    return passes.empty() ? 0 : passes.back().detected;
+  }
+  std::size_t untestable() const {
+    return passes.empty() ? 0 : passes.back().untestable;
+  }
+  double coverage() const {
+    return total_faults == 0
+               ? 0.0
+               : static_cast<double>(detected()) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+struct SessionConfig {
+  /// Fault-simulator engine options (threads, differential vs full-sweep).
+  fault::FaultSimConfig faultsim;
+};
+
+class Session {
+ public:
+  /// Builds the session around an explicit (already collapsed) fault list.
+  Session(const netlist::Circuit& c, fault::FaultList faults,
+          SessionConfig config = {});
+  /// Convenience: collapses the circuit's fault universe itself.
+  explicit Session(const netlist::Circuit& c, SessionConfig config = {});
+
+  const netlist::Circuit& circuit() const { return c_; }
+  FaultManager& faults() { return faults_; }
+  const FaultManager& faults() const { return faults_; }
+  TestSetBuilder& tests() { return tests_; }
+  const TestSetBuilder& tests() const { return tests_; }
+  fault::FaultSimulator& simulator() { return fsim_; }
+  const fault::FaultSimulator& simulator() const { return fsim_; }
+  EngineCounters& counters() { return counters_; }
+  const EngineCounters& counters() const { return counters_; }
+
+  /// Wall-clock seconds since construction (what PassOutcome::time_s
+  /// reports).
+  double elapsed_s() const { return total_.seconds(); }
+
+  /// Observer for per-pass reporting; nullptr (default) disables it.  Not
+  /// owned; must outlive run().
+  void set_observer(ProgressObserver* observer) { observer_ = observer; }
+
+  /// Commits a verified candidate test: simulates it on the session fault
+  /// simulator as a continuation of the test set so far (fault dropping),
+  /// then appends it with a segment boundary.  Returns the number of faults
+  /// the simulator newly detected.  Callers credit those detections to the
+  /// FaultManager via faults().absorb_detections(simulator().detected()).
+  std::size_t commit_test(sim::Sequence candidate);
+
+  /// Engine bookkeeping: one completed engine round (a GA round of the
+  /// simulation-based generators), and fitness-evaluation counts.
+  void note_round() { ++rounds_; }
+  void note_evaluations(long n) { evaluations_ += n; }
+  long evaluations() const { return evaluations_; }
+
+  /// Drives `engine` through `schedule`: per pass, clears the
+  /// aborted-this-pass flags, derives the pass deadline from
+  /// PassConfig::pass_budget_s, runs the engine, and records the cumulative
+  /// PassOutcome row (reported to the observer).  Returns the unified
+  /// result; the session stays live, so callers can keep stepping engines
+  /// or run another schedule on the same fault population.
+  SessionResult run(Engine& engine, const PassSchedule& schedule);
+
+ private:
+  const netlist::Circuit& c_;
+  FaultManager faults_;
+  SessionConfig config_;
+  fault::FaultSimulator fsim_;
+  TestSetBuilder tests_;
+  EngineCounters counters_;
+  long rounds_ = 0;
+  long evaluations_ = 0;
+  util::Stopwatch total_;
+  ProgressObserver* observer_ = nullptr;
+};
+
+}  // namespace gatpg::session

@@ -1,0 +1,13 @@
+#include "session/test_set_builder.h"
+
+#include <utility>
+
+namespace gatpg::session {
+
+std::size_t TestSetBuilder::commit(sim::Sequence segment) {
+  test_set_.insert(test_set_.end(), segment.begin(), segment.end());
+  segments_.push_back(std::move(segment));
+  return segments_.size() - 1;
+}
+
+}  // namespace gatpg::session

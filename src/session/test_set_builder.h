@@ -1,0 +1,34 @@
+// Shared test-set accumulation for every test generator.
+//
+// Engines commit whole candidate sequences (one justification+propagation
+// chain, one evolved GA sequence, one random block); the builder keeps both
+// the flat concatenated test set — what gets graded and shipped — and the
+// per-commit segment boundaries that fault::compact_segments needs.  The
+// flat set is always the in-order concatenation of the segments (tested
+// invariant), so the three divergent test_set/segments copies the engines
+// used to keep collapse into this one structure.
+#pragma once
+
+#include <vector>
+
+#include "sim/seqsim.h"
+
+namespace gatpg::session {
+
+class TestSetBuilder {
+ public:
+  /// Appends `segment` to the flat test set and records its boundary.
+  /// Returns the new segment's index.
+  std::size_t commit(sim::Sequence segment);
+
+  const sim::Sequence& test_set() const { return test_set_; }
+  const std::vector<sim::Sequence>& segments() const { return segments_; }
+  std::size_t vectors() const { return test_set_.size(); }
+  std::size_t segment_count() const { return segments_.size(); }
+
+ private:
+  sim::Sequence test_set_;
+  std::vector<sim::Sequence> segments_;
+};
+
+}  // namespace gatpg::session

@@ -2,116 +2,134 @@
 
 #include "atpg/detengine.h"
 #include "atpg/justify.h"
-#include "tpg/simgen.h"
-#include "util/rng.h"
 
 namespace gatpg::tpg {
 
 using sim::Sequence;
 using sim::V3;
 
-AlternatingResult alternating_hybrid_generate(
-    const netlist::Circuit& c, const AlternatingConfig& config) {
-  AlternatingResult result;
+DetTargetEngine::DetTargetEngine(const netlist::Circuit& c,
+                                 const atpg::SearchLimits& limits,
+                                 util::Rng& rng)
+    : c_(c), limits_(limits), rng_(rng) {}
 
+std::size_t DetTargetEngine::step(session::Session& s,
+                                  const util::Deadline&) {
+  last_ = {};
+  session::FaultManager& fm = s.faults();
+  // Round-robin over unresolved faults so repeated switches make progress.
+  const std::size_t target = fm.next_undetected(next_target_);
+  if (target == fm.size()) return 0;  // everything resolved
+  last_.had_target = true;
+  next_target_ = target + 1;
+  ++s.counters().targeted;
+
+  const fault::Fault& f = fm.fault(target);
+  const auto fault_deadline =
+      util::Deadline::after_seconds(limits_.time_limit_s);
+  atpg::ForwardEngine forward(c_, f, limits_);
+  atpg::DeterministicJustifier justifier(c_, limits_);
+  bool produced = false;
+  std::size_t newly = 0;
+  for (int attempt = 0; attempt < 8 && !produced; ++attempt) {
+    const auto status = forward.next_solution(fault_deadline);
+    if (status == atpg::ForwardStatus::kUntestable) {
+      fm.mark_untestable(target);
+      last_.resolved = true;
+      break;
+    }
+    if (status != atpg::ForwardStatus::kSolved) break;
+    const auto required = forward.required_state();
+    Sequence test;
+    bool needs_state = false;
+    for (V3 v : required) needs_state |= v != V3::kX;
+    if (needs_state) {
+      const auto just = justifier.justify(required, fault_deadline);
+      if (just.status != atpg::DeterministicJustifier::Status::kJustified) {
+        continue;
+      }
+      test = just.sequence;
+    }
+    const auto vectors = forward.vectors();
+    test.insert(test.end(), vectors.begin(), vectors.end());
+    for (auto& v : test) {
+      for (auto& bit : v) {
+        if (bit == V3::kX) bit = rng_.bit() ? V3::k1 : V3::k0;
+      }
+    }
+    if (!s.simulator().would_detect(target, test)) continue;
+    newly = s.commit_test(std::move(test));
+    fm.absorb_detections(s.simulator().detected());
+    produced = true;
+    last_.resolved = true;
+    ++s.counters().committed_tests;
+  }
+  return newly;
+}
+
+void DetTargetEngine::run(session::Session& s, const session::PassConfig&,
+                          const util::Deadline& deadline) {
+  while (!deadline.expired()) {
+    step(s, deadline);
+    if (!last_.had_target) break;
+  }
+}
+
+namespace {
+SimGenConfig make_sim_config(const AlternatingConfig& config) {
   SimGenConfig sim_config;
   sim_config.population = config.population;
   sim_config.generations = config.generations;
   sim_config.sequence_length = config.sequence_length;
   sim_config.fault_sample = config.fault_sample;
   sim_config.seed = config.seed;
-  SimulationTestGenerator simgen(c, sim_config);
-  result.total_faults = simgen.fault_list().size();
+  return sim_config;
+}
+}  // namespace
 
-  std::vector<char> untestable(result.total_faults, 0);
-  util::Rng rng(config.seed ^ 0xfeedULL);
-  const auto deadline = util::Deadline::after_seconds(config.time_limit_s);
+AlternatingEngine::AlternatingEngine(const netlist::Circuit& c,
+                                     const AlternatingConfig& config)
+    : config_(config),
+      sim_config_(make_sim_config(config)),
+      rng_(config.seed ^ 0xfeedULL),
+      simgen_(c, sim_config_),
+      det_(c, config_.det_limits, rng_) {}
 
+void AlternatingEngine::run(session::Session& s, const session::PassConfig&,
+                            const util::Deadline& deadline) {
+  session::FaultManager& fm = s.faults();
   unsigned barren_rounds = 0;
   unsigned det_failures = 0;
-  std::size_t next_target = 0;
 
-  auto all_resolved = [&] {
-    for (std::size_t i = 0; i < result.total_faults; ++i) {
-      if (!simgen.fault_simulator().detected()[i] && !untestable[i]) {
-        return false;
-      }
-    }
-    return true;
-  };
-
-  while (!deadline.expired() && det_failures < config.det_failures_to_stop &&
-         !all_resolved()) {
+  while (!deadline.expired() &&
+         det_failures < config_.det_failures_to_stop && !fm.all_resolved()) {
     // --- Simulation phase -------------------------------------------------
-    while (barren_rounds < config.switch_after && !deadline.expired()) {
-      const std::size_t newly = simgen.step(deadline);
-      ++result.ga_rounds;
+    while (barren_rounds < config_.switch_after && !deadline.expired()) {
+      const std::size_t newly = simgen_.step(s, deadline);
+      s.note_round();
       barren_rounds = newly == 0 ? barren_rounds + 1 : 0;
-      if (simgen.fault_simulator().detected_count() == result.total_faults) {
-        break;
-      }
+      if (fm.detected_count() == fm.size()) break;
     }
     barren_rounds = 0;
     if (deadline.expired()) break;
 
     // --- Deterministic phase: one targeted fault --------------------------
-    // Round-robin over unresolved faults so repeated switches make progress.
-    std::size_t target = result.total_faults;
-    for (std::size_t probe = 0; probe < result.total_faults; ++probe) {
-      const std::size_t i = (next_target + probe) % result.total_faults;
-      if (!simgen.fault_simulator().detected()[i] && !untestable[i]) {
-        target = i;
-        break;
-      }
-    }
-    if (target == result.total_faults) break;  // everything resolved
-    next_target = target + 1;
-    ++result.det_targets;
-
-    const fault::Fault& f = simgen.fault_list().faults[target];
-    const auto fault_deadline =
-        util::Deadline::after_seconds(config.det_limits.time_limit_s);
-    atpg::ForwardEngine forward(c, f, config.det_limits);
-    atpg::DeterministicJustifier justifier(c, config.det_limits);
-    bool produced = false;
-    for (int attempt = 0; attempt < 8 && !produced; ++attempt) {
-      const auto status = forward.next_solution(fault_deadline);
-      if (status == atpg::ForwardStatus::kUntestable) {
-        untestable[target] = 1;
-        ++result.untestable;
-        break;
-      }
-      if (status != atpg::ForwardStatus::kSolved) break;
-      const auto required = forward.required_state();
-      Sequence test;
-      bool needs_state = false;
-      for (V3 v : required) needs_state |= v != V3::kX;
-      if (needs_state) {
-        const auto just = justifier.justify(required, fault_deadline);
-        if (just.status !=
-            atpg::DeterministicJustifier::Status::kJustified) {
-          continue;
-        }
-        test = just.sequence;
-      }
-      const auto vectors = forward.vectors();
-      test.insert(test.end(), vectors.begin(), vectors.end());
-      for (auto& v : test) {
-        for (auto& bit : v) {
-          if (bit == V3::kX) bit = rng.bit() ? V3::k1 : V3::k0;
-        }
-      }
-      if (!simgen.fault_simulator().would_detect(target, test)) continue;
-      simgen.apply(test);
-      produced = true;
-      ++result.det_successes;
-    }
-    det_failures = produced || untestable[target] ? 0 : det_failures + 1;
+    det_.step(s, deadline);
+    const DetTargetEngine::Outcome& outcome = det_.last_outcome();
+    if (!outcome.had_target) break;  // everything resolved
+    det_failures = outcome.resolved ? 0 : det_failures + 1;
   }
+}
 
-  result.test_set = simgen.test_set();
-  result.detected = simgen.fault_simulator().detected_count();
-  return result;
+AlternatingResult alternating_hybrid_generate(
+    const netlist::Circuit& c, const AlternatingConfig& config,
+    session::ProgressObserver* observer) {
+  session::SessionConfig session_config;
+  session_config.faultsim = config.faultsim;
+  session::Session s(c, session_config);
+  s.set_observer(observer);
+  AlternatingEngine engine(c, config);
+  return s.run(engine, session::PassSchedule::single(config.time_limit_s));
 }
 
 }  // namespace gatpg::tpg

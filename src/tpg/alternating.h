@@ -9,13 +9,21 @@
 // and reverse-time justification), applies the resulting test, and resumes
 // simulation-based generation.  Compare with GA-HITEC, which instead fuses
 // the two approaches inside each targeted fault.
+//
+// On the session layer the alternation is literal composition: one shared
+// Session (fault population, test set, fault simulator) is driven by a
+// SimGenEngine and a DetTargetEngine; AlternatingEngine just schedules the
+// switches between them.
 #pragma once
 
 #include <cstdint>
 
 #include "atpg/limits.h"
-#include "sim/seqsim.h"
 #include "netlist/circuit.h"
+#include "session/session.h"
+#include "sim/seqsim.h"
+#include "tpg/simgen.h"
+#include "util/rng.h"
 
 namespace gatpg::tpg {
 
@@ -33,19 +41,68 @@ struct AlternatingConfig {
   unsigned det_failures_to_stop = 8;
   double time_limit_s = 10.0;
   std::uint64_t seed = 1;
+  /// Fault-simulator engine options (threads, differential vs full-sweep).
+  fault::FaultSimConfig faultsim;
 };
 
-struct AlternatingResult {
-  sim::Sequence test_set;
-  std::size_t detected = 0;
-  std::size_t untestable = 0;
-  std::size_t total_faults = 0;
-  long ga_rounds = 0;
-  long det_targets = 0;
-  long det_successes = 0;
+/// Unified session result.  The former field spellings map as: ga_rounds ->
+/// rounds, det_targets -> counters.targeted, det_successes ->
+/// counters.committed_tests.
+using AlternatingResult = session::SessionResult;
+
+/// One deterministically targeted fault per step(): round-robin target
+/// selection, bounded forward search, reverse-time justification, random
+/// X-fill, verification, commit.  Used as the deterministic phase of the
+/// alternating hybrid and reusable standalone.
+class DetTargetEngine : public session::Engine {
+ public:
+  struct Outcome {
+    bool had_target = false;  // an undetected fault was available
+    bool resolved = false;    // it was detected or proven untestable
+  };
+
+  /// `rng` supplies the X-fill stream and must outlive the engine.
+  DetTargetEngine(const netlist::Circuit& c, const atpg::SearchLimits& limits,
+                  util::Rng& rng);
+
+  const char* name() const override { return "det-target"; }
+  void run(session::Session& session, const session::PassConfig& pass,
+           const util::Deadline& deadline) override;
+  std::size_t step(session::Session& session,
+                   const util::Deadline& deadline) override;
+
+  const Outcome& last_outcome() const { return last_; }
+
+ private:
+  const netlist::Circuit& c_;
+  const atpg::SearchLimits& limits_;
+  util::Rng& rng_;
+  std::size_t next_target_ = 0;  // round-robin cursor
+  Outcome last_;
 };
 
-AlternatingResult alternating_hybrid_generate(const netlist::Circuit& c,
-                                              const AlternatingConfig& config);
+/// The alternation scheduler: SimGenEngine rounds until `switch_after`
+/// barren ones, then one DetTargetEngine step, repeated until the time
+/// budget, `det_failures_to_stop`, or full resolution.
+class AlternatingEngine : public session::Engine {
+ public:
+  AlternatingEngine(const netlist::Circuit& c,
+                    const AlternatingConfig& config);
+
+  const char* name() const override { return "alternating"; }
+  void run(session::Session& session, const session::PassConfig& pass,
+           const util::Deadline& deadline) override;
+
+ private:
+  const AlternatingConfig& config_;
+  SimGenConfig sim_config_;
+  util::Rng rng_;
+  SimGenEngine simgen_;
+  DetTargetEngine det_;
+};
+
+AlternatingResult alternating_hybrid_generate(
+    const netlist::Circuit& c, const AlternatingConfig& config,
+    session::ProgressObserver* observer = nullptr);
 
 }  // namespace gatpg::tpg

@@ -1,7 +1,9 @@
 #include "tpg/randgen.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "fault/faultsim.h"
-#include "util/rng.h"
 
 namespace gatpg::tpg {
 
@@ -21,53 +23,68 @@ sim::Sequence weighted_block(const netlist::Circuit& c, util::Rng& rng,
 
 }  // namespace
 
-RandomGenResult random_pattern_generate(const netlist::Circuit& c,
-                                        const RandomGenConfig& config) {
-  util::Rng rng(config.seed);
-  const std::size_t npi = c.primary_inputs().size();
-  const auto fault_list = fault::collapse(c);
+RandomEngine::RandomEngine(const netlist::Circuit& c,
+                           const RandomGenConfig& config)
+    : c_(c), config_(config), rng_(config.seed) {}
 
-  RandomGenResult result;
-  result.total_faults = fault_list.size();
-  result.weights.assign(npi, 0.5);
+void RandomEngine::run(session::Session& s, const session::PassConfig&,
+                       const util::Deadline&) {
+  const std::size_t npi = c_.primary_inputs().size();
+  weights_.assign(npi, 0.5);
 
-  if (config.weighted && npi > 0) {
+  if (config_.weighted && npi > 0) {
     // Audition profiles: uniform 0.5 plus `weight_trials` random draws from
     // a small palette; keep whichever detects most in one trial block from
-    // power-up.
+    // power-up.  The session simulator doubles as the probe — reset_all()
+    // restores power-up state (all-X machines, no detections) so the real
+    // generation below still starts fresh.
     static constexpr double kPalette[] = {0.1, 0.25, 0.5, 0.75, 0.9};
+    fault::FaultSimulator& probe = s.simulator();
     std::size_t best_score = 0;
-    for (std::size_t trial = 0; trial <= config.weight_trials; ++trial) {
+    for (std::size_t trial = 0; trial <= config_.weight_trials; ++trial) {
       std::vector<double> candidate(npi, 0.5);
       if (trial > 0) {
         for (auto& w : candidate) {
-          w = kPalette[rng.below(std::size(kPalette))];
+          w = kPalette[rng_.below(std::size(kPalette))];
         }
       }
-      util::Rng trial_rng(config.seed ^ (0xabcdULL + trial));
-      fault::FaultSimulator probe(c, fault_list.faults);
-      probe.run(weighted_block(c, trial_rng, 2 * config.block_size,
+      util::Rng trial_rng(config_.seed ^ (0xabcdULL + trial));
+      probe.reset_all();
+      probe.run(weighted_block(c_, trial_rng, 2 * config_.block_size,
                                candidate));
       if (probe.detected_count() > best_score) {
         best_score = probe.detected_count();
-        result.weights = candidate;
+        weights_ = candidate;
       }
     }
+    probe.reset_all();
   }
 
-  fault::FaultSimulator fsim(c, fault_list.faults);
   unsigned stagnant = 0;
-  while (result.test_set.size() < config.max_vectors &&
-         stagnant < config.stagnation_blocks &&
-         fsim.detected_count() < fault_list.size()) {
-    const std::size_t remaining = config.max_vectors - result.test_set.size();
+  while (s.tests().vectors() < config_.max_vectors &&
+         stagnant < config_.stagnation_blocks &&
+         s.faults().detected_count() < s.faults().size()) {
+    const std::size_t remaining = config_.max_vectors - s.tests().vectors();
     const auto block = weighted_block(
-        c, rng, std::min(config.block_size, remaining), result.weights);
-    const auto newly = fsim.run(block);
-    result.test_set.insert(result.test_set.end(), block.begin(), block.end());
-    stagnant = newly.empty() ? stagnant + 1 : 0;
+        c_, rng_, std::min(config_.block_size, remaining), weights_);
+    const std::size_t newly = s.commit_test(block);
+    s.faults().absorb_detections(s.simulator().detected());
+    stagnant = newly == 0 ? stagnant + 1 : 0;
   }
-  result.detected = fsim.detected_count();
+}
+
+RandomGenResult random_pattern_generate(const netlist::Circuit& c,
+                                        const RandomGenConfig& config,
+                                        session::ProgressObserver* observer) {
+  session::Session s(c);
+  s.set_observer(observer);
+  RandomEngine engine(c, config);
+  session::SessionResult base =
+      s.run(engine, session::PassSchedule::single(0.0));
+
+  RandomGenResult result;
+  static_cast<session::SessionResult&>(result) = std::move(base);
+  result.weights = engine.weights();
   return result;
 }
 

@@ -8,14 +8,18 @@
 //
 // The weighted generator first scores a handful of per-input one-probability
 // profiles by trial blocks and keeps the best (a pragmatic stand-in for the
-// testability-driven weight computation of [11]).
+// testability-driven weight computation of [11]).  The audition reuses the
+// session's fault simulator, restored to power-up between trials via
+// reset_all(), instead of constructing a throwaway simulator per trial.
 #pragma once
 
 #include <cstdint>
 
 #include "fault/faultlist.h"
 #include "netlist/circuit.h"
+#include "session/session.h"
 #include "sim/seqsim.h"
+#include "util/rng.h"
 
 namespace gatpg::tpg {
 
@@ -30,15 +34,33 @@ struct RandomGenConfig {
   std::uint64_t seed = 1;
 };
 
-struct RandomGenResult {
-  sim::Sequence test_set;
-  std::size_t detected = 0;
-  std::size_t total_faults = 0;
+/// The unified session result plus the chosen weight profile.
+struct RandomGenResult : session::SessionResult {
   /// The per-PI one-probabilities used (all 0.5 when unweighted).
   std::vector<double> weights;
 };
 
-RandomGenResult random_pattern_generate(const netlist::Circuit& c,
-                                        const RandomGenConfig& config);
+/// Block-at-a-time (weighted-)random generation as a session engine.
+class RandomEngine : public session::Engine {
+ public:
+  RandomEngine(const netlist::Circuit& c, const RandomGenConfig& config);
+
+  const char* name() const override { return "random"; }
+  void run(session::Session& session, const session::PassConfig& pass,
+           const util::Deadline& deadline) override;
+
+  /// Valid after run(): the weight profile the audition settled on.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  const netlist::Circuit& c_;
+  const RandomGenConfig& config_;
+  util::Rng rng_;
+  std::vector<double> weights_;
+};
+
+RandomGenResult random_pattern_generate(
+    const netlist::Circuit& c, const RandomGenConfig& config,
+    session::ProgressObserver* observer = nullptr);
 
 }  // namespace gatpg::tpg

@@ -8,40 +8,15 @@ using sim::Sequence;
 using sim::V3;
 using sim::Vector3;
 
-SimulationTestGenerator::SimulationTestGenerator(const netlist::Circuit& c,
-                                                 SimGenConfig config)
-    : c_(c),
-      config_(config),
-      faults_(fault::collapse(c)),
-      fsim_(c, faults_.faults, config.faultsim),
-      rng_(config.seed) {}
+SimGenEngine::SimGenEngine(const netlist::Circuit& c,
+                           const SimGenConfig& config)
+    : c_(c), config_(config), rng_(config.seed) {}
 
-std::vector<std::size_t> SimulationTestGenerator::sample_undetected() {
-  std::vector<std::size_t> undetected;
-  for (std::size_t i = 0; i < faults_.size(); ++i) {
-    if (!fsim_.detected()[i]) undetected.push_back(i);
-  }
-  if (undetected.size() <= config_.fault_sample) return undetected;
-  // Partial Fisher-Yates for an unbiased sample.
-  for (std::size_t i = 0; i < config_.fault_sample; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng_.below(undetected.size() - i));
-    std::swap(undetected[i], undetected[j]);
-  }
-  undetected.resize(config_.fault_sample);
-  return undetected;
-}
-
-std::size_t SimulationTestGenerator::apply(const Sequence& seq) {
-  const auto newly = fsim_.run(seq);
-  test_set_.insert(test_set_.end(), seq.begin(), seq.end());
-  return newly.size();
-}
-
-std::size_t SimulationTestGenerator::step(const util::Deadline& deadline) {
+std::size_t SimGenEngine::step(session::Session& s,
+                               const util::Deadline& deadline) {
   const std::size_t npi = c_.primary_inputs().size();
   if (npi == 0) return 0;
-  const auto sample = sample_undetected();
+  const auto sample = s.faults().sample_undropped(rng_, config_.fault_sample);
   if (sample.empty()) return 0;
 
   ga::GaConfig ga_config;
@@ -63,34 +38,61 @@ std::size_t SimulationTestGenerator::step(const util::Deadline& deadline) {
   const auto evaluate = [&](std::span<const ga::Chromosome> population,
                             std::span<double> fitness) {
     for (std::size_t i = 0; i < population.size(); ++i) {
-      const auto what = fsim_.what_if(sample, decode(population[i]));
+      const auto what = s.simulator().what_if(sample, decode(population[i]));
       fitness[i] = static_cast<double>(what.detected) +
                    config_.effect_weight * what.state_effects;
-      ++evaluations_;
+      s.note_evaluations(1);
     }
     return deadline.expired();
   };
 
   const ga::GaResult best = ga::GaEngine(ga_config).run(evaluate);
   if (best.best.empty()) return 0;
-  return apply(decode(best.best));
+  const std::size_t newly = s.commit_test(decode(best.best));
+  s.faults().absorb_detections(s.simulator().detected());
+  return newly;
 }
 
-SimGenResult SimulationTestGenerator::run() {
-  SimGenResult result;
-  result.total_faults = faults_.size();
-  const auto deadline = util::Deadline::after_seconds(config_.time_limit_s);
+void SimGenEngine::run(session::Session& s, const session::PassConfig&,
+                       const util::Deadline& deadline) {
   unsigned stagnant = 0;
   while (stagnant < config_.stagnation_rounds && !deadline.expired() &&
-         fsim_.detected_count() < faults_.size()) {
-    const std::size_t newly = step(deadline);
-    ++result.rounds;
+         s.faults().detected_count() < s.faults().size()) {
+    const std::size_t newly = step(s, deadline);
+    s.note_round();
     stagnant = newly == 0 ? stagnant + 1 : 0;
   }
-  result.test_set = test_set_;
-  result.detected = fsim_.detected_count();
-  result.evaluations = evaluations_;
-  return result;
+}
+
+namespace {
+session::SessionConfig simgen_session_config(const SimGenConfig& config) {
+  session::SessionConfig sc;
+  sc.faultsim = config.faultsim;
+  return sc;
+}
+}  // namespace
+
+SimulationTestGenerator::SimulationTestGenerator(const netlist::Circuit& c,
+                                                 SimGenConfig config)
+    : config_(config),
+      session_(c, simgen_session_config(config_)),
+      engine_(c, config_) {}
+
+std::size_t SimulationTestGenerator::apply(const Sequence& seq) {
+  const std::size_t newly = session_.commit_test(seq);
+  session_.faults().absorb_detections(session_.simulator().detected());
+  return newly;
+}
+
+std::size_t SimulationTestGenerator::step(const util::Deadline& deadline) {
+  return engine_.step(session_, deadline);
+}
+
+SimGenResult SimulationTestGenerator::run(
+    session::ProgressObserver* observer) {
+  session_.set_observer(observer);
+  return session_.run(engine_,
+                      session::PassSchedule::single(config_.time_limit_s));
 }
 
 }  // namespace gatpg::tpg

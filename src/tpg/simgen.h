@@ -9,8 +9,10 @@
 // The best sequence of each GA round is appended to the test set (with
 // fault dropping), and generation stops when rounds stop paying.
 //
-// It is both a baseline for the hybrid benches and the simulation-based
-// phase of the alternating hybrid (alternating.h).
+// SimGenEngine is the session::Engine form (one GA round per step); it is
+// both a baseline for the hybrid benches and the simulation-based phase of
+// the alternating hybrid (alternating.h).  SimulationTestGenerator is the
+// conventional facade over a self-owned session.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include "fault/faultsim.h"
 #include "ga/genetic.h"
 #include "netlist/circuit.h"
+#include "session/session.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -40,12 +43,30 @@ struct SimGenConfig {
   fault::FaultSimConfig faultsim;
 };
 
-struct SimGenResult {
-  sim::Sequence test_set;
-  std::size_t detected = 0;
-  std::size_t total_faults = 0;
-  long rounds = 0;
-  long evaluations = 0;
+/// The simulation-based generator now returns the unified session result
+/// (detected()/rounds/evaluations keep their former meanings).
+using SimGenResult = session::SessionResult;
+
+/// One GA round per step(); run() loops rounds until coverage stalls.
+/// Holds its own RNG/round-counter streams so seeded runs reproduce
+/// bit-identically regardless of which session drives it.
+class SimGenEngine : public session::Engine {
+ public:
+  SimGenEngine(const netlist::Circuit& c, const SimGenConfig& config);
+
+  const char* name() const override { return "simgen"; }
+  void run(session::Session& session, const session::PassConfig& pass,
+           const util::Deadline& deadline) override;
+  /// One GA round: evolves a sequence against a sample of the undropped
+  /// faults and commits the best.  Returns the newly detected count.
+  std::size_t step(session::Session& session,
+                   const util::Deadline& deadline) override;
+
+ private:
+  const netlist::Circuit& c_;
+  const SimGenConfig& config_;
+  util::Rng rng_;
+  std::uint64_t round_counter_ = 0;
 };
 
 class SimulationTestGenerator {
@@ -53,10 +74,10 @@ class SimulationTestGenerator {
   SimulationTestGenerator(const netlist::Circuit& c, SimGenConfig config);
 
   /// Runs rounds until coverage stalls, time expires, or everything is
-  /// detected.
-  SimGenResult run();
+  /// detected.  An optional observer receives the single pass report.
+  SimGenResult run(session::ProgressObserver* observer = nullptr);
 
-  // -- Stepwise interface (used by the alternating hybrid) -----------------
+  // -- Stepwise interface (used by tests and examples) ---------------------
 
   /// One GA round: evolves a sequence against the current undetected set
   /// and commits the best.  Returns the number of newly detected faults.
@@ -66,23 +87,20 @@ class SimulationTestGenerator {
   /// engine) with fault dropping.  Returns newly detected count.
   std::size_t apply(const sim::Sequence& seq);
 
-  const fault::FaultSimulator& fault_simulator() const { return fsim_; }
-  fault::FaultSimulator& fault_simulator() { return fsim_; }
-  const fault::FaultList& fault_list() const { return faults_; }
-  const sim::Sequence& test_set() const { return test_set_; }
-  long evaluations() const { return evaluations_; }
+  const fault::FaultSimulator& fault_simulator() const {
+    return session_.simulator();
+  }
+  fault::FaultSimulator& fault_simulator() { return session_.simulator(); }
+  const fault::FaultList& fault_list() const {
+    return session_.faults().list();
+  }
+  const sim::Sequence& test_set() const { return session_.tests().test_set(); }
+  long evaluations() const { return session_.evaluations(); }
 
  private:
-  std::vector<std::size_t> sample_undetected();
-
-  const netlist::Circuit& c_;
   SimGenConfig config_;
-  fault::FaultList faults_;
-  fault::FaultSimulator fsim_;
-  sim::Sequence test_set_;
-  util::Rng rng_;
-  long evaluations_ = 0;
-  std::uint64_t round_counter_ = 0;
+  session::Session session_;
+  SimGenEngine engine_;
 };
 
 }  // namespace gatpg::tpg

@@ -15,9 +15,9 @@ TEST(RandomGen, AchievesCoverageOnS27) {
   cfg.seed = 3;
   const auto r = random_pattern_generate(c, cfg);
   EXPECT_EQ(r.total_faults, 32u);
-  EXPECT_GE(r.detected, 28u);  // random does well on s27
+  EXPECT_GE(r.detected(), 28u);  // random does well on s27
   // Claimed coverage must match independent grading.
-  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected);
+  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected());
 }
 
 TEST(RandomGen, RespectsVectorCap) {
@@ -36,7 +36,7 @@ TEST(RandomGen, StopsOnStagnation) {
   cfg.stagnation_blocks = 3;
   const auto r = random_pattern_generate(c, cfg);
   EXPECT_LT(r.test_set.size(), 100000u);
-  EXPECT_LT(r.detected, r.total_faults);
+  EXPECT_LT(r.detected(), r.total_faults);
 }
 
 TEST(RandomGen, DeterministicPerSeed) {
@@ -46,7 +46,7 @@ TEST(RandomGen, DeterministicPerSeed) {
   const auto a = random_pattern_generate(c, cfg);
   const auto b = random_pattern_generate(c, cfg);
   EXPECT_EQ(a.test_set, b.test_set);
-  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.detected(), b.detected());
 }
 
 TEST(RandomGen, WeightedSelectsAProfile) {
@@ -61,7 +61,7 @@ TEST(RandomGen, WeightedSelectsAProfile) {
   for (double w : r.weights) {
     EXPECT_TRUE(w == 0.1 || w == 0.25 || w == 0.5 || w == 0.75 || w == 0.9);
   }
-  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected);
+  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected());
 }
 
 TEST(SimGen, CoversS27) {
@@ -72,8 +72,8 @@ TEST(SimGen, CoversS27) {
   cfg.seed = 7;
   SimulationTestGenerator generator(c, cfg);
   const auto r = generator.run();
-  EXPECT_GE(r.detected, 30u);
-  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected);
+  EXPECT_GE(r.detected(), 30u);
+  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected());
   EXPECT_GT(r.rounds, 0);
   EXPECT_GT(r.evaluations, 0);
 }
@@ -132,8 +132,8 @@ TEST(Alternating, ResolvesS27Completely) {
   cfg.seed = 5;
   const auto r = alternating_hybrid_generate(c, cfg);
   EXPECT_EQ(r.total_faults, 32u);
-  EXPECT_EQ(r.detected + r.untestable, 32u);
-  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected);
+  EXPECT_EQ(r.detected() + r.untestable(), 32u);
+  EXPECT_EQ(fault::grade_sequence(c, r.test_set).detected, r.detected());
 }
 
 TEST(Alternating, SwitchesToDeterministicPhase) {
@@ -145,7 +145,7 @@ TEST(Alternating, SwitchesToDeterministicPhase) {
   cfg.time_limit_s = 3.0;
   cfg.det_limits.time_limit_s = 0.05;
   const auto r = alternating_hybrid_generate(c, cfg);
-  EXPECT_GT(r.det_targets, 0);
+  EXPECT_GT(r.counters.targeted, 0);
 }
 
 TEST(Alternating, UntestableClaimsConsistentWithGrading) {
@@ -156,7 +156,7 @@ TEST(Alternating, UntestableClaimsConsistentWithGrading) {
   cfg.det_limits.time_limit_s = 0.05;
   const auto r = alternating_hybrid_generate(c, cfg);
   // No fault can be both untestable and detected.
-  EXPECT_LE(r.detected + r.untestable, r.total_faults);
+  EXPECT_LE(r.detected() + r.untestable(), r.total_faults);
 }
 
 }  // namespace
