@@ -1,0 +1,304 @@
+// Oblivious vs incremental implication in the deterministic engine (the
+// tentpole metric of the FrameModel rework): for each circuit a sample of
+// collapsed faults is driven through ForwardEngine::next_solution (plus the
+// required_state minimization of every solved fault) under both implication
+// engines with identical limits and an unlimited deadline, so the two modes
+// perform exactly the same search.
+//
+// Emits BENCH_detengine.json with wall-clock, decisions/sec, gate-eval and
+// event counts per mode, plus the gate-evals-per-decision reduction of the
+// incremental engine.  Verifies on the way that per-fault status, decision
+// and backtrack counts, vectors, and minimized required states are
+// bit-identical across the modes; exit status is nonzero on any mismatch.
+//
+// Usage: bench_detengine [--seed=N] [--full] [--max-faults=N]
+//                        [--backtracks=N] [--solutions=N] [--repeat=N]
+//                        [names...]
+//   --full adds the largest analog (g5378).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "atpg/detengine.h"
+#include "common.h"
+#include "fault/faultlist.h"
+#include "gen/registry.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace gatpg;
+
+struct FaultResult {
+  atpg::ForwardStatus status = atpg::ForwardStatus::kAborted;
+  unsigned solutions = 0;
+  long decisions = 0;
+  long backtracks = 0;
+  std::vector<sim::Sequence> vectors;
+  std::vector<sim::State3> states;
+
+  bool operator==(const FaultResult&) const = default;
+};
+
+struct Sample {
+  bool incremental = false;
+  double wall_s = 0.0;
+  long decisions = 0;
+  long backtracks = 0;
+  long gate_evals = 0;
+  long events = 0;
+  std::size_t solved = 0;
+  std::size_t untestable = 0;
+
+  double evals_per_decision() const {
+    return decisions > 0
+               ? static_cast<double>(gate_evals) /
+                     static_cast<double>(decisions)
+               : 0.0;
+  }
+  double decisions_per_s() const {
+    return wall_s > 0 ? static_cast<double>(decisions) / wall_s : 0.0;
+  }
+};
+
+struct CircuitResult {
+  std::string name;
+  std::size_t faults = 0;
+  std::size_t sampled = 0;
+  Sample oblivious;
+  Sample incremental;
+  bool identical = true;
+
+  double eval_reduction() const {
+    return incremental.gate_evals > 0
+               ? static_cast<double>(oblivious.gate_evals) /
+                     static_cast<double>(incremental.gate_evals)
+               : 0.0;
+  }
+  double speedup() const {
+    return incremental.wall_s > 0 ? oblivious.wall_s / incremental.wall_s
+                                  : 0.0;
+  }
+};
+
+/// Runs one fault to completion (bounded by the backtrack budget and the
+/// per-fault solution cap) and records everything the identity check
+/// compares.  The unlimited deadline keeps the search deterministic: both
+/// modes clip on exactly the same backtrack count, never on wall clock.
+FaultResult run_fault(const netlist::Circuit& c, const fault::Fault& f,
+                      const atpg::SearchLimits& limits,
+                      const atpg::ObsDistances& obs, unsigned max_solutions,
+                      Sample& sample) {
+  FaultResult r;
+  atpg::ForwardEngine engine(c, f, limits, obs);
+  const auto deadline = util::Deadline::unlimited();
+  for (unsigned s = 0; s < max_solutions; ++s) {
+    r.status = engine.next_solution(deadline);
+    if (r.status != atpg::ForwardStatus::kSolved) break;
+    ++r.solutions;
+    r.vectors.push_back(engine.vectors());
+    r.states.push_back(engine.required_state());
+  }
+  const atpg::SearchStats& st = engine.stats();
+  r.decisions = st.decisions;
+  r.backtracks = st.backtracks;
+  sample.decisions += st.decisions;
+  sample.backtracks += st.backtracks;
+  sample.gate_evals += st.gate_evals;
+  sample.events += st.events;
+  if (r.solutions > 0) ++sample.solved;
+  if (r.status == atpg::ForwardStatus::kUntestable) ++sample.untestable;
+  return r;
+}
+
+const char* status_name(atpg::ForwardStatus s) {
+  switch (s) {
+    case atpg::ForwardStatus::kSolved:
+      return "solved";
+    case atpg::ForwardStatus::kUntestable:
+      return "untestable";
+    case atpg::ForwardStatus::kExhausted:
+      return "exhausted";
+    case atpg::ForwardStatus::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, &positional);
+  std::size_t max_faults = 160;
+  long backtracks = 300;
+  unsigned max_solutions = 3;
+  int repeat = 2;
+  std::vector<std::string> names;
+  for (const std::string& arg : positional) {
+    if (arg.rfind("--max-faults=", 0) == 0) {
+      max_faults = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--backtracks=", 0) == 0) {
+      backtracks = std::atol(arg.c_str() + 13);
+    } else if (arg.rfind("--solutions=", 0) == 0) {
+      max_solutions = static_cast<unsigned>(std::atoi(arg.c_str() + 12));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + 9);
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) {
+    names = {"g298", "g526", "g820", "g1423"};
+    if (options.full) names.push_back("g5378");
+  }
+
+  std::printf(
+      "Oblivious vs incremental deterministic-engine implication "
+      "(max_faults=%zu, backtracks=%ld, solutions=%u, repeat=%d)\n\n",
+      max_faults, backtracks, max_solutions, repeat);
+
+  bool consistent = true;
+  long obl_evals_total = 0;
+  long inc_evals_total = 0;
+  long obl_decisions_total = 0;
+  long inc_decisions_total = 0;
+  std::vector<CircuitResult> results;
+  for (const std::string& name : names) {
+    const auto c = gen::make_circuit(name);
+    const auto faults = fault::collapse(c).faults;
+    CircuitResult cr;
+    cr.name = name;
+    cr.faults = faults.size();
+
+    // Deterministic even sample over the collapsed list.
+    const std::size_t stride =
+        faults.size() > max_faults ? (faults.size() + max_faults - 1) /
+                                         max_faults
+                                   : 1;
+    std::vector<std::size_t> picks;
+    for (std::size_t i = 0; i < faults.size(); i += stride) picks.push_back(i);
+    cr.sampled = picks.size();
+
+    const auto obs = atpg::share_observation_distances(c);
+    atpg::SearchLimits limits;
+    limits.max_backtracks = backtracks;
+
+    std::vector<FaultResult> reference;
+    for (const bool incremental : {false, true}) {
+      limits.incremental_model = incremental;
+      Sample& sample = incremental ? cr.incremental : cr.oblivious;
+      sample.incremental = incremental;
+      double wall = 0.0;
+      for (int rep = 0; rep < repeat; ++rep) {
+        Sample scratch;  // only the last repeat's counters are kept
+        std::vector<FaultResult> run;
+        run.reserve(picks.size());
+        const util::Stopwatch sw;
+        for (const std::size_t i : picks) {
+          run.push_back(run_fault(c, faults[i], limits, obs, max_solutions,
+                                  scratch));
+        }
+        wall += sw.seconds();
+        scratch.incremental = incremental;
+        scratch.wall_s = sample.wall_s;
+        sample = scratch;
+        if (rep == 0) {
+          if (!incremental) {
+            reference = std::move(run);
+          } else if (run != reference) {
+            cr.identical = false;
+            for (std::size_t k = 0; k < run.size(); ++k) {
+              if (!(run[k] == reference[k])) {
+                std::printf(
+                    "ERROR: %s fault #%zu diverges: oblivious %s "
+                    "dec=%ld bt=%ld sol=%u vs incremental %s dec=%ld "
+                    "bt=%ld sol=%u\n",
+                    name.c_str(), picks[k], status_name(reference[k].status),
+                    reference[k].decisions, reference[k].backtracks,
+                    reference[k].solutions, status_name(run[k].status),
+                    run[k].decisions, run[k].backtracks, run[k].solutions);
+                break;
+              }
+            }
+          }
+        }
+      }
+      sample.wall_s = wall / repeat;
+    }
+    consistent = consistent && cr.identical;
+
+    obl_evals_total += cr.oblivious.gate_evals;
+    inc_evals_total += cr.incremental.gate_evals;
+    obl_decisions_total += cr.oblivious.decisions;
+    inc_decisions_total += cr.incremental.decisions;
+    for (const Sample* s : {&cr.oblivious, &cr.incremental}) {
+      std::printf(
+          "%-8s %-11s  wall=%8.2fms  dec=%8ld  bt=%8ld  "
+          "gate_evals=%11ld  evals/dec=%8.1f  events=%10ld  "
+          "solved=%zu  unt=%zu\n",
+          cr.name.c_str(), s->incremental ? "incremental" : "oblivious",
+          s->wall_s * 1e3, s->decisions, s->backtracks, s->gate_evals,
+          s->evals_per_decision(), s->events, s->solved, s->untestable);
+    }
+    std::printf("%-8s   gate-eval reduction x%.2f, wall-clock x%.2f, "
+                "identity %s\n\n",
+                cr.name.c_str(), cr.eval_reduction(), cr.speedup(),
+                cr.identical ? "OK" : "FAILED");
+    results.push_back(std::move(cr));
+  }
+
+  FILE* json = std::fopen("BENCH_detengine.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_detengine.json\n");
+    return 1;
+  }
+  const double overall_reduction =
+      inc_evals_total > 0 ? static_cast<double>(obl_evals_total) /
+                                static_cast<double>(inc_evals_total)
+                          : 0.0;
+  std::fprintf(json, "{\n  \"bench\": \"detengine\",\n");
+  std::fprintf(json,
+               "  \"max_faults\": %zu,\n  \"backtracks\": %ld,\n"
+               "  \"solutions\": %u,\n  \"repeat\": %d,\n",
+               max_faults, backtracks, max_solutions, repeat);
+  std::fprintf(json, "  \"identical_across_modes\": %s,\n",
+               consistent ? "true" : "false");
+  std::fprintf(json, "  \"overall_gate_eval_reduction\": %.3f,\n",
+               overall_reduction);
+  std::fprintf(json, "  \"circuits\": [\n");
+  for (std::size_t ci = 0; ci < results.size(); ++ci) {
+    const CircuitResult& cr = results[ci];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"faults\": %zu, \"sampled\": %zu, "
+                 "\"identical\": %s, \"gate_eval_reduction\": %.3f, "
+                 "\"wall_clock_speedup\": %.3f, \"results\": [\n",
+                 cr.name.c_str(), cr.faults, cr.sampled,
+                 cr.identical ? "true" : "false", cr.eval_reduction(),
+                 cr.speedup());
+    for (const Sample* s : {&cr.oblivious, &cr.incremental}) {
+      std::fprintf(
+          json,
+          "      {\"engine\": \"%s\", \"wall_s\": %.6f, "
+          "\"decisions\": %ld, \"backtracks\": %ld, \"gate_evals\": %ld, "
+          "\"events\": %ld, \"evals_per_decision\": %.2f, "
+          "\"decisions_per_s\": %.1f, \"solved\": %zu, "
+          "\"untestable\": %zu}%s\n",
+          s->incremental ? "incremental" : "oblivious", s->wall_s,
+          s->decisions, s->backtracks, s->gate_evals, s->events,
+          s->evals_per_decision(), s->decisions_per_s(), s->solved,
+          s->untestable, s == &cr.oblivious ? "," : "");
+    }
+    std::fprintf(json, "    ]}%s\n", ci + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf(
+      "overall gate-eval reduction (incremental vs oblivious): x%.2f\n",
+      overall_reduction);
+  std::printf("wrote BENCH_detengine.json%s\n",
+              consistent ? "" : " (INCONSISTENT RESULTS)");
+  return consistent ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 #include "atpg/detengine.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
+#include <utility>
 
 namespace gatpg::atpg {
 
@@ -15,9 +15,8 @@ std::vector<std::uint32_t> observation_distances(const netlist::Circuit& c) {
   constexpr std::uint32_t kFrameCost = 1000;  // crossing a flip-flop
   std::vector<std::uint32_t> dist(c.node_count(), kInf);
   // Multi-source shortest path on the reverse graph; weights are 1 (into a
-  // combinational gate) or kFrameCost (into a DFF).  A two-bucket Dijkstra
-  // via std::deque is enough at these weights and sizes.
-  std::vector<NodeId> order;
+  // combinational gate) or kFrameCost (into a DFF), relaxed by plain
+  // Bellman-Ford sweeps until a fixed point.
   auto relax_all = [&] {
     // Bellman-Ford style sweeps; the graph is small and the loop converges
     // in a handful of iterations (longest simple path bounds it).
@@ -45,17 +44,38 @@ std::vector<std::uint32_t> observation_distances(const netlist::Circuit& c) {
   return dist;
 }
 
+ObsDistances share_observation_distances(const netlist::Circuit& c) {
+  return std::make_shared<const std::vector<std::uint32_t>>(
+      observation_distances(c));
+}
+
 ForwardEngine::ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
-                             const SearchLimits& limits)
+                             const SearchLimits& limits,
+                             ObsDistances obs_dist)
     : c_(c),
       fault_(f),
       limits_(limits),
-      model_(c, f, std::max(1u, limits.max_forward_frames)),
+      model_(c, f, std::max(1u, limits.max_forward_frames),
+             FrameModelConfig{limits.incremental_model}),
       stack_(model_),
-      obs_dist_(observation_distances(c)) {
+      obs_dist_(obs_dist ? std::move(obs_dist)
+                         : share_observation_distances(c)) {
   driver_ = f.pin == fault::kOutputPin
                 ? f.node
                 : c.fanins(f.node)[static_cast<std::size_t>(f.pin)];
+}
+
+const SearchStats& ForwardEngine::stats() const {
+  FrameModelStats total = model_.stats();
+  total.gate_evals += retired_scratch_stats_.gate_evals;
+  total.events += retired_scratch_stats_.events;
+  if (scratch_) {
+    total.gate_evals += scratch_->stats().gate_evals;
+    total.events += scratch_->stats().events;
+  }
+  stats_.gate_evals = static_cast<long>(total.gate_evals);
+  stats_.events = static_cast<long>(total.events);
+  return stats_;
 }
 
 bool ForwardEngine::excitation_conflict() const {
@@ -110,8 +130,8 @@ bool ForwardEngine::pick_objective(Objective& obj) {
   std::sort(frontier.begin(), frontier.end(),
             [&](const FrameModel::FrontierGate& a,
                 const FrameModel::FrontierGate& b) {
-              const auto da = obs_dist_[a.node];
-              const auto db = obs_dist_[b.node];
+              const auto da = (*obs_dist_)[a.node];
+              const auto db = (*obs_dist_)[b.node];
               if (da != db) return da < db;
               return a.frame > b.frame;
             });
@@ -147,34 +167,74 @@ bool ForwardEngine::pick_objective(Objective& obj) {
 sim::State3 ForwardEngine::required_state() const {
   // Rebuild the solution on a scratch model and greedily clear state
   // assignments whose removal keeps a fault effect on some primary output.
-  FrameModel scratch(c_, fault_, model_.max_frames());
-  scratch.set_frame_count(model_.frame_count());
+  if (!model_.incremental()) {
+    FrameModel scratch(c_, fault_, model_.max_frames(),
+                       FrameModelConfig{false});
+    scratch.set_frame_count(model_.frame_count());
+    const auto pis = c_.primary_inputs();
+    for (unsigned t = 0; t < model_.frame_count(); ++t) {
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        scratch.assign_pi(t, i, model_.pi_value(t, i));
+      }
+    }
+    const std::size_t nff = c_.flip_flops().size();
+    for (std::size_t i = 0; i < nff; ++i) {
+      scratch.assign_state(i, model_.state_value(i));
+    }
+    scratch.simulate();
+    const bool at_solution = scratch.po_has_d();
+    if (at_solution) {
+      for (std::size_t i = 0; i < nff; ++i) {
+        const V3 saved = scratch.state_value(i);
+        if (saved == V3::kX) continue;
+        scratch.clear_state(i);
+        scratch.simulate();
+        if (!scratch.po_has_d()) {
+          scratch.assign_state(i, saved);
+          scratch.simulate();
+        }
+      }
+    }
+    retired_scratch_stats_.gate_evals += scratch.stats().gate_evals;
+    retired_scratch_stats_.events += scratch.stats().events;
+    // Not currently at a solution: report the raw assignment.
+    return at_solution ? scratch.extract_state() : model_.extract_state();
+  }
+  // Incremental: one scratch model reused across calls, reset through the
+  // trail; each greedy probe is a trailed clear_state undone on failure
+  // instead of a full window re-simulation per flip-flop.
+  if (!scratch_) {
+    scratch_ = std::make_unique<FrameModel>(c_, fault_, model_.max_frames());
+  }
+  FrameModel& sc = *scratch_;
+  sc.undo_to(0);  // back to the all-unassigned construction state
+  // Frames beyond 0 reverted to their raw pre-activation contents; shrink
+  // and regrow so the window is rebuilt before any assignment lands.
+  sc.set_frame_count(1);
+  sc.set_frame_count(model_.frame_count());
   const auto pis = c_.primary_inputs();
   for (unsigned t = 0; t < model_.frame_count(); ++t) {
     for (std::size_t i = 0; i < pis.size(); ++i) {
-      scratch.assign_pi(t, i, model_.pi_value(t, i));
+      const V3 v = model_.pi_value(t, i);
+      if (v != V3::kX) sc.assign_pi(t, i, v);
     }
   }
   const std::size_t nff = c_.flip_flops().size();
   for (std::size_t i = 0; i < nff; ++i) {
-    scratch.assign_state(i, model_.state_value(i));
+    const V3 v = model_.state_value(i);
+    if (v != V3::kX) sc.assign_state(i, v);
   }
-  scratch.simulate();
-  if (!scratch.po_has_d()) {
+  if (!sc.po_has_d()) {
     // Not currently at a solution; report the raw assignment.
     return model_.extract_state();
   }
   for (std::size_t i = 0; i < nff; ++i) {
-    const V3 saved = scratch.state_value(i);
-    if (saved == V3::kX) continue;
-    scratch.clear_state(i);
-    scratch.simulate();
-    if (!scratch.po_has_d()) {
-      scratch.assign_state(i, saved);
-      scratch.simulate();
-    }
+    if (sc.state_value(i) == V3::kX) continue;
+    const std::size_t mark = sc.trail_mark();
+    sc.clear_state(i);
+    if (!sc.po_has_d()) sc.undo_to(mark);
   }
-  return scratch.extract_state();
+  return sc.extract_state();
 }
 
 ForwardStatus ForwardEngine::next_solution(const util::Deadline& deadline) {

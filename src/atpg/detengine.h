@@ -17,11 +17,19 @@
 // so exhaustion covers every reachable *and* unreachable state).
 #pragma once
 
+#include <memory>
+
 #include "atpg/limits.h"
 #include "atpg/podem.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::atpg {
+
+/// Shared, immutable distance-to-observation table (see
+/// observation_distances below).  The table depends only on the circuit, so
+/// sessions compute it once and hand it to every ForwardEngine they build
+/// instead of re-running the sweep per targeted fault.
+using ObsDistances = std::shared_ptr<const std::vector<std::uint32_t>>;
 
 enum class ForwardStatus {
   kSolved,      // vectors()/required_state() describe a candidate test
@@ -32,8 +40,10 @@ enum class ForwardStatus {
 
 class ForwardEngine {
  public:
+  /// `obs_dist` optionally shares a precomputed observation-distance table
+  /// (share_observation_distances); when null the engine computes its own.
   ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
-                const SearchLimits& limits);
+                const SearchLimits& limits, ObsDistances obs_dist = nullptr);
 
   /// Finds the next excitation/propagation solution; each call resumes the
   /// search after rejecting the previous solution.
@@ -49,7 +59,9 @@ class ForwardEngine {
   sim::Sequence vectors() const { return model_.extract_vectors(); }
   sim::State3 required_state() const;
 
-  const SearchStats& stats() const { return stats_; }
+  /// Search statistics; gate_evals/events are synced from the model (and
+  /// the required_state scratch model) on access.
+  const SearchStats& stats() const;
   const FrameModel& model() const { return model_; }
 
  private:
@@ -64,9 +76,15 @@ class ForwardEngine {
   SearchLimits limits_;
   FrameModel model_;
   DecisionStack stack_;
-  SearchStats stats_;
-  netlist::NodeId driver_;       // node whose good value excites the fault
-  std::vector<std::uint32_t> obs_dist_;  // static distance-to-observation
+  mutable SearchStats stats_;
+  netlist::NodeId driver_;  // node whose good value excites the fault
+  ObsDistances obs_dist_;   // static distance-to-observation (shared)
+  /// Lazily built scratch model reused across required_state() calls
+  /// (incremental mode): reset via the trail instead of reconstruction.
+  mutable std::unique_ptr<FrameModel> scratch_;
+  /// Effort of already-destroyed oblivious required_state scratch models,
+  /// folded into stats() so both modes account minimization identically.
+  mutable FrameModelStats retired_scratch_stats_;
   bool started_ = false;
   bool any_solution_ = false;
 };
@@ -75,5 +93,8 @@ class ForwardEngine {
 /// PO, crossing flip-flops at a high penalty), used to order D-frontier
 /// gates.  Exposed for tests.
 std::vector<std::uint32_t> observation_distances(const netlist::Circuit& c);
+
+/// observation_distances wrapped for sharing across many ForwardEngines.
+ObsDistances share_observation_distances(const netlist::Circuit& c);
 
 }  // namespace gatpg::atpg

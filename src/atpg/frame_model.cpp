@@ -1,5 +1,6 @@
 #include "atpg/frame_model.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gatpg::atpg {
@@ -9,8 +10,9 @@ using netlist::NodeId;
 using sim::V3;
 
 FrameModel::FrameModel(const netlist::Circuit& c,
-                       std::optional<fault::Fault> fault, unsigned max_frames)
-    : circuit_(c), fault_(fault), max_frames_(max_frames) {
+                       std::optional<fault::Fault> fault, unsigned max_frames,
+                       FrameModelConfig config)
+    : circuit_(c), fault_(fault), max_frames_(max_frames), config_(config) {
   assert(max_frames_ >= 1);
   pi_assign_.assign(max_frames_,
                     std::vector<V3>(c.primary_inputs().size(), V3::kX));
@@ -19,26 +21,83 @@ FrameModel::FrameModel(const netlist::Circuit& c,
   if (fault_) {
     faulty_.assign(max_frames_, std::vector<V3>(c.node_count(), V3::kX));
   }
-  simulate();
+  if (config_.incremental) {
+    init_incremental();
+    recompute_frame(0);
+    // Mark 0 is the post-construction state: the trail starts empty, the
+    // summaries stay (they describe the values just computed).
+    trail_.clear();
+  } else {
+    simulate();
+  }
+}
+
+void FrameModel::init_incremental() {
+  const auto& c = circuit_;
+  level_stride_ = static_cast<std::size_t>(c.max_level()) + 1;
+  buckets_.assign(static_cast<std::size_t>(max_frames_) * level_stride_, {});
+  queue_cursor_ = buckets_.size();
+  const std::size_t cells =
+      static_cast<std::size_t>(max_frames_) * c.node_count();
+  in_queue_.assign(cells, 0);
+  if (fault_) {
+    po_d_count_.assign(max_frames_, 0);
+    ffin_d_count_.assign(max_frames_, 0);
+    ff_consumer_count_.assign(c.node_count(), 0);
+    for (NodeId ff : c.flip_flops()) ++ff_consumer_count_[c.fanins(ff)[0]];
+    topo_pos_.assign(c.node_count(), 0);
+    const auto topo = c.topo_order();
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      topo_pos_[topo[i]] = static_cast<std::uint32_t>(i);
+    }
+    in_frontier_.assign(cells, 0);
+    listed_.assign(cells, 0);
+    frontier_members_.assign(max_frames_, {});
+  }
 }
 
 bool FrameModel::extend() {
   if (frame_count_ >= max_frames_) return false;
   ++frame_count_;
+  if (config_.incremental) recompute_frame(frame_count_ - 1);
   return true;
 }
 
 void FrameModel::set_frame_count(unsigned n) {
   assert(n >= 1 && n <= max_frames_);
-  frame_count_ = n;
+  if (!config_.incremental || n <= frame_count_) {
+    frame_count_ = n;
+    return;
+  }
+  // Growth: newly active frames hold stale (or never-computed) values and
+  // must be rebuilt from the current assignments, oldest first so each
+  // frame's flip-flops read a finished predecessor frame.
+  while (frame_count_ < n) {
+    ++frame_count_;
+    recompute_frame(frame_count_ - 1);
+  }
 }
 
 void FrameModel::assign_pi(unsigned frame, std::size_t pi_index, V3 v) {
-  pi_assign_[frame][pi_index] = v;
+  if (!config_.incremental) {
+    pi_assign_[frame][pi_index] = v;
+    return;
+  }
+  V3& slot = pi_assign_[frame][pi_index];
+  if (slot == v) return;
+  trail_.push_back({TrailEntry::kPi, slot, frame,
+                    static_cast<std::uint32_t>(pi_index)});
+  slot = v;
+  if (frame < frame_count_) {
+    // Inactive frames pick the assignment up when they are activated
+    // (recompute_frame reads pi_assign_ directly).
+    enqueue(frame, circuit_.primary_inputs()[pi_index]);
+    propagate();
+  }
 }
 
 void FrameModel::clear_pi(unsigned frame, std::size_t pi_index) {
-  pi_assign_[frame][pi_index] = V3::kX;
+  assign_pi(frame, pi_index, V3::kX);
 }
 
 V3 FrameModel::pi_value(unsigned frame, std::size_t pi_index) const {
@@ -46,93 +105,303 @@ V3 FrameModel::pi_value(unsigned frame, std::size_t pi_index) const {
 }
 
 void FrameModel::assign_state(std::size_t ff_index, V3 v) {
-  state_assign_[ff_index] = v;
+  if (!config_.incremental) {
+    state_assign_[ff_index] = v;
+    return;
+  }
+  V3& slot = state_assign_[ff_index];
+  if (slot == v) return;
+  trail_.push_back(
+      {TrailEntry::kState, slot, 0, static_cast<std::uint32_t>(ff_index)});
+  slot = v;
+  enqueue(0, circuit_.flip_flops()[ff_index]);  // frame 0 is always active
+  propagate();
 }
 
 void FrameModel::clear_state(std::size_t ff_index) {
-  state_assign_[ff_index] = V3::kX;
+  assign_state(ff_index, V3::kX);
 }
 
 V3 FrameModel::state_value(std::size_t ff_index) const {
   return state_assign_[ff_index];
 }
 
-void FrameModel::simulate_plane(std::vector<std::vector<V3>>& plane,
-                                bool inject) const {
+V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
+                         unsigned frame, NodeId n, bool inject) {
   const auto& c = circuit_;
-  const auto pis = c.primary_inputs();
-  const auto ffs = c.flip_flops();
   const fault::Fault* f = inject && fault_ ? &*fault_ : nullptr;
-
-  for (unsigned t = 0; t < frame_count_; ++t) {
-    auto& vals = plane[t];
-    // Sources.
-    for (std::size_t i = 0; i < pis.size(); ++i) {
-      vals[pis[i]] = pi_assign_[t][i];
+  const GateType t = c.type(n);
+  switch (t) {
+    case GateType::kInput: {
+      V3 v = pi_assign_[frame][static_cast<std::size_t>(c.pi_index(n))];
+      if (f && f->node == n && f->pin == fault::kOutputPin) {
+        v = f->stuck_at ? V3::k1 : V3::k0;
+      }
+      return v;
     }
-    for (std::size_t i = 0; i < ffs.size(); ++i) {
+    case GateType::kDff: {
       V3 v;
-      if (t == 0) {
-        v = state_assign_[i];
+      if (frame == 0) {
+        v = state_assign_[static_cast<std::size_t>(c.ff_index(n))];
       } else {
         // Next-state: the D fanin of the flip-flop in the previous frame,
         // with an injected D-pin fault applied if present.
-        v = plane[t - 1][c.fanins(ffs[i])[0]];
-        if (f && f->node == ffs[i] && f->pin == 0) {
+        v = plane[frame - 1][c.fanins(n)[0]];
+        if (f && f->node == n && f->pin == 0) {
           v = f->stuck_at ? V3::k1 : V3::k0;
         }
       }
-      if (f && f->node == ffs[i] && f->pin == fault::kOutputPin) {
+      if (f && f->node == n && f->pin == fault::kOutputPin) {
         v = f->stuck_at ? V3::k1 : V3::k0;
       }
-      vals[ffs[i]] = v;
+      return v;
+    }
+    case GateType::kConst0:
+      return V3::k0;
+    case GateType::kConst1:
+      return V3::k1;
+    default: {
+      ++stats_.gate_evals;
+      const auto& vals = plane[frame];
+      V3 v;
+      if (f && f->node == n && f->pin >= 0) {
+        // Evaluate with the faulted pin forced.  The pin is identified by
+        // position, not node id (one driver may feed several pins).
+        const auto fanins = c.fanins(n);
+        const auto fp = static_cast<std::size_t>(f->pin);
+        scratch_ins_.resize(fanins.size());
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          scratch_ins_[i] = vals[fanins[i]];
+        }
+        scratch_ins_[fp] = f->stuck_at ? V3::k1 : V3::k0;
+        scratch_idx_.resize(fanins.size());
+        for (std::size_t i = 0; i < scratch_idx_.size(); ++i) {
+          scratch_idx_[i] = static_cast<NodeId>(i);
+        }
+        v = sim::eval_gate_scalar(t, scratch_idx_,
+                                  [&](NodeId i) { return scratch_ins_[i]; });
+      } else {
+        v = sim::eval_gate_scalar(t, c.fanins(n),
+                                  [&](NodeId in) { return vals[in]; });
+      }
+      if (f && f->node == n && f->pin == fault::kOutputPin) {
+        v = f->stuck_at ? V3::k1 : V3::k0;
+      }
+      return v;
+    }
+  }
+}
+
+void FrameModel::simulate_plane(std::vector<std::vector<V3>>& plane,
+                                bool inject) {
+  const auto& c = circuit_;
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    auto& vals = plane[t];
+    for (NodeId pi : c.primary_inputs()) {
+      vals[pi] = eval_node(plane, t, pi, inject);
+    }
+    for (NodeId ff : c.flip_flops()) {
+      vals[ff] = eval_node(plane, t, ff, inject);
     }
     for (NodeId n = 0; n < c.node_count(); ++n) {
       if (c.type(n) == GateType::kConst0) vals[n] = V3::k0;
       if (c.type(n) == GateType::kConst1) vals[n] = V3::k1;
     }
-    if (f && f->pin == fault::kOutputPin &&
-        c.type(f->node) == GateType::kInput) {
-      vals[f->node] = f->stuck_at ? V3::k1 : V3::k0;
-    }
-    // Combinational gates in topological order.
     for (NodeId g : c.topo_order()) {
-      V3 v;
-      if (f && f->node == g && f->pin >= 0) {
-        // Evaluate with the faulted pin forced.  The pin is identified by
-        // position, not node id (one driver may feed several pins).
-        const auto fanins = c.fanins(g);
-        const auto fp = static_cast<std::size_t>(f->pin);
-        std::vector<V3> ins(fanins.size());
-        for (std::size_t i = 0; i < fanins.size(); ++i) {
-          ins[i] = vals[fanins[i]];
-        }
-        ins[fp] = f->stuck_at ? V3::k1 : V3::k0;
-        std::vector<NodeId> idx(fanins.size());
-        for (std::size_t i = 0; i < idx.size(); ++i) {
-          idx[i] = static_cast<NodeId>(i);
-        }
-        v = sim::eval_gate_scalar(c.type(g), idx,
-                                  [&](NodeId i) { return ins[i]; });
-      } else {
-        v = sim::eval_gate_scalar(c.type(g), c.fanins(g),
-                                  [&](NodeId in) { return vals[in]; });
-      }
-      if (f && f->node == g && f->pin == fault::kOutputPin) {
-        v = f->stuck_at ? V3::k1 : V3::k0;
-      }
-      vals[g] = v;
+      vals[g] = eval_node(plane, t, g, inject);
     }
   }
 }
 
 void FrameModel::simulate() {
+  if (config_.incremental) return;  // values are maintained eagerly
   simulate_plane(good_, /*inject=*/false);
   if (fault_) simulate_plane(faulty_, /*inject=*/true);
 }
 
+// -- Incremental engine ------------------------------------------------------
+
+void FrameModel::enqueue(unsigned frame, NodeId n) {
+  const std::size_t cl = cell(frame, n);
+  if (in_queue_[cl]) return;
+  in_queue_[cl] = 1;
+  const std::size_t key =
+      static_cast<std::size_t>(frame) * level_stride_ + circuit_.level(n);
+  buckets_[key].push_back(n);
+  ++queue_pending_;
+  if (key < queue_cursor_) queue_cursor_ = key;
+}
+
+void FrameModel::schedule_fanouts(unsigned frame, NodeId n) {
+  for (NodeId out : circuit_.fanouts(n)) {
+    if (circuit_.type(out) == GateType::kDff) {
+      // The change crosses the flip-flop into the next frame (if active);
+      // inactive frames are rebuilt wholesale on activation.
+      if (frame + 1 < frame_count_) enqueue(frame + 1, out);
+    } else {
+      enqueue(frame, out);
+    }
+  }
+}
+
+void FrameModel::propagate() {
+  // Keys strictly increase along any propagation path (a fanout is deeper
+  // in the same frame, or a level-0 flip-flop of the next frame), so one
+  // ascending sweep of the buckets drains the queue and touches each
+  // scheduled node exactly once.
+  while (queue_pending_ > 0) {
+    while (buckets_[queue_cursor_].empty()) ++queue_cursor_;
+    auto& bucket = buckets_[queue_cursor_];
+    const unsigned t = static_cast<unsigned>(queue_cursor_ / level_stride_);
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId n = bucket[i];
+      in_queue_[cell(t, n)] = 0;
+      --queue_pending_;
+      ++stats_.events;
+      reeval_node(t, n, /*schedule=*/true);
+    }
+    bucket.clear();
+  }
+  queue_cursor_ = buckets_.size();
+}
+
+bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
+  V3& g = good_[frame][n];
+  const V3 ng = eval_node(good_, frame, n, /*inject=*/false);
+  if (!fault_) {
+    if (ng == g) return false;
+    trail_.push_back({TrailEntry::kGood, g, frame, n});
+    g = ng;
+    if (schedule) schedule_fanouts(frame, n);
+    return true;
+  }
+  V3& fy = faulty_[frame][n];
+  const V3 nf = eval_node(faulty_, frame, n, /*inject=*/true);
+  if (ng == g && nf == fy) return false;
+  const Composite before{g, fy};
+  if (ng != g) {
+    trail_.push_back({TrailEntry::kGood, g, frame, n});
+    g = ng;
+  }
+  if (nf != fy) {
+    trail_.push_back({TrailEntry::kFaulty, fy, frame, n});
+    fy = nf;
+  }
+  note_composite_change(frame, n, before, {ng, nf});
+  if (schedule) schedule_fanouts(frame, n);
+  return true;
+}
+
+void FrameModel::recompute_frame(unsigned frame) {
+  const auto& c = circuit_;
+  for (NodeId pi : c.primary_inputs()) {
+    reeval_node(frame, pi, /*schedule=*/false);
+  }
+  for (NodeId ff : c.flip_flops()) {
+    reeval_node(frame, ff, /*schedule=*/false);
+  }
+  for (NodeId n = 0; n < c.node_count(); ++n) {
+    const GateType t = c.type(n);
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      reeval_node(frame, n, /*schedule=*/false);
+    }
+  }
+  for (NodeId g : c.topo_order()) {
+    reeval_node(frame, g, /*schedule=*/false);
+  }
+}
+
+void FrameModel::note_composite_change(unsigned frame, NodeId n,
+                                       const Composite& before,
+                                       const Composite& after) {
+  const int d_delta =
+      static_cast<int>(after.is_d()) - static_cast<int>(before.is_d());
+  if (d_delta != 0) {
+    if (circuit_.is_primary_output(n)) po_d_count_[frame] += d_delta;
+    if (ff_consumer_count_[n] != 0) {
+      ffin_d_count_[frame] +=
+          d_delta * static_cast<int>(ff_consumer_count_[n]);
+    }
+    // A fanin's D status feeds its consumers' frontier membership.
+    for (NodeId out : circuit_.fanouts(n)) {
+      if (netlist::is_combinational(circuit_.type(out))) {
+        refresh_frontier(frame, out);
+      }
+    }
+  }
+  if (after.any_x() != before.any_x() &&
+      netlist::is_combinational(circuit_.type(n))) {
+    refresh_frontier(frame, n);
+  }
+}
+
+void FrameModel::refresh_frontier(unsigned frame, NodeId gate) const {
+  bool member = false;
+  if (composite(frame, gate).any_x()) {
+    for (NodeId in : circuit_.fanins(gate)) {
+      if (composite(frame, in).is_d()) {
+        member = true;
+        break;
+      }
+    }
+  }
+  const std::size_t cl = cell(frame, gate);
+  if (in_frontier_[cl] == static_cast<char>(member)) return;
+  in_frontier_[cl] = static_cast<char>(member);
+  if (member && !listed_[cl]) {
+    listed_[cl] = 1;
+    frontier_members_[frame].push_back(gate);
+  }
+  // Leaving members stay listed until the next d_frontier() compaction.
+}
+
+void FrameModel::undo_to(std::size_t mark) {
+  if (!config_.incremental) return;  // trail is always empty
+  assert(mark <= trail_.size());
+  while (trail_.size() > mark) {
+    const TrailEntry e = trail_.back();
+    trail_.pop_back();
+    switch (e.kind) {
+      case TrailEntry::kPi:
+        pi_assign_[e.frame][e.index] = e.old_value;
+        break;
+      case TrailEntry::kState:
+        state_assign_[e.index] = e.old_value;
+        break;
+      case TrailEntry::kGood: {
+        V3& g = good_[e.frame][e.index];
+        if (fault_) {
+          const V3 fy = faulty_[e.frame][e.index];
+          const Composite before{g, fy};
+          g = e.old_value;
+          note_composite_change(e.frame, e.index, before, {g, fy});
+        } else {
+          g = e.old_value;
+        }
+        break;
+      }
+      case TrailEntry::kFaulty: {
+        V3& fy = faulty_[e.frame][e.index];
+        const Composite before{good_[e.frame][e.index], fy};
+        fy = e.old_value;
+        note_composite_change(e.frame, e.index, before,
+                              {good_[e.frame][e.index], fy});
+        break;
+      }
+    }
+  }
+}
+
+// -- Queries -----------------------------------------------------------------
+
 bool FrameModel::po_has_d() const {
   if (!fault_) return false;
+  if (config_.incremental) {
+    for (unsigned t = 0; t < frame_count_; ++t) {
+      if (po_d_count_[t] > 0) return true;
+    }
+    return false;
+  }
   for (unsigned t = 0; t < frame_count_; ++t) {
     for (NodeId po : circuit_.primary_outputs()) {
       if (composite(t, po).is_d()) return true;
@@ -143,6 +412,7 @@ bool FrameModel::po_has_d() const {
 
 bool FrameModel::d_reaches_ff_input(unsigned frame) const {
   if (!fault_) return false;
+  if (config_.incremental) return ffin_d_count_[frame] > 0;
   for (NodeId ff : circuit_.flip_flops()) {
     if (composite(frame, circuit_.fanins(ff)[0]).is_d()) return true;
   }
@@ -152,6 +422,27 @@ bool FrameModel::d_reaches_ff_input(unsigned frame) const {
 std::vector<FrameModel::FrontierGate> FrameModel::d_frontier() const {
   std::vector<FrontierGate> frontier;
   if (!fault_) return frontier;
+  if (config_.incremental) {
+    for (unsigned t = 0; t < frame_count_; ++t) {
+      auto& members = frontier_members_[t];
+      std::size_t kept = 0;
+      for (NodeId g : members) {
+        if (in_frontier_[cell(t, g)]) {
+          members[kept++] = g;
+        } else {
+          listed_[cell(t, g)] = 0;
+        }
+      }
+      members.resize(kept);
+      // Topological order reproduces the oblivious scan order exactly, so
+      // objective selection is bit-identical across the two engines.
+      std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+        return topo_pos_[a] < topo_pos_[b];
+      });
+      for (NodeId g : members) frontier.push_back({t, g});
+    }
+    return frontier;
+  }
   for (unsigned t = 0; t < frame_count_; ++t) {
     for (NodeId g : circuit_.topo_order()) {
       if (!composite(t, g).any_x()) continue;

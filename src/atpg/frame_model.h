@@ -13,12 +13,26 @@
 // two-goal GA fitness (see DESIGN.md for the soundness discussion: every
 // claimed detection is re-verified by the independent fault simulator).
 //
-// simulate() recomputes all active frames obliviously in topological order.
-// PODEM assigns one input at a time and re-implies; at the circuit sizes of
-// the evaluation suite this direct scheme is fast enough and trivially
-// correct, which the ATPG soundness property tests lean on.
+// Two evaluation engines produce bit-identical values:
+//
+// * Oblivious (FrameModelConfig{.incremental = false}, the retained
+//   reference): assignments only record themselves; simulate() recomputes
+//   both planes of every active frame in topological order.  Trivially
+//   correct; O(frames × gates) per PODEM decision.
+// * Incremental (the default): every assignment propagates through a
+//   levelized event queue — only nodes whose value actually changes are
+//   re-evaluated, fanouts are scheduled at (frame, level) keys, and changes
+//   cross DFF boundaries into later frames.  Each changed value is recorded
+//   on a trail, so DecisionStack backtracking restores the exact previous
+//   state by popping trail entries instead of re-simulating the window.
+//   The D-frontier, po_has_d() and d_reaches_ff_input() are maintained as
+//   side effects of propagation.  Cost per decision is O(affected cone).
+//
+// tests/test_frame_model_incr.cpp differential-tests the two engines on
+// randomized operation sequences over every registry circuit.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -29,15 +43,29 @@
 
 namespace gatpg::atpg {
 
+struct FrameModelConfig {
+  /// Event-driven implication with trail-based backtracking (default) vs
+  /// the oblivious full re-simulation reference.
+  bool incremental = true;
+};
+
+/// Implication-effort counters, accumulated over the model's lifetime.
+struct FrameModelStats {
+  std::uint64_t gate_evals = 0;  // combinational gate evaluations (per plane)
+  std::uint64_t events = 0;      // event-queue pops (incremental mode only)
+};
+
 class FrameModel {
  public:
   /// `fault` may be empty (justification mode: good plane only).
   FrameModel(const netlist::Circuit& c, std::optional<fault::Fault> fault,
-             unsigned max_frames);
+             unsigned max_frames, FrameModelConfig config = {});
 
   const netlist::Circuit& circuit() const { return circuit_; }
   bool has_fault() const { return fault_.has_value(); }
   const fault::Fault& fault() const { return *fault_; }
+  bool incremental() const { return config_.incremental; }
+  const FrameModelStats& stats() const { return stats_; }
 
   unsigned frame_count() const { return frame_count_; }
   unsigned max_frames() const { return max_frames_; }
@@ -55,6 +83,16 @@ class FrameModel {
   void clear_state(std::size_t ff_index);
   sim::V3 state_value(std::size_t ff_index) const;
 
+  // -- Trail (incremental mode) ------------------------------------------
+  /// Position marker into the change trail.  Record a mark before a batch
+  /// of assignments, then undo_to(mark) restores values *and* assignments
+  /// to exactly the marked state without re-simulation.  Mark 0 is the
+  /// post-construction (all-unassigned) state.  In oblivious mode the trail
+  /// is empty: trail_mark() is always 0 and undo_to is a no-op (callers
+  /// must clear assignments themselves and re-simulate).
+  std::size_t trail_mark() const { return trail_.size(); }
+  void undo_to(std::size_t mark);
+
   // -- Values --------------------------------------------------------------
   sim::V3 good(unsigned frame, netlist::NodeId n) const {
     return good_[frame][n];
@@ -66,17 +104,19 @@ class FrameModel {
     return {good(frame, n), faulty(frame, n)};
   }
 
-  /// Recomputes both planes for all active frames.
+  /// Oblivious mode: recomputes both planes for all active frames.
+  /// Incremental mode: no-op (values are maintained eagerly); safe to call.
   void simulate();
 
-  // -- Fault-effect queries (valid after simulate()) ------------------------
+  // -- Fault-effect queries --------------------------------------------------
   /// True if some primary output in some active frame carries D/D̄.
   bool po_has_d() const;
-  /// The (frame, po) location of the first D on a PO.
+  /// True if some flip-flop D input carries D/D̄ in `frame`.
   bool d_reaches_ff_input(unsigned frame) const;
 
   /// D-frontier: gates with composite-X output and at least one D/D̄ fanin,
-  /// over all active frames.  Returned as (frame, node) pairs.
+  /// over all active frames.  Returned as (frame, node) pairs in (frame,
+  /// topological-position) order — identical in both modes.
   struct FrontierGate {
     unsigned frame;
     netlist::NodeId node;
@@ -90,13 +130,45 @@ class FrameModel {
   sim::State3 extract_state() const;
 
  private:
-  void simulate_plane(std::vector<std::vector<sim::V3>>& plane,
-                      bool inject) const;
+  struct TrailEntry {
+    enum Kind : std::uint8_t { kGood, kFaulty, kPi, kState };
+    Kind kind;
+    sim::V3 old_value;
+    unsigned frame;
+    std::uint32_t index;  // node id (kGood/kFaulty) or PI/FF index
+  };
+
+  void simulate_plane(std::vector<std::vector<sim::V3>>& plane, bool inject);
+  /// Evaluates one node of one plane (sources, constants, gates; fault
+  /// injection applied when `inject`).  Shared by both engines so their
+  /// semantics cannot drift.
+  sim::V3 eval_node(const std::vector<std::vector<sim::V3>>& plane,
+                    unsigned frame, netlist::NodeId n, bool inject);
+
+  // Incremental machinery.
+  void init_incremental();
+  void enqueue(unsigned frame, netlist::NodeId n);
+  void schedule_fanouts(unsigned frame, netlist::NodeId n);
+  void propagate();
+  /// Re-evaluates both planes of (frame, node); trails and applies changes,
+  /// maintains summaries, and (when `schedule`) enqueues fanouts on change.
+  /// Returns true if any plane changed.
+  bool reeval_node(unsigned frame, netlist::NodeId n, bool schedule);
+  /// Directly recomputes every node of one (newly activated) frame.
+  void recompute_frame(unsigned frame);
+  void note_composite_change(unsigned frame, netlist::NodeId n,
+                             const Composite& before, const Composite& after);
+  void refresh_frontier(unsigned frame, netlist::NodeId gate) const;
+  std::size_t cell(unsigned frame, netlist::NodeId n) const {
+    return static_cast<std::size_t>(frame) * circuit_.node_count() + n;
+  }
 
   const netlist::Circuit& circuit_;
   std::optional<fault::Fault> fault_;
   unsigned max_frames_;
+  FrameModelConfig config_;
   unsigned frame_count_ = 1;
+  FrameModelStats stats_;
 
   // Assignments.
   std::vector<std::vector<sim::V3>> pi_assign_;  // [frame][pi]
@@ -105,6 +177,33 @@ class FrameModel {
   // Simulated planes: [frame][node].
   std::vector<std::vector<sim::V3>> good_;
   std::vector<std::vector<sim::V3>> faulty_;
+
+  // Scratch for faulted-pin gate evaluation (no per-eval allocation).
+  std::vector<sim::V3> scratch_ins_;
+  std::vector<netlist::NodeId> scratch_idx_;
+
+  // Change trail (incremental mode).
+  std::vector<TrailEntry> trail_;
+
+  // Event queue: buckets keyed by frame * (max_level + 1) + level.  Keys
+  // strictly increase during propagation (fanouts are deeper in the same
+  // frame or sources of a later frame), so one ascending cursor drains it.
+  std::vector<std::vector<netlist::NodeId>> buckets_;
+  std::vector<char> in_queue_;  // [frame × node]
+  std::size_t queue_cursor_ = 0;
+  std::size_t queue_pending_ = 0;
+  std::size_t level_stride_ = 1;  // max_level + 1
+
+  // Incrementally maintained fault-effect summaries (fault mode only).
+  std::vector<int> po_d_count_;    // per frame: POs carrying D/D̄
+  std::vector<int> ffin_d_count_;  // per frame: FF D inputs carrying D/D̄
+  std::vector<std::uint32_t> ff_consumer_count_;  // DFFs fed by node n
+  std::vector<std::uint32_t> topo_pos_;  // node → position in topo_order
+  // D-frontier membership: bitmap + per-frame append-only member list,
+  // compacted and sorted lazily on query (hence mutable).
+  mutable std::vector<char> in_frontier_;  // [frame × node]
+  mutable std::vector<char> listed_;       // [frame × node]
+  mutable std::vector<std::vector<netlist::NodeId>> frontier_members_;
 };
 
 }  // namespace gatpg::atpg

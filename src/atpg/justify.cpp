@@ -8,8 +8,11 @@ using sim::State3;
 using sim::V3;
 
 FrameGoalSearch::FrameGoalSearch(const netlist::Circuit& c,
-                                 std::vector<Objective> goals)
-    : model_(c, std::nullopt, 1), stack_(model_), goals_(std::move(goals)) {}
+                                 std::vector<Objective> goals,
+                                 FrameModelConfig config)
+    : model_(c, std::nullopt, 1, config),
+      stack_(model_),
+      goals_(std::move(goals)) {}
 
 bool FrameGoalSearch::conflict() const {
   return std::any_of(goals_.begin(), goals_.end(), [&](const Objective& g) {
@@ -34,9 +37,30 @@ bool FrameGoalSearch::pick_objective(Objective& obj) const {
   return false;
 }
 
+void FrameGoalSearch::flush_stats(SearchStats& stats) {
+  std::uint64_t gate_evals = model_.stats().gate_evals + retired_gate_evals_;
+  std::uint64_t events = model_.stats().events + retired_events_;
+  if (scratch_) {
+    gate_evals += scratch_->stats().gate_evals;
+    events += scratch_->stats().events;
+  }
+  stats.gate_evals += static_cast<long>(gate_evals - synced_gate_evals_);
+  stats.events += static_cast<long>(events - synced_events_);
+  synced_gate_evals_ = gate_evals;
+  synced_events_ = events;
+}
+
 FrameGoalSearch::Step FrameGoalSearch::next(const util::Deadline& deadline,
                                             long max_backtracks,
                                             SearchStats& stats) {
+  const Step step = advance(deadline, max_backtracks, stats);
+  flush_stats(stats);
+  return step;
+}
+
+FrameGoalSearch::Step FrameGoalSearch::advance(const util::Deadline& deadline,
+                                               long max_backtracks,
+                                               SearchStats& stats) {
   if (started_) {
     if (!stack_.backtrack(stats)) return Step::kExhausted;
   } else {
@@ -74,32 +98,66 @@ sim::State3 FrameGoalSearch::minimized_state() const {
   const auto& c = model_.circuit();
   // Rebuild the solution on a scratch model, then greedily clear state
   // assignments whose removal keeps every goal satisfied.
-  FrameModel scratch(c, std::nullopt, 1);
+  if (!model_.incremental()) {
+    FrameModel scratch(c, std::nullopt, 1, FrameModelConfig{false});
+    const auto pis = c.primary_inputs();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      scratch.assign_pi(0, i, model_.pi_value(0, i));
+    }
+    const std::size_t nff = c.flip_flops().size();
+    for (std::size_t i = 0; i < nff; ++i) {
+      scratch.assign_state(i, model_.state_value(i));
+    }
+    scratch.simulate();
+    auto holds = [&] {
+      return std::all_of(goals_.begin(), goals_.end(),
+                         [&](const Objective& g) {
+                           return scratch.good(0, g.node) == g.value;
+                         });
+    };
+    for (std::size_t i = 0; i < nff; ++i) {
+      const V3 saved = scratch.state_value(i);
+      if (saved == V3::kX) continue;
+      scratch.clear_state(i);
+      scratch.simulate();
+      if (!holds()) {
+        scratch.assign_state(i, saved);
+        scratch.simulate();
+      }
+    }
+    retired_gate_evals_ += scratch.stats().gate_evals;
+    retired_events_ += scratch.stats().events;
+    return scratch.extract_state();
+  }
+  // Incremental: reuse one scratch model, reset through the trail; each
+  // greedy probe is a trailed clear_state undone when a goal breaks.
+  if (!scratch_) {
+    scratch_ = std::make_unique<FrameModel>(c, std::nullopt, 1);
+  }
+  FrameModel& sc = *scratch_;
+  sc.undo_to(0);  // single-frame model: construction state is consistent
   const auto pis = c.primary_inputs();
   for (std::size_t i = 0; i < pis.size(); ++i) {
-    scratch.assign_pi(0, i, model_.pi_value(0, i));
+    const V3 v = model_.pi_value(0, i);
+    if (v != V3::kX) sc.assign_pi(0, i, v);
   }
   const std::size_t nff = c.flip_flops().size();
   for (std::size_t i = 0; i < nff; ++i) {
-    scratch.assign_state(i, model_.state_value(i));
+    const V3 v = model_.state_value(i);
+    if (v != V3::kX) sc.assign_state(i, v);
   }
-  scratch.simulate();
   auto holds = [&] {
     return std::all_of(goals_.begin(), goals_.end(), [&](const Objective& g) {
-      return scratch.good(0, g.node) == g.value;
+      return sc.good(0, g.node) == g.value;
     });
   };
   for (std::size_t i = 0; i < nff; ++i) {
-    const V3 saved = scratch.state_value(i);
-    if (saved == V3::kX) continue;
-    scratch.clear_state(i);
-    scratch.simulate();
-    if (!holds()) {
-      scratch.assign_state(i, saved);
-      scratch.simulate();
-    }
+    if (sc.state_value(i) == V3::kX) continue;
+    const std::size_t mark = sc.trail_mark();
+    sc.clear_state(i);
+    if (!holds()) sc.undo_to(mark);
   }
-  return scratch.extract_state();
+  return sc.extract_state();
 }
 
 DeterministicJustifier::DeterministicJustifier(const netlist::Circuit& c,
@@ -145,7 +203,8 @@ DeterministicJustifier::Outcome DeterministicJustifier::justify_rec(
     }
   }
 
-  FrameGoalSearch search(c_, std::move(goals));
+  FrameGoalSearch search(c_, std::move(goals),
+                         FrameModelConfig{limits_.incremental_model});
   bool any_aborted = false;
   for (;;) {
     const auto step = search.next(deadline, limits_.max_backtracks, stats_);

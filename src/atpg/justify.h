@@ -17,6 +17,8 @@
 // what lets the hybrid declare faults untestable.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,11 +35,12 @@ class FrameGoalSearch {
  public:
   enum class Step { kSolution, kExhausted, kAborted };
 
-  FrameGoalSearch(const netlist::Circuit& c, std::vector<Objective> goals);
+  FrameGoalSearch(const netlist::Circuit& c, std::vector<Objective> goals,
+                  FrameModelConfig config = {});
 
   /// Advances to the next satisfying assignment.  `stats` accumulates
-  /// decisions/backtracks across calls; `max_backtracks` is the shared
-  /// per-fault budget.
+  /// decisions/backtracks (and implication gate-eval/event counts) across
+  /// calls; `max_backtracks` is the shared per-fault budget.
   Step next(const util::Deadline& deadline, long max_backtracks,
             SearchStats& stats);
 
@@ -57,10 +60,22 @@ class FrameGoalSearch {
   bool conflict() const;
   bool satisfied() const;
   bool pick_objective(Objective& obj) const;
+  Step advance(const util::Deadline& deadline, long max_backtracks,
+               SearchStats& stats);
+  /// Adds the model-side effort accrued since the last flush to `stats`.
+  void flush_stats(SearchStats& stats);
 
   FrameModel model_;
   DecisionStack stack_;
   std::vector<Objective> goals_;
+  /// Scratch model reused by minimized_state (incremental mode).
+  mutable std::unique_ptr<FrameModel> scratch_;
+  /// Effort of already-destroyed oblivious minimized_state scratch models,
+  /// folded into flush_stats so both modes account minimization identically.
+  mutable std::uint64_t retired_gate_evals_ = 0;
+  mutable std::uint64_t retired_events_ = 0;
+  std::uint64_t synced_gate_evals_ = 0;
+  std::uint64_t synced_events_ = 0;
   bool started_ = false;
 };
 

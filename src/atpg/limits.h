@@ -15,6 +15,9 @@ struct SearchLimits {
   long max_backtracks = 10000;      // per targeted fault
   unsigned max_forward_frames = 16; // propagation window
   unsigned max_justify_depth = 32;  // reverse-time frames
+  /// Event-driven incremental implication (default) vs the oblivious
+  /// re-simulation reference engine; results are bit-identical.
+  bool incremental_model = true;
 };
 
 }  // namespace gatpg::atpg

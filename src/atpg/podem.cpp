@@ -126,14 +126,21 @@ void DecisionStack::push(const InputAssignment& a) {
   Entry e;
   e.assignment = a;
   e.frames_at_push = model_.frame_count();
+  e.mark = model_.trail_mark();
   stack_.push_back(e);
   apply(a);
-  model_.simulate();
+  model_.simulate();  // incremental models already implied during apply
 }
 
 bool DecisionStack::backtrack(SearchStats& stats) {
+  const bool incremental = model_.incremental();
   while (!stack_.empty()) {
     Entry& top = stack_.back();
+    if (incremental) {
+      // Restore the exact pre-decision state (values, summaries, and the
+      // decision's own assignment) from the trail, then shrink the window.
+      model_.undo_to(top.mark);
+    }
     model_.set_frame_count(top.frames_at_push);
     if (!top.flipped) {
       top.flipped = true;
@@ -143,7 +150,7 @@ bool DecisionStack::backtrack(SearchStats& stats) {
       model_.simulate();
       return true;
     }
-    undo(top.assignment);
+    if (!incremental) undo(top.assignment);
     stack_.pop_back();
   }
   model_.simulate();
@@ -151,6 +158,12 @@ bool DecisionStack::backtrack(SearchStats& stats) {
 }
 
 void DecisionStack::unwind_all() {
+  if (model_.incremental()) {
+    if (!stack_.empty()) model_.undo_to(stack_.front().mark);
+    stack_.clear();
+    model_.set_frame_count(1);
+    return;
+  }
   while (!stack_.empty()) {
     undo(stack_.back().assignment);
     stack_.pop_back();

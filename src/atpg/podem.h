@@ -45,6 +45,8 @@ std::optional<InputAssignment> backtrace(const FrameModel& m,
 struct SearchStats {
   long decisions = 0;
   long backtracks = 0;
+  long gate_evals = 0;  // implication effort: gate evaluations (both planes)
+  long events = 0;      // event-queue pops (incremental implication only)
   bool clipped = false;  // some limit clipped the search (no proofs possible)
 };
 
@@ -72,6 +74,9 @@ class DecisionStack {
     InputAssignment assignment;
     bool flipped = false;
     unsigned frames_at_push = 1;
+    /// Trail mark taken just before the decision was applied (incremental
+    /// models): undoing to it restores the exact pre-decision state.
+    std::size_t mark = 0;
   };
 
   void apply(const InputAssignment& a);

@@ -18,7 +18,11 @@ using sim::V3;
 HybridEngine::HybridEngine(const netlist::Circuit& c,
                            const HybridConfig& config, unsigned depth,
                            util::Rng& rng)
-    : c_(c), config_(config), depth_(depth), rng_(rng) {}
+    : c_(c),
+      config_(config),
+      depth_(depth),
+      rng_(rng),
+      obs_dist_(atpg::share_observation_distances(c)) {}
 
 unsigned HybridEngine::ga_sequence_length(const PassConfig& pass) const {
   if (pass.seq_len_override) return pass.seq_len_override;
@@ -38,7 +42,6 @@ void HybridEngine::fill_x(Sequence& seq) {
 
 HybridEngine::TargetOutcome HybridEngine::target_fault(
     session::Session& s, std::size_t fault_index, const PassConfig& pass) {
-  TargetOutcome outcome;
   const fault::Fault& f = s.faults().fault(fault_index);
   fault::FaultSimulator& fsim = s.simulator();
   ++s.counters().targeted;
@@ -56,10 +59,45 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
       config_.max_justify_depth
           ? config_.max_justify_depth
           : std::clamp(4 * std::max(1u, depth_), 8u, 64u);
+  limits.incremental_model = config_.incremental_model;
 
-  ForwardEngine forward(c_, f, limits);
+  ForwardEngine forward(c_, f, limits, obs_dist_);
   const GaStateJustifier ga_justifier(c_);
   atpg::DeterministicJustifier det_justifier(c_, limits);
+  // DeterministicJustifier resets its stats per justify() call; accumulate
+  // them here across the attempt loop.
+  atpg::SearchStats det_total;
+
+  const TargetOutcome outcome = attempt_solutions(
+      s, fault_index, pass, deadline, forward, ga_justifier, det_justifier,
+      det_total);
+
+  // Deterministic-engine effort accounting (per fault and cumulative).
+  const atpg::SearchStats& fs = forward.stats();
+  session::TargetEffort effort;
+  effort.fault_index = fault_index;
+  effort.decisions = fs.decisions + det_total.decisions;
+  effort.backtracks = fs.backtracks + det_total.backtracks;
+  effort.gate_evals = fs.gate_evals + det_total.gate_evals;
+  effort.events = fs.events + det_total.events;
+  EngineCounters& counters = s.counters();
+  counters.det_decisions += effort.decisions;
+  counters.det_backtracks += effort.backtracks;
+  counters.det_gate_evals += effort.gate_evals;
+  counters.det_events += effort.events;
+  if (s.observer()) s.observer()->on_target_end(s, effort);
+  return outcome;
+}
+
+HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
+    session::Session& s, std::size_t fault_index, const PassConfig& pass,
+    const util::Deadline& deadline, ForwardEngine& forward,
+    const GaStateJustifier& ga_justifier,
+    atpg::DeterministicJustifier& det_justifier,
+    atpg::SearchStats& det_total) {
+  TargetOutcome outcome;
+  const fault::Fault& f = s.faults().fault(fault_index);
+  fault::FaultSimulator& fsim = s.simulator();
 
   // True while every justification failure so far was a completed proof of
   // unjustifiability; together with forward exhaustion this upgrades
@@ -143,6 +181,11 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
     } else {
       ++s.counters().det_justify_calls;
       const auto det = det_justifier.justify(required, deadline);
+      const atpg::SearchStats& ds = det_justifier.stats();
+      det_total.decisions += ds.decisions;
+      det_total.backtracks += ds.backtracks;
+      det_total.gate_evals += ds.gate_evals;
+      det_total.events += ds.events;
       if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
         ++s.counters().det_justify_successes;
         justification = det.sequence;
@@ -259,8 +302,10 @@ AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
     pre.time_limit_s = config_.prefilter_time_s;
     pre.max_backtracks = config_.prefilter_backtracks;
     pre.max_forward_frames = 4;
+    pre.incremental_model = config_.incremental_model;
+    const auto obs_dist = atpg::share_observation_distances(c_);
     for (std::size_t i = 0; i < faults_.size(); ++i) {
-      ForwardEngine fe(c_, faults_.faults[i], pre);
+      ForwardEngine fe(c_, faults_.faults[i], pre, obs_dist);
       const auto st =
           fe.next_solution(util::Deadline::after_seconds(pre.time_limit_s));
       if (st == ForwardStatus::kUntestable) {

@@ -36,6 +36,7 @@
 #include "session/session.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace gatpg::hybrid {
 
@@ -74,6 +75,10 @@ struct HybridConfig {
   bool prefilter_untestable = false;
   double prefilter_time_s = 0.02;
   long prefilter_backtracks = 200;
+  /// Deterministic-engine implication mode: event-driven incremental
+  /// (default) vs the oblivious re-simulation reference.  Results are
+  /// bit-identical; this knob exists for benchmarking and debugging.
+  bool incremental_model = true;
 };
 
 /// The per-fault targeted engine (Fig. 1).  Reusable standalone against any
@@ -101,6 +106,16 @@ class HybridEngine : public session::Engine {
 
   TargetOutcome target_fault(session::Session& session,
                              std::size_t fault_index, const PassConfig& pass);
+  /// The Fig. 1 attempt loop of target_fault; `det_total` accumulates the
+  /// deterministic justifier's per-call SearchStats across attempts.
+  TargetOutcome attempt_solutions(session::Session& session,
+                                  std::size_t fault_index,
+                                  const PassConfig& pass,
+                                  const util::Deadline& deadline,
+                                  atpg::ForwardEngine& forward,
+                                  const GaStateJustifier& ga_justifier,
+                                  atpg::DeterministicJustifier& det_justifier,
+                                  atpg::SearchStats& det_total);
   void resolve_target(session::Session& session, std::size_t fault_index,
                       const TargetOutcome& outcome);
   void fill_x(sim::Sequence& seq);
@@ -110,6 +125,8 @@ class HybridEngine : public session::Engine {
   const HybridConfig& config_;
   unsigned depth_;
   util::Rng& rng_;
+  /// Observation-distance table shared by every per-fault ForwardEngine.
+  atpg::ObsDistances obs_dist_;
   std::size_t next_target_ = 0;  // stepwise round-robin cursor
 };
 

@@ -38,6 +38,22 @@ struct EngineCounters {
   long no_justification_needed = 0;
   long aborted_faults = 0;       // per-pass limit hits
   long committed_tests = 0;      // targeted tests committed to the test set
+  // Deterministic-engine effort (forward search + deterministic
+  // justification), summed over every targeted fault.
+  long det_decisions = 0;
+  long det_backtracks = 0;
+  long det_gate_evals = 0;  // implication gate evaluations (both planes)
+  long det_events = 0;      // incremental-implication event-queue pops
+};
+
+/// Per-targeted-fault deterministic-engine effort (the fault's SearchStats
+/// aggregated over forward search and deterministic justification).
+struct TargetEffort {
+  std::size_t fault_index = 0;
+  long decisions = 0;
+  long backtracks = 0;
+  long gate_evals = 0;
+  long events = 0;
 };
 
 /// Observer hook.  All callbacks default to no-ops; the session pointer
@@ -56,6 +72,10 @@ class ProgressObserver {
   virtual void on_pass_end(const Session& /*session*/,
                            std::size_t /*pass_index*/,
                            const PassOutcome& /*outcome*/) {}
+  /// Fired by the targeted engines after each deterministic fault target
+  /// resolves, with that fault's aggregated search effort.
+  virtual void on_target_end(const Session& /*session*/,
+                             const TargetEffort& /*effort*/) {}
   virtual void on_session_end(const Session& /*session*/,
                               const SessionResult& /*result*/) {}
 };

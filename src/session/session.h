@@ -93,6 +93,7 @@ class Session {
   /// Observer for per-pass reporting; nullptr (default) disables it.  Not
   /// owned; must outlive run().
   void set_observer(ProgressObserver* observer) { observer_ = observer; }
+  ProgressObserver* observer() const { return observer_; }
 
   /// Commits a verified candidate test: simulates it on the session fault
   /// simulator as a continuation of the test set so far (fault dropping),

@@ -11,7 +11,10 @@ using sim::V3;
 DetTargetEngine::DetTargetEngine(const netlist::Circuit& c,
                                  const atpg::SearchLimits& limits,
                                  util::Rng& rng)
-    : c_(c), limits_(limits), rng_(rng) {}
+    : c_(c),
+      limits_(limits),
+      rng_(rng),
+      obs_dist_(atpg::share_observation_distances(c)) {}
 
 std::size_t DetTargetEngine::step(session::Session& s,
                                   const util::Deadline&) {
@@ -27,8 +30,9 @@ std::size_t DetTargetEngine::step(session::Session& s,
   const fault::Fault& f = fm.fault(target);
   const auto fault_deadline =
       util::Deadline::after_seconds(limits_.time_limit_s);
-  atpg::ForwardEngine forward(c_, f, limits_);
+  atpg::ForwardEngine forward(c_, f, limits_, obs_dist_);
   atpg::DeterministicJustifier justifier(c_, limits_);
+  atpg::SearchStats det_total;  // justifier stats, summed over attempts
   bool produced = false;
   std::size_t newly = 0;
   for (int attempt = 0; attempt < 8 && !produced; ++attempt) {
@@ -45,6 +49,11 @@ std::size_t DetTargetEngine::step(session::Session& s,
     for (V3 v : required) needs_state |= v != V3::kX;
     if (needs_state) {
       const auto just = justifier.justify(required, fault_deadline);
+      const atpg::SearchStats& js = justifier.stats();
+      det_total.decisions += js.decisions;
+      det_total.backtracks += js.backtracks;
+      det_total.gate_evals += js.gate_evals;
+      det_total.events += js.events;
       if (just.status != atpg::DeterministicJustifier::Status::kJustified) {
         continue;
       }
@@ -64,6 +73,21 @@ std::size_t DetTargetEngine::step(session::Session& s,
     last_.resolved = true;
     ++s.counters().committed_tests;
   }
+
+  // Deterministic-engine effort accounting (per fault and cumulative).
+  const atpg::SearchStats& fs = forward.stats();
+  session::TargetEffort effort;
+  effort.fault_index = target;
+  effort.decisions = fs.decisions + det_total.decisions;
+  effort.backtracks = fs.backtracks + det_total.backtracks;
+  effort.gate_evals = fs.gate_evals + det_total.gate_evals;
+  effort.events = fs.events + det_total.events;
+  session::EngineCounters& counters = s.counters();
+  counters.det_decisions += effort.decisions;
+  counters.det_backtracks += effort.backtracks;
+  counters.det_gate_evals += effort.gate_evals;
+  counters.det_events += effort.events;
+  if (s.observer()) s.observer()->on_target_end(s, effort);
   return newly;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "atpg/detengine.h"
 #include "atpg/limits.h"
 #include "netlist/circuit.h"
 #include "session/session.h"
@@ -77,6 +78,8 @@ class DetTargetEngine : public session::Engine {
   const netlist::Circuit& c_;
   const atpg::SearchLimits& limits_;
   util::Rng& rng_;
+  /// Observation-distance table shared by every per-fault ForwardEngine.
+  atpg::ObsDistances obs_dist_;
   std::size_t next_target_ = 0;  // round-robin cursor
   Outcome last_;
 };

@@ -1,0 +1,303 @@
+// Differential tests for the two FrameModel implication engines: the
+// event-driven incremental engine (default) must agree bit-for-bit with the
+// oblivious full re-simulation reference on randomized operation sequences
+// (assignments, clears, window extensions, trail-based backtracking) over
+// every registry circuit, and the deterministic search built on top must
+// make identical decisions in both modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atpg/detengine.h"
+#include "atpg/frame_model.h"
+#include "atpg/justify.h"
+#include "fault/faultlist.h"
+#include "gen/registry.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace gatpg::atpg {
+namespace {
+
+using fault::Fault;
+using sim::V3;
+
+constexpr unsigned kMaxFrames = 5;
+
+/// Asserts that every observable of the two models matches: window size,
+/// both value planes of every active frame, the fault-effect summaries, the
+/// D-frontier (contents *and* order), and the extracted vectors/state.
+void expect_agree(const netlist::Circuit& c, FrameModel& incr,
+                  FrameModel& obl, const std::string& context) {
+  ASSERT_EQ(incr.frame_count(), obl.frame_count()) << context;
+  for (unsigned t = 0; t < incr.frame_count(); ++t) {
+    for (netlist::NodeId n = 0; n < c.node_count(); ++n) {
+      ASSERT_EQ(incr.good(t, n), obl.good(t, n))
+          << context << " good frame " << t << " node " << c.name(n);
+      if (incr.has_fault()) {
+        ASSERT_EQ(incr.faulty(t, n), obl.faulty(t, n))
+            << context << " faulty frame " << t << " node " << c.name(n);
+      }
+    }
+    ASSERT_EQ(incr.d_reaches_ff_input(t), obl.d_reaches_ff_input(t))
+        << context << " d_reaches_ff_input frame " << t;
+  }
+  ASSERT_EQ(incr.po_has_d(), obl.po_has_d()) << context;
+  const auto fi = incr.d_frontier();
+  const auto fo = obl.d_frontier();
+  ASSERT_EQ(fi.size(), fo.size()) << context << " d_frontier size";
+  for (std::size_t k = 0; k < fi.size(); ++k) {
+    ASSERT_EQ(fi[k].frame, fo[k].frame) << context << " d_frontier[" << k
+                                        << "]";
+    ASSERT_EQ(fi[k].node, fo[k].node) << context << " d_frontier[" << k
+                                      << "]";
+  }
+  ASSERT_EQ(incr.extract_vectors(), obl.extract_vectors()) << context;
+  ASSERT_EQ(incr.extract_state(), obl.extract_state()) << context;
+}
+
+/// One randomized push/backtrack session against both engines.  Pushed ops
+/// mirror DecisionStack usage: a trail mark + frame count are recorded
+/// before each op so backtracking can restore the incremental model via
+/// undo_to while the oblivious model reverse-applies the recorded
+/// assignments and re-simulates.
+void run_random_session(const netlist::Circuit& c,
+                        const std::optional<Fault>& fault, unsigned ops,
+                        std::uint64_t seed) {
+  FrameModel incr(c, fault, kMaxFrames);  // incremental is the default
+  FrameModel obl(c, fault, kMaxFrames, FrameModelConfig{false});
+  ASSERT_TRUE(incr.incremental());
+  ASSERT_FALSE(obl.incremental());
+
+  struct Undo {
+    bool is_pi = false;
+    bool is_state = false;
+    unsigned frame = 0;
+    std::size_t index = 0;
+    V3 old_value = V3::kX;
+  };
+  struct PushedOp {
+    std::size_t mark = 0;
+    unsigned frames_at_push = 1;
+    std::vector<Undo> undos;
+  };
+  std::vector<PushedOp> stack;
+
+  util::Rng rng(seed);
+  const std::size_t npi = c.primary_inputs().size();
+  const std::size_t nff = c.flip_flops().size();
+  const V3 values[3] = {V3::k0, V3::k1, V3::kX};
+
+  const std::string base =
+      c.name() + (fault ? " fault@" + c.name(fault->node) : " no-fault");
+  for (unsigned op = 0; op < ops; ++op) {
+    const std::string context = base + " op " + std::to_string(op);
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 3 && !stack.empty()) {
+      // Backtrack: restore to the state before the most recent push.
+      const PushedOp popped = stack.back();
+      stack.pop_back();
+      incr.undo_to(popped.mark);
+      incr.set_frame_count(popped.frames_at_push);
+      for (auto it = popped.undos.rbegin(); it != popped.undos.rend(); ++it) {
+        if (it->is_pi) {
+          obl.assign_pi(it->frame, it->index, it->old_value);
+        } else if (it->is_state) {
+          obl.assign_state(it->index, it->old_value);
+        }
+      }
+      obl.set_frame_count(popped.frames_at_push);
+      obl.simulate();
+    } else {
+      PushedOp pushed;
+      pushed.mark = incr.trail_mark();
+      pushed.frames_at_push = incr.frame_count();
+      if (kind < 5 && incr.frame_count() < kMaxFrames) {
+        ASSERT_TRUE(incr.extend()) << context;
+        ASSERT_TRUE(obl.extend()) << context;
+      } else if (nff > 0 && kind < 7) {
+        Undo u;
+        u.is_state = true;
+        u.index = rng.below(nff);
+        u.old_value = incr.state_value(u.index);
+        const V3 v = values[rng.below(3)];
+        incr.assign_state(u.index, v);
+        obl.assign_state(u.index, v);
+        pushed.undos.push_back(u);
+      } else if (npi > 0) {
+        Undo u;
+        u.is_pi = true;
+        u.frame = static_cast<unsigned>(rng.below(incr.frame_count()));
+        u.index = rng.below(npi);
+        u.old_value = incr.pi_value(u.frame, u.index);
+        const V3 v = values[rng.below(3)];
+        incr.assign_pi(u.frame, u.index, v);
+        obl.assign_pi(u.frame, u.index, v);
+        pushed.undos.push_back(u);
+      }
+      obl.simulate();
+      stack.push_back(std::move(pushed));
+    }
+    incr.simulate();  // must be a safe no-op in incremental mode
+    expect_agree(c, incr, obl, context);
+  }
+
+  // Full unwind: the trail must restore the exact post-construction state.
+  if (!stack.empty()) incr.undo_to(stack.front().mark);
+  incr.set_frame_count(1);
+  FrameModel fresh(c, fault, kMaxFrames);
+  for (std::size_t i = 0; i < npi; ++i) {
+    ASSERT_EQ(incr.pi_value(0, i), V3::kX) << base;
+  }
+  for (std::size_t i = 0; i < nff; ++i) {
+    ASSERT_EQ(incr.state_value(i), V3::kX) << base;
+  }
+  for (netlist::NodeId n = 0; n < c.node_count(); ++n) {
+    ASSERT_EQ(incr.good(0, n), fresh.good(0, n)) << base << " " << c.name(n);
+    if (fault) {
+      ASSERT_EQ(incr.faulty(0, n), fresh.faulty(0, n))
+          << base << " " << c.name(n);
+    }
+  }
+}
+
+/// A spread of faults across the collapsed list (first, last, evenly
+/// spaced), bounded by `count`.
+std::vector<Fault> sample_faults(const netlist::Circuit& c,
+                                 std::size_t count) {
+  const auto all = fault::collapse(c).faults;
+  std::vector<Fault> picked;
+  if (all.empty() || count == 0) return picked;
+  const std::size_t stride = std::max<std::size_t>(1, all.size() / count);
+  for (std::size_t i = 0; i < all.size() && picked.size() < count;
+       i += stride) {
+    picked.push_back(all[i]);
+  }
+  return picked;
+}
+
+TEST(FrameModelIncr, RandomizedOpsAgreeOnAllRegistryCircuits) {
+  for (const std::string& name : gen::registry_names()) {
+    const auto c = gen::make_circuit(name);
+    const bool large = c.node_count() > 1500;
+    const unsigned ops = large ? 12 : 48;
+    run_random_session(c, std::nullopt, ops, 0xabc0 + c.node_count());
+    const std::size_t fault_count = large ? 1 : 3;
+    std::uint64_t seed = 17;
+    for (const Fault& f : sample_faults(c, fault_count)) {
+      run_random_session(c, f, ops, seed++);
+    }
+  }
+}
+
+TEST(FrameModelIncr, ObliviousTrailIsInertButDocumented) {
+  const auto c = gen::make_circuit("s27");
+  FrameModel m(c, std::nullopt, 3, FrameModelConfig{false});
+  EXPECT_EQ(m.trail_mark(), 0u);
+  m.assign_pi(0, 0, V3::k1);
+  m.simulate();
+  EXPECT_EQ(m.trail_mark(), 0u);
+  m.undo_to(0);  // documented no-op
+  EXPECT_EQ(m.pi_value(0, 0), V3::k1);
+}
+
+/// Runs one fault through ForwardEngine in the given mode and records every
+/// observable of the search: per-solution status, vectors, minimized state,
+/// and the final decision/backtrack counts.
+struct SearchRecord {
+  std::vector<ForwardStatus> statuses;
+  std::vector<sim::Sequence> vectors;
+  std::vector<sim::State3> states;
+  long decisions = 0;
+  long backtracks = 0;
+
+  bool operator==(const SearchRecord&) const = default;
+};
+
+SearchRecord run_search(const netlist::Circuit& c, const Fault& f,
+                        bool incremental, const ObsDistances& obs) {
+  SearchLimits limits;
+  limits.max_backtracks = 150;
+  limits.max_forward_frames = 6;
+  limits.incremental_model = incremental;
+  ForwardEngine engine(c, f, limits, obs);
+  // The unlimited deadline keeps the comparison deterministic: both modes
+  // clip on the backtrack budget, never on wall clock.
+  const auto deadline = util::Deadline::unlimited();
+  SearchRecord r;
+  for (unsigned s = 0; s < 3; ++s) {
+    const ForwardStatus status = engine.next_solution(deadline);
+    r.statuses.push_back(status);
+    if (status != ForwardStatus::kSolved) break;
+    r.vectors.push_back(engine.vectors());
+    r.states.push_back(engine.required_state());
+  }
+  r.decisions = engine.stats().decisions;
+  r.backtracks = engine.stats().backtracks;
+  // Both modes must report implication effort through the same counters
+  // (event pops exist only in incremental mode; a search that dies on an
+  // immediate excitation conflict may legitimately pop none).
+  EXPECT_GT(engine.stats().gate_evals, 0);
+  if (!incremental) EXPECT_EQ(engine.stats().events, 0);
+  return r;
+}
+
+TEST(FrameModelIncr, ForwardEngineIsModeDeterministic) {
+  for (const std::string& name : gen::registry_names()) {
+    const auto c = gen::make_circuit(name);
+    const bool large = c.node_count() > 1500;
+    const auto obs = share_observation_distances(c);
+    for (const Fault& f : sample_faults(c, large ? 2 : 6)) {
+      const SearchRecord oblivious = run_search(c, f, false, obs);
+      const SearchRecord incremental = run_search(c, f, true, obs);
+      EXPECT_EQ(oblivious, incremental)
+          << name << " fault at " << c.name(f.node) << " pin " << f.pin
+          << " sa" << int(f.stuck_at);
+    }
+  }
+}
+
+TEST(FrameModelIncr, JustifierIsModeDeterministic) {
+  for (const std::string& name :
+       {std::string("s27"), std::string("g298"), std::string("g526")}) {
+    const auto c = gen::make_circuit(name);
+    const auto obs = share_observation_distances(c);
+    const std::size_t nff = c.flip_flops().size();
+    util::Rng rng(7);
+    for (int trial = 0; trial < 4; ++trial) {
+      // Target states come from forward solutions so that a mix of
+      // justifiable and unjustifiable goals is exercised.
+      sim::State3 target(nff, V3::kX);
+      for (std::size_t i = 0; i < nff; ++i) {
+        const V3 values[3] = {V3::k0, V3::k1, V3::kX};
+        target[i] = values[rng.below(3)];
+      }
+      SearchLimits limits;
+      limits.max_backtracks = 100;
+      limits.max_justify_depth = 6;
+      limits.time_limit_s = 3600.0;  // determinism: clip on backtracks only
+
+      limits.incremental_model = false;
+      DeterministicJustifier obl(c, limits);
+      const auto ro = obl.justify(target, util::Deadline::unlimited());
+
+      limits.incremental_model = true;
+      DeterministicJustifier incr(c, limits);
+      const auto ri = incr.justify(target, util::Deadline::unlimited());
+
+      EXPECT_EQ(static_cast<int>(ro.status), static_cast<int>(ri.status))
+          << name << " trial " << trial;
+      EXPECT_EQ(ro.sequence, ri.sequence) << name << " trial " << trial;
+      EXPECT_EQ(obl.stats().decisions, incr.stats().decisions)
+          << name << " trial " << trial;
+      EXPECT_EQ(obl.stats().backtracks, incr.stats().backtracks)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gatpg::atpg
