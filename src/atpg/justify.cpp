@@ -161,8 +161,9 @@ sim::State3 FrameGoalSearch::minimized_state() const {
 }
 
 DeterministicJustifier::DeterministicJustifier(const netlist::Circuit& c,
-                                               const SearchLimits& limits)
-    : c_(c), limits_(limits) {}
+                                               const SearchLimits& limits,
+                                               state::StateStore* store)
+    : c_(c), limits_(limits), store_(store) {}
 
 std::string DeterministicJustifier::key_of(const State3& s) {
   std::string k(s.size(), 'X');
@@ -174,7 +175,14 @@ DeterministicJustifier::Outcome DeterministicJustifier::justify(
     const State3& target, const util::Deadline& deadline) {
   stats_ = SearchStats{};
   std::vector<std::string> path;
-  return justify_rec(target, limits_.max_justify_depth, path, deadline);
+  const Outcome out =
+      justify_rec(target, limits_.max_justify_depth, path, deadline);
+  if (store_ && out.status == Status::kUnjustifiable) {
+    // Top-level exhaustion without clipping: a global untestability-grade
+    // proof, safe to reuse against any later query the cube subsumes.
+    store_->record_unjustifiable(target);
+  }
+  return out;
 }
 
 DeterministicJustifier::Outcome DeterministicJustifier::justify_rec(
@@ -193,6 +201,11 @@ DeterministicJustifier::Outcome DeterministicJustifier::justify_rec(
   if (depth == 0) {
     stats_.clipped = true;
     return {Status::kAborted, {}};
+  }
+  if (store_ && store_->known_unjustifiable(target)) {
+    // Stored cubes are globally unreachable, so the rejection is sound at
+    // any recursion depth (it only strengthens the path-relative argument).
+    return {Status::kUnjustifiable, {}};
   }
 
   std::vector<Objective> goals;

@@ -24,6 +24,7 @@
 
 #include "atpg/limits.h"
 #include "atpg/podem.h"
+#include "state/state_store.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::atpg {
@@ -87,7 +88,15 @@ class DeterministicJustifier {
     sim::Sequence sequence;  // drives the all-X machine into the target state
   };
 
-  DeterministicJustifier(const netlist::Circuit& c, const SearchLimits& limits);
+  /// `store` (optional) hooks up the cross-fault state-knowledge layer:
+  /// every recursion level consults its unjustifiable-cube index (a stored
+  /// cube is globally unreachable, so rejecting a sub-requirement it
+  /// subsumes is sound at any depth), and a *top-level* kUnjustifiable
+  /// result — the completed exhaustive proof — is recorded back.  Sub-level
+  /// kUnjustifiable results are never recorded: requirement-cycle pruning
+  /// makes them valid only relative to the outer path.
+  DeterministicJustifier(const netlist::Circuit& c, const SearchLimits& limits,
+                         state::StateStore* store = nullptr);
 
   Outcome justify(const sim::State3& target, const util::Deadline& deadline);
 
@@ -102,6 +111,7 @@ class DeterministicJustifier {
   const netlist::Circuit& c_;
   SearchLimits limits_;
   SearchStats stats_;
+  state::StateStore* store_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace gatpg::atpg

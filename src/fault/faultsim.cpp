@@ -89,7 +89,8 @@ std::vector<std::vector<PackedV3>> FaultSimulator::pack_sequence(
 void FaultSimulator::simulate_differential(
     sim::SequenceSimulator& good, const std::vector<std::size_t>& fault_indices,
     const Sequence& seq, std::vector<State3>& states, std::vector<char>& live,
-    std::vector<Detection>& detections) const {
+    std::vector<Detection>& detections,
+    std::vector<State3>* good_sink) const {
   const auto pos = c_.primary_outputs();
   const auto ffs = c_.flip_flops();
   const std::size_t nff = ffs.size();
@@ -149,6 +150,7 @@ void FaultSimulator::simulate_differential(
         const V3 v = good_frames[k][p].get(0);
         if (v != V3::kX) good_po[k].emplace_back(p, v);
       }
+      if (good_sink) good_sink->push_back(good_next[k]);
       good.clock();
     }
 
@@ -309,7 +311,7 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
   std::vector<char> live(pending.size(), 1);
   std::vector<Detection> dets;
 
-  simulate_differential(good_, pending, seq, states, live, dets);
+  simulate_differential(good_, pending, seq, states, live, dets, good_sink_);
 
   // Reproduce the full-sweep engine's exact detection order regardless of
   // windowing and repacking: group-of-origin (pending position / 64) first,
@@ -352,7 +354,7 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
   std::vector<char> live(idx.size(), 1);
   std::vector<Detection> dets;
 
-  simulate_differential(good, idx, seq, states, live, dets);
+  simulate_differential(good, idx, seq, states, live, dets, nullptr);
 
   result.detected = static_cast<unsigned>(dets.size());
   // Fault effects parked in the state at sequence end (undetected slots
@@ -392,6 +394,7 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
       good_po[t][p] = good_.scalar_value(pos[p]);
     }
     good_.clock();
+    if (good_sink_) good_sink_->push_back(good_.state());
   }
   stats_.frames += seq.size();
   stats_.good_gate_evals += good_.gate_evals() - good_evals_before;

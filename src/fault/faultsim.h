@@ -112,6 +112,15 @@ class FaultSimulator {
   /// Good-machine state after everything simulated so far.
   sim::State3 good_state() const { return good_.state(0); }
 
+  /// Optional good-state harvest: when set, run() appends the good machine's
+  /// flip-flop state after each vector it simulates (the post-clock state),
+  /// one State3 per vector of the sequence.  The non-mutating what-if paths
+  /// never touch the sink.  Not owned; clear with nullptr.  The session
+  /// layer uses this to feed the StateStore's reachable-state log.
+  void set_good_state_sink(std::vector<sim::State3>* sink) {
+    good_sink_ = sink;
+  }
+
   /// Persisted faulty flip-flop state of one fault (the parked fault
   /// effects the differential screen tests against the good state).
   const sim::State3& fault_state(std::size_t fault_index) const {
@@ -171,12 +180,16 @@ class FaultSimulator {
   /// over `seq` window by window and sweeps the faults of `fault_indices`
   /// differentially against it.  `states` (one per index) and `live` are
   /// read and updated in place; detections are appended unordered by group.
+  /// `good_sink`, when non-null, receives the good machine's post-clock
+  /// state for every vector (run() forwards good_sink_; what_if passes
+  /// nullptr).
   void simulate_differential(sim::SequenceSimulator& good,
                              const std::vector<std::size_t>& fault_indices,
                              const sim::Sequence& seq,
                              std::vector<sim::State3>& states,
                              std::vector<char>& live,
-                             std::vector<Detection>& detections) const;
+                             std::vector<Detection>& detections,
+                             std::vector<sim::State3>* good_sink) const;
 
   std::vector<std::size_t> run_full_sweep(const sim::Sequence& seq);
   WhatIf what_if_full_sweep(std::span<const std::size_t> fault_indices,
@@ -205,6 +218,7 @@ class FaultSimulator {
   mutable std::vector<Lane> lanes_;
   std::vector<sim::State3> faulty_state_;  // one per fault
   mutable SimStats stats_;
+  std::vector<sim::State3>* good_sink_ = nullptr;
 };
 
 }  // namespace gatpg::fault

@@ -99,7 +99,15 @@ std::vector<std::size_t> GaEngine::select_parents(
 GaResult GaEngine::run(const BatchEvaluator& evaluate) {
   const std::size_t n = config_.population_size;
   std::vector<Chromosome> population(n);
-  for (auto& c : population) c = random_chromosome();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < config_.seeds.size()) {
+      Chromosome seeded = config_.seeds[i];
+      seeded.resize(config_.chromosome_bits, 0);
+      population[i] = std::move(seeded);
+    } else {
+      population[i] = random_chromosome();
+    }
+  }
   std::vector<double> fitness(n, 0.0);
 
   GaResult result;

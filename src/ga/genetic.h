@@ -39,6 +39,12 @@ struct GaConfig {
   double mutation_probability = 1.0 / 64.0;
   SelectionScheme selection = SelectionScheme::kTournamentWithoutReplacement;
   std::uint64_t seed = 1;
+  /// Seed individuals for the initial population: the first seeds.size()
+  /// slots are taken from here (truncated to the population size; each
+  /// chromosome resized to chromosome_bits, zero-padded), the remaining
+  /// slots stay random.  An empty list leaves the engine's random stream —
+  /// and hence seeded runs — exactly as before.
+  std::vector<Chromosome> seeds;
 };
 
 struct GaResult {

@@ -1,5 +1,6 @@
 #include "hybrid/ga_justify.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <stdexcept>
@@ -49,6 +50,19 @@ GaJustifyResult GaStateJustifier::justify(
   ga_config.chromosome_bits = config.sequence_length * num_pi;
   ga_config.selection = config.selection;
   ga_config.seed = config.seed;
+  ga_config.seeds.reserve(config.seeds.size());
+  for (const Sequence& seed_seq : config.seeds) {
+    ga::Chromosome chrom(ga_config.chromosome_bits, 0);
+    const std::size_t tmax =
+        std::min<std::size_t>(seed_seq.size(), config.sequence_length);
+    for (std::size_t t = 0; t < tmax; ++t) {
+      const std::size_t width = std::min(num_pi, seed_seq[t].size());
+      for (std::size_t i = 0; i < width; ++i) {
+        if (seed_seq[t][i] == V3::k1) chrom[t * num_pi + i] = 1;
+      }
+    }
+    ga_config.seeds.push_back(std::move(chrom));
+  }
 
   // Batch evaluator: 64 candidates per bit-parallel simulation, batches
   // fanned out across the worker pool.  Each batch owns its own pair of
@@ -153,6 +167,11 @@ GaJustifyResult GaStateJustifier::justify(
   result.best_fitness = ga_result.best_fitness;
   result.evaluations = ga_result.evaluations;
   result.generations_run = ga_result.generations_run;
+  if (!result.success && !ga_result.best.empty()) {
+    // Failure: surface the best individual as a near-miss sequence so the
+    // caller can seed later populations from it.
+    result.sequence = decode(ga_result.best, num_pi, config.sequence_length);
+  }
   return result;
 }
 

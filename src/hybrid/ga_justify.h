@@ -45,11 +45,21 @@ struct GaJustifyConfig {
   /// tournament selection — reproduced by bench_selection).
   bool square_fitness = false;
   std::uint64_t seed = 1;
+  /// Input sequences encoded into the initial population's first slots
+  /// (StateStore reachable-state and near-miss harvest); longer sequences
+  /// are truncated to sequence_length, shorter ones padded with 0-vectors,
+  /// X inputs encoded as 0.  Empty = fully random init, bit-identical to
+  /// the pre-seeding behavior.
+  std::vector<sim::Sequence> seeds;
 };
 
 struct GaJustifyResult {
   bool success = false;
-  sim::Sequence sequence;  // justifying prefix (when success)
+  /// On success: the justifying prefix (the first candidate prefix that
+  /// reached both desired states).  On failure: the best individual's full
+  /// decoded sequence — a near miss callers may log for cross-pass seeding
+  /// (empty only when the GA never evaluated anything).
+  sim::Sequence sequence;
   double best_fitness = 0.0;
   std::size_t evaluations = 0;
   unsigned generations_run = 0;

@@ -1,6 +1,7 @@
 #include "hybrid/hybrid_atpg.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "netlist/depth.h"
 #include "util/stopwatch.h"
@@ -63,7 +64,9 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
 
   ForwardEngine forward(c_, f, limits, obs_dist_);
   const GaStateJustifier ga_justifier(c_);
-  atpg::DeterministicJustifier det_justifier(c_, limits);
+  state::StateStore& store = s.state_store();
+  atpg::DeterministicJustifier det_justifier(c_, limits,
+                                             store.enabled() ? &store : nullptr);
   // DeterministicJustifier resets its stats per justify() call; accumulate
   // them here across the attempt loop.
   atpg::SearchStats det_total;
@@ -98,36 +101,69 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
   TargetOutcome outcome;
   const fault::Fault& f = s.faults().fault(fault_index);
   fault::FaultSimulator& fsim = s.simulator();
+  state::StateStore& store = s.state_store();
+  const bool use_store = store.enabled();
 
   // True while every justification failure so far was a completed proof of
   // unjustifiability; together with forward exhaustion this upgrades
   // "exhausted" to "untestable".
   bool all_rejections_proven = true;
+  // Attempt 0 was served from the forward-solution cache: the engine will
+  // re-derive that same solution first, so skip its duplicate.
+  bool forward_resync = false;
 
   for (unsigned attempt = 0; attempt < config_.max_solutions_per_fault;
        ++attempt) {
-    const ForwardStatus status = forward.next_solution(deadline);
-    if (status == ForwardStatus::kUntestable) {
-      outcome.untestable = true;
-      return outcome;
+    State3 required;
+    Sequence vectors;
+    bool from_cache = false;
+    if (use_store && attempt == 0) {
+      // Satellite: the target's first excitation/propagation solution (and
+      // its desired state) is computed once and reused across the per-pass
+      // retry loop — the excitation state of a fault does not change
+      // between passes, only the justification budget does.
+      if (const auto* cached = store.take_cached_forward(fault_index)) {
+        required = cached->required;
+        vectors = cached->vectors;
+        from_cache = true;
+        forward_resync = true;
+      }
     }
-    if (status == ForwardStatus::kAborted) {
-      outcome.aborted = true;
-      return outcome;
+    if (!from_cache) {
+      ForwardStatus status = forward.next_solution(deadline);
+      if (forward_resync && status == ForwardStatus::kSolved) {
+        const auto* cached = store.cached_forward(fault_index);
+        if (cached && forward.required_state() == cached->required &&
+            forward.vectors() == cached->vectors) {
+          status = forward.next_solution(deadline);
+        }
+        forward_resync = false;
+      }
+      if (status == ForwardStatus::kUntestable) {
+        outcome.untestable = true;
+        return outcome;
+      }
+      if (status == ForwardStatus::kAborted) {
+        outcome.aborted = true;
+        return outcome;
+      }
+      if (status == ForwardStatus::kExhausted) {
+        // Every excitation/propagation option was enumerated; if
+        // additionally every required state was *proven* unjustifiable
+        // (deterministic justification or a stored proof — GA failures
+        // prove nothing), the fault is untestable.
+        outcome.untestable = !forward.stats().clipped && all_rejections_proven;
+        if (!outcome.untestable) outcome.aborted = true;
+        return outcome;
+      }
+      // kSolved.
+      required = forward.required_state();
+      vectors = forward.vectors();
+      if (use_store && !store.cached_forward(fault_index)) {
+        store.cache_forward(fault_index, vectors, required);
+      }
     }
-    if (status == ForwardStatus::kExhausted) {
-      // Every excitation/propagation option was enumerated; if additionally
-      // every required state was *proven* unjustifiable (deterministic
-      // justification only — GA failures prove nothing), the fault is
-      // untestable.
-      outcome.untestable = !forward.stats().clipped && all_rejections_proven;
-      if (!outcome.untestable) outcome.aborted = true;
-      return outcome;
-    }
-    // kSolved.
     ++s.counters().forward_solutions;
-    const State3 required = forward.required_state();
-    Sequence vectors = forward.vectors();
 
     const bool state_needed =
         std::any_of(required.begin(), required.end(),
@@ -141,62 +177,94 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
     } else if (pass.mode == JustifyMode::kGenetic) {
       // GA justification from the current good-circuit state; the faulty
       // machine starts all-X, as §IV-A prescribes.  Check first whether the
-      // current state already matches.
+      // current state already matches (every defined literal of the required
+      // cube holds in the current state).
       const State3 current = fsim.good_state();
-      bool good_matches = true;
-      for (std::size_t i = 0; i < required.size(); ++i) {
-        if (required[i] != V3::kX && required[i] != current[i]) {
-          good_matches = false;
-          break;
-        }
-      }
-      if (good_matches) {
+      if (sim::cube_subsumes(required, current)) {
         // Good machine already there; the faulty all-X state matches only
         // X requirements, which is exactly what state_needed covers for
         // the faulty target — still attempt without extra vectors.
         justified = true;
         ++s.counters().no_justification_needed;
       } else {
-        ++s.counters().ga_invocations;
-        GaJustifyConfig ga_config;
-        ga_config.population = pass.ga_population;
-        ga_config.generations = pass.ga_generations;
-        ga_config.sequence_length = ga_sequence_length(pass);
-        ga_config.good_weight = config_.ga_good_weight;
-        ga_config.faulty_weight = config_.ga_faulty_weight;
-        ga_config.square_fitness = config_.ga_square_fitness;
-        ga_config.selection = config_.selection;
-        ga_config.parallel = config_.parallel;
-        ga_config.seed = config_.seed ^ (0x9e3779b9ULL * (fault_index + 1)) ^
-                         (attempt << 20);
-        const GaJustifyResult ga = ga_justifier.justify(
-            f, required, required, current, ga_config, deadline);
-        if (ga.success) {
-          ++s.counters().ga_successes;
-          justification = ga.sequence;
-          justified = true;
+        bool proven_impossible = false;
+        std::optional<Sequence> cached;
+        if (use_store) {
+          if (store.known_unjustifiable(required)) {
+            // A stored proof: the rejection counts toward untestability
+            // exactly like a completed deterministic exhaustion, so
+            // all_rejections_proven stays true.
+            proven_impossible = true;
+          } else {
+            cached = store.lookup_justified(f, required, required, current);
+          }
         }
-        all_rejections_proven = false;  // GA failure proves nothing
+        if (cached) {
+          justification = std::move(*cached);
+          justified = true;
+        } else if (!proven_impossible) {
+          ++s.counters().ga_invocations;
+          GaJustifyConfig ga_config;
+          ga_config.population = pass.ga_population;
+          ga_config.generations = pass.ga_generations;
+          ga_config.sequence_length = ga_sequence_length(pass);
+          ga_config.good_weight = config_.ga_good_weight;
+          ga_config.faulty_weight = config_.ga_faulty_weight;
+          ga_config.square_fitness = config_.ga_square_fitness;
+          ga_config.selection = config_.selection;
+          ga_config.parallel = config_.parallel;
+          ga_config.seed = config_.seed ^ (0x9e3779b9ULL * (fault_index + 1)) ^
+                           (attempt << 20);
+          if (use_store) {
+            const std::size_t max_seeds = static_cast<std::size_t>(
+                store.config().ga_seed_fraction * pass.ga_population);
+            ga_config.seeds = store.seed_sequences(required, max_seeds);
+          }
+          const GaJustifyResult ga = ga_justifier.justify(
+              f, required, required, current, ga_config, deadline);
+          if (ga.success) {
+            ++s.counters().ga_successes;
+            if (use_store) store.record_justified(required, ga.sequence);
+            justification = ga.sequence;
+            justified = true;
+          } else if (use_store && !ga.sequence.empty()) {
+            // Satellite: the best individual's sequence is a near miss for
+            // this cube; a later (bigger) GA pass hunting it resumes here.
+            store.record_near_miss(required, ga.sequence);
+          }
+          all_rejections_proven = false;  // GA failure proves nothing
+        }
       }
     } else {
-      ++s.counters().det_justify_calls;
-      const auto det = det_justifier.justify(required, deadline);
-      const atpg::SearchStats& ds = det_justifier.stats();
-      det_total.decisions += ds.decisions;
-      det_total.backtracks += ds.backtracks;
-      det_total.gate_evals += ds.gate_evals;
-      det_total.events += ds.events;
-      if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
-        ++s.counters().det_justify_successes;
-        justification = det.sequence;
-        justified = true;
-      } else if (det.status ==
-                 atpg::DeterministicJustifier::Status::kAborted) {
-        all_rejections_proven = false;
-        outcome.aborted = true;
-        return outcome;
+      std::optional<Sequence> cached;
+      if (use_store) {
+        cached = store.lookup_justified(f, required, required,
+                                        fsim.good_state());
       }
-      // kUnjustifiable: completed proof; try the next forward solution.
+      if (cached) {
+        justification = std::move(*cached);
+        justified = true;
+      } else {
+        ++s.counters().det_justify_calls;
+        const auto det = det_justifier.justify(required, deadline);
+        const atpg::SearchStats& ds = det_justifier.stats();
+        det_total.decisions += ds.decisions;
+        det_total.backtracks += ds.backtracks;
+        det_total.gate_evals += ds.gate_evals;
+        det_total.events += ds.events;
+        if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
+          ++s.counters().det_justify_successes;
+          if (use_store) store.record_justified(required, det.sequence);
+          justification = det.sequence;
+          justified = true;
+        } else if (det.status ==
+                   atpg::DeterministicJustifier::Status::kAborted) {
+          all_rejections_proven = false;
+          outcome.aborted = true;
+          return outcome;
+        }
+        // kUnjustifiable: completed proof; try the next forward solution.
+      }
     }
 
     if (!justified) {
@@ -294,6 +362,7 @@ AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
   session::SessionConfig session_config;
   session_config.faultsim = config_.faultsim;
   session_config.faultsim.parallel = config_.parallel;
+  session_config.state_store = config_.state_store;
   session::Session s(c_, faults_, session_config);
   s.set_observer(observer);
 

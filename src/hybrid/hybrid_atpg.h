@@ -79,6 +79,11 @@ struct HybridConfig {
   /// (default) vs the oblivious re-simulation reference.  Results are
   /// bit-identical; this knob exists for benchmarking and debugging.
   bool incremental_model = true;
+  /// Cross-fault state-knowledge layer (justified-sequence cache,
+  /// unjustifiable-cube proofs, GA seeding, forward-solution reuse).
+  /// Disabled by default; disabled runs are bit-identical to the
+  /// store-free code path.
+  state::StateStoreConfig state_store;
 };
 
 /// The per-fault targeted engine (Fig. 1).  Reusable standalone against any

@@ -11,6 +11,7 @@
 
 #include "fault/faultsim.h"
 #include "session/pass.h"
+#include "state/state_store.h"
 
 namespace gatpg::session {
 
@@ -44,6 +45,9 @@ struct EngineCounters {
   long det_backtracks = 0;
   long det_gate_evals = 0;  // implication gate evaluations (both planes)
   long det_events = 0;      // incremental-implication event-queue pops
+  // State-knowledge layer effectiveness (mirrored from the session's
+  // StateStore at every pass boundary; all zero when the store is off).
+  state::StateStoreStats store;
 };
 
 /// Per-targeted-fault deterministic-engine effort (the fault's SearchStats

@@ -11,13 +11,23 @@ Session::Session(const netlist::Circuit& c, fault::FaultList faults,
     : c_(c),
       faults_(std::move(faults)),
       config_(config),
-      fsim_(c, faults_.list().faults, config_.faultsim) {}
+      fsim_(c, faults_.list().faults, config_.faultsim),
+      store_(c, config_.state_store) {}
 
 Session::Session(const netlist::Circuit& c, SessionConfig config)
     : Session(c, fault::collapse(c), config) {}
 
 std::size_t Session::commit_test(sim::Sequence candidate) {
+  // With the state store on, the fault simulator's good machine doubles as
+  // the reachable-state harvester: every state it visits while absorbing
+  // the committed test feeds the GA seeding pool.
+  std::vector<sim::State3> trace;
+  if (store_.enabled()) fsim_.set_good_state_sink(&trace);
   const auto newly = fsim_.run(candidate);
+  if (store_.enabled()) {
+    fsim_.set_good_state_sink(nullptr);
+    store_.record_reachable_trace(candidate, trace);
+  }
   tests_.commit(std::move(candidate));
   return newly.size();
 }
@@ -37,6 +47,7 @@ SessionResult Session::run(Engine& engine, const PassSchedule& schedule) {
     const auto deadline = util::Deadline::after_seconds(pass.pass_budget_s);
     engine.run(*this, pass, deadline);
 
+    counters_.store = store_.stats();
     PassOutcome po;
     po.detected = faults_.detected_count();
     po.vectors = tests_.vectors();
@@ -52,6 +63,7 @@ SessionResult Session::run(Engine& engine, const PassSchedule& schedule) {
   result.test_set = tests_.test_set();
   result.segments = tests_.segments();
   result.fault_state = faults_.status();
+  counters_.store = store_.stats();
   result.counters = counters_;
   result.rounds = rounds_ - rounds_before;
   result.evaluations = evaluations_;

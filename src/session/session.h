@@ -26,6 +26,7 @@
 #include "session/observer.h"
 #include "session/pass.h"
 #include "session/test_set_builder.h"
+#include "state/state_store.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::session {
@@ -66,6 +67,9 @@ struct SessionResult {
 struct SessionConfig {
   /// Fault-simulator engine options (threads, differential vs full-sweep).
   fault::FaultSimConfig faultsim;
+  /// State-knowledge layer options (disabled by default; enabling it must
+  /// not change which faults are detectable, only how fast they resolve).
+  state::StateStoreConfig state_store;
 };
 
 class Session {
@@ -85,6 +89,8 @@ class Session {
   const fault::FaultSimulator& simulator() const { return fsim_; }
   EngineCounters& counters() { return counters_; }
   const EngineCounters& counters() const { return counters_; }
+  state::StateStore& state_store() { return store_; }
+  const state::StateStore& state_store() const { return store_; }
 
   /// Wall-clock seconds since construction (what PassOutcome::time_s
   /// reports).
@@ -121,6 +127,7 @@ class Session {
   FaultManager faults_;
   SessionConfig config_;
   fault::FaultSimulator fsim_;
+  state::StateStore store_;
   TestSetBuilder tests_;
   EngineCounters counters_;
   long rounds_ = 0;

@@ -299,4 +299,29 @@ std::uint64_t SequenceSimulator::state_match_mask(const State3& desired) const {
   return mask;
 }
 
+bool cube_subsumes(const State3& weaker, const State3& stronger) {
+  for (std::size_t i = 0; i < weaker.size(); ++i) {
+    if (weaker[i] != V3::kX && (i >= stronger.size() || stronger[i] != weaker[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+unsigned cube_agreement(const State3& cube, const State3& state) {
+  unsigned count = 0;
+  const std::size_t n = std::min(cube.size(), state.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cube[i] != V3::kX && cube[i] == state[i]) ++count;
+  }
+  return count;
+}
+
+bool cube_is_trivial(const State3& cube) {
+  for (const V3 v : cube) {
+    if (v != V3::kX) return false;
+  }
+  return true;
+}
+
 }  // namespace gatpg::sim

@@ -43,6 +43,26 @@ using Sequence = std::vector<Vector3>;
 /// (kX = don't care).
 using State3 = std::vector<V3>;
 
+// -- 3-valued cube algebra ----------------------------------------------------
+//
+// A State3 doubles as a *cube*: the set of fully defined states compatible
+// with its defined literals (kX = unconstrained).  The state-knowledge layer
+// (state::StateStore) and the engines reason about cubes with these helpers.
+
+/// True iff every state satisfying `stronger` also satisfies `weaker`:
+/// each defined literal of `weaker` appears with the same value in
+/// `stronger`.  The all-X cube subsumes everything (itself included); every
+/// cube subsumes itself.  Note the direction: the *weaker* cube (fewer
+/// literals, larger state set) subsumes the *stronger* one.
+bool cube_subsumes(const State3& weaker, const State3& stronger);
+
+/// Number of defined positions of `cube` whose literal `state` matches
+/// exactly (an X in `state` does not match a defined literal).
+unsigned cube_agreement(const State3& cube, const State3& state);
+
+/// True iff the cube carries no literal at all (all-X).
+bool cube_is_trivial(const State3& cube);
+
 class SequenceSimulator {
  public:
   explicit SequenceSimulator(const netlist::Circuit& c);

@@ -1,0 +1,234 @@
+#include "state/state_store.h"
+
+#include <algorithm>
+
+namespace gatpg::state {
+
+using sim::Sequence;
+using sim::State3;
+
+StateStore::StateStore(const netlist::Circuit& c, StateStoreConfig config)
+    : c_(c), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Justified-sequence cache
+
+void StateStore::record_justified(const State3& cube, Sequence sequence) {
+  if (!config_.enabled || sim::cube_is_trivial(cube)) return;
+  for (const JustifiedEntry& e : justified_) {
+    if (e.cube == cube) return;  // first recorded witness wins
+  }
+  justified_.push_back({cube, std::move(sequence)});
+  ++stats_.seq_inserts;
+  if (justified_.size() > config_.max_justified) {
+    justified_.erase(justified_.begin());
+  }
+}
+
+bool StateStore::verify(const fault::Fault& fault, const Sequence& sequence,
+                        const State3& desired_good, const State3& desired_faulty,
+                        const State3& current_good, Sequence& prefix) {
+  if (!good_sim_) {
+    good_sim_ = std::make_unique<sim::SequenceSimulator>(c_);
+    faulty_sim_ = std::make_unique<sim::SequenceSimulator>(c_);
+  }
+  sim::SequenceSimulator& good = *good_sim_;
+  sim::SequenceSimulator& faulty = *faulty_sim_;
+  good.reset();
+  good.set_state(current_good);
+  faulty.reset();
+  faulty.clear_overrides();
+  if (fault.pin == fault::kOutputPin) {
+    faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
+  } else {
+    faulty.add_input_override(fault.node, static_cast<unsigned>(fault.pin),
+                              fault.stuck_at, ~0ULL);
+  }
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    good.apply_vector(sequence[t]);
+    faulty.apply_vector(sequence[t]);
+    good.clock();
+    faulty.clock();
+    if ((good.state_match_mask(desired_good) &
+         faulty.state_match_mask(desired_faulty) & 1ULL) != 0) {
+      prefix.assign(sequence.begin(),
+                    sequence.begin() + static_cast<std::ptrdiff_t>(t + 1));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Sequence> StateStore::lookup_justified(
+    const fault::Fault& fault, const State3& desired_good,
+    const State3& desired_faulty, const State3& current_good) {
+  if (!config_.enabled) return std::nullopt;
+  unsigned verified = 0;
+  for (const JustifiedEntry& e : justified_) {
+    // Covering entry: any state satisfying the stored cube satisfies both
+    // desired cubes (the query subsumes the entry).
+    if (!sim::cube_subsumes(desired_good, e.cube) ||
+        !sim::cube_subsumes(desired_faulty, e.cube)) {
+      continue;
+    }
+    if (verified >= config_.max_verifies_per_lookup) break;
+    ++verified;
+    Sequence prefix;
+    if (verify(fault, e.sequence, desired_good, desired_faulty, current_good,
+               prefix)) {
+      ++stats_.seq_hits;
+      return prefix;
+    }
+    ++stats_.seq_verify_failures;
+  }
+  ++stats_.seq_misses;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Unjustifiable-cube store
+
+void StateStore::record_unjustifiable(const State3& cube) {
+  if (!config_.enabled || sim::cube_is_trivial(cube)) return;
+  for (const State3& u : unjustifiable_) {
+    if (sim::cube_subsumes(u, cube)) {
+      ++stats_.unjust_subsumed;  // an existing weaker proof already covers it
+      return;
+    }
+  }
+  // Drop stored cubes the new, more general proof covers.
+  const auto dropped = std::remove_if(
+      unjustifiable_.begin(), unjustifiable_.end(), [&](const State3& u) {
+        if (!sim::cube_subsumes(cube, u)) return false;
+        ++stats_.unjust_subsumed;
+        return true;
+      });
+  unjustifiable_.erase(dropped, unjustifiable_.end());
+  unjustifiable_.push_back(cube);
+  ++stats_.unjust_inserts;
+  if (unjustifiable_.size() > config_.max_unjustifiable) {
+    unjustifiable_.erase(unjustifiable_.begin());
+  }
+}
+
+bool StateStore::known_unjustifiable(const State3& desired) {
+  if (!config_.enabled) return false;
+  for (const State3& u : unjustifiable_) {
+    if (sim::cube_subsumes(u, desired)) {
+      ++stats_.unjust_hits;
+      return true;
+    }
+  }
+  ++stats_.unjust_misses;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Reachable-state log + GA seeding
+
+void StateStore::record_reachable_trace(const Sequence& segment,
+                                        const std::vector<State3>& states) {
+  if (!config_.enabled || states.empty() || segment.size() < states.size()) {
+    return;
+  }
+  const auto shared = std::make_shared<const Sequence>(segment);
+  for (std::size_t t = 0; t < states.size(); ++t) {
+    const State3& st = states[t];
+    if (sim::cube_is_trivial(st)) continue;  // all-X teaches nothing
+    const bool seen =
+        std::any_of(reachable_.begin(), reachable_.end(),
+                    [&](const TraceEntry& e) { return e.state == st; });
+    if (seen) continue;
+    reachable_.push_back({st, shared, t + 1, next_stamp_++});
+    ++stats_.reachable_inserts;
+    if (reachable_.size() > config_.max_reachable) {
+      reachable_.erase(reachable_.begin());
+    }
+  }
+}
+
+void StateStore::record_near_miss(const State3& desired, const Sequence& best) {
+  if (!config_.enabled || best.empty() || sim::cube_is_trivial(desired)) return;
+  const auto shared = std::make_shared<const Sequence>(best);
+  for (TraceEntry& e : near_misses_) {
+    if (e.state == desired) {
+      // Same target cube: the newer best individual replaces the older one.
+      e.sequence = shared;
+      e.prefix_len = best.size();
+      e.stamp = next_stamp_++;
+      ++stats_.near_miss_inserts;
+      return;
+    }
+  }
+  near_misses_.push_back({desired, shared, best.size(), next_stamp_++});
+  ++stats_.near_miss_inserts;
+  if (near_misses_.size() > config_.max_near_misses) {
+    near_misses_.erase(near_misses_.begin());
+  }
+}
+
+std::vector<Sequence> StateStore::seed_sequences(const State3& desired,
+                                                 std::size_t max_seeds) {
+  std::vector<Sequence> out;
+  if (!config_.enabled || max_seeds == 0) return out;
+  struct Ranked {
+    unsigned agreement = 0;
+    std::uint64_t stamp = 0;
+    const TraceEntry* entry = nullptr;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(near_misses_.size() + reachable_.size());
+  for (const auto* pool : {&near_misses_, &reachable_}) {
+    for (const TraceEntry& e : *pool) {
+      const unsigned a = sim::cube_agreement(desired, e.state);
+      if (a == 0) continue;
+      ranked.push_back({a, e.stamp, &e});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.agreement != b.agreement) return a.agreement > b.agreement;
+    return a.stamp > b.stamp;  // unique stamps: total, deterministic order
+  });
+  const std::size_t n = std::min(max_seeds, ranked.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEntry& e = *ranked[i].entry;
+    out.emplace_back(e.sequence->begin(),
+                     e.sequence->begin() +
+                         static_cast<std::ptrdiff_t>(e.prefix_len));
+  }
+  stats_.ga_seeds_served += static_cast<long>(out.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-fault forward-solution cache
+
+const StateStore::ForwardSolution* StateStore::cached_forward(
+    std::size_t fault_index) const {
+  if (fault_index < forward_valid_.size() && forward_valid_[fault_index]) {
+    return &forward_[fault_index];
+  }
+  return nullptr;
+}
+
+const StateStore::ForwardSolution* StateStore::take_cached_forward(
+    std::size_t fault_index) {
+  const ForwardSolution* cached = cached_forward(fault_index);
+  if (cached) ++stats_.forward_cache_hits;
+  return cached;
+}
+
+void StateStore::cache_forward(std::size_t fault_index, Sequence vectors,
+                               State3 required) {
+  if (!config_.enabled) return;
+  if (forward_.size() <= fault_index) {
+    forward_.resize(fault_index + 1);
+    forward_valid_.resize(fault_index + 1, 0);
+  }
+  forward_[fault_index] = {std::move(vectors), std::move(required)};
+  forward_valid_[fault_index] = 1;
+  ++stats_.forward_cache_inserts;
+}
+
+}  // namespace gatpg::state

@@ -58,6 +58,16 @@ static void hybrid_case(const char* name, const char* circuit,
       r.counters.det_justify_calls, r.counters.det_justify_successes,
       r.counters.verify_failures, r.counters.no_justification_needed,
       r.counters.aborted_faults, r.passes.size());
+  if (cfg.state_store.enabled) {
+    const auto& st = r.counters.store;
+    std::printf(
+        "  store: seq=%ld/%ld (vf=%ld ins=%ld) unjust=%ld/%ld (ins=%ld) "
+        "fwd=%ld seeds=%ld reach=%ld near=%ld\n",
+        st.seq_hits, st.seq_hits + st.seq_misses, st.seq_verify_failures,
+        st.seq_inserts, st.unjust_hits, st.unjust_hits + st.unjust_misses,
+        st.unjust_inserts, st.forward_cache_hits, st.ga_seeds_served,
+        st.reachable_inserts, st.near_miss_inserts);
+  }
   for (const auto& p : r.passes)
     std::printf("  pass: det=%zu vec=%zu unt=%zu\n", p.detected, p.vectors,
                 p.untestable);
@@ -94,6 +104,39 @@ int main() {
       cfg.max_solutions_per_fault = 4;
       cfg.seed = 3;
       hybrid_case("hybrid_ga_g298", "g298", cfg, threads);
+    }
+    {
+      // State-knowledge layer enabled: a distinct golden family (the store
+      // legitimately changes search trajectories) that must itself be
+      // deterministic and thread-count-independent.
+      hybrid::HybridConfig cfg;
+      cfg.schedule = hybrid::PassSchedule::ga_hitec(1.0);
+      cfg.seed = 7;
+      cfg.state_store.enabled = true;
+      hybrid_case("hybrid_ga_s27_store", "s27", cfg, threads);
+    }
+    {
+      hybrid::HybridConfig cfg;
+      cfg.schedule = hybrid::PassSchedule::hitec(1.0);
+      cfg.seed = 7;
+      cfg.state_store.enabled = true;
+      hybrid_case("hybrid_hitec_s27_store", "s27", cfg, threads);
+    }
+    {
+      hybrid::HybridConfig cfg;
+      cfg.schedule = hybrid::PassSchedule::ga_hitec(1.0);
+      for (auto& p : cfg.schedule.passes) {
+        p.time_limit_s = 1000.0;
+        p.max_backtracks = 300;
+      }
+      cfg.schedule.passes[0].ga_population = 64;
+      cfg.schedule.passes[0].ga_generations = 2;
+      cfg.schedule.passes[1].ga_population = 64;
+      cfg.schedule.passes[1].ga_generations = 2;
+      cfg.max_solutions_per_fault = 4;
+      cfg.seed = 3;
+      cfg.state_store.enabled = true;
+      hybrid_case("hybrid_ga_g298_store", "g298", cfg, threads);
     }
     {
       tpg::SimGenConfig cfg;
