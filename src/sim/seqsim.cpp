@@ -116,24 +116,24 @@ void SequenceSimulator::force_source_overrides() {
 
 bool SequenceSimulator::evaluate(NodeId n) {
   ++gate_evals_;
+  // Branchless gate dispatch: one indexed call per evaluation instead of a
+  // switch inside the slot loop (see kPackedGateTable in sim/logic3.h).
+  const PackedGateFn fn = packed_gate_fn(circuit_.type(n));
+  const auto fanins = circuit_.fanins(n);
   PackedV3 next;
   if (node_has_in_over_[n]) {
     // Slow path: this gate carries injected input-pin faults; fetch fanin
-    // values with the per-pin masks applied into the preallocated scratch.
-    const auto fanins = circuit_.fanins(n);
+    // values with the per-pin masks applied into the preallocated scratch
+    // (sized once at construction — never reallocates).
     for (std::size_t i = 0; i < fanins.size(); ++i) {
       PackedV3 v = values_[fanins[i]];
       auto it = in_over_.find(in_key(n, static_cast<unsigned>(i)));
       if (it != in_over_.end()) v = apply_masks(v, it->second);
       eval_ins_[i] = v;
     }
-    next = eval_gate_packed(
-        circuit_.type(n),
-        std::span<const NodeId>(eval_idx_.data(), fanins.size()),
-        [this](NodeId i) { return eval_ins_[i]; });
+    next = fn(eval_ins_.data(), eval_idx_.data(), fanins.size());
   } else {
-    next = eval_gate_packed(circuit_.type(n), circuit_.fanins(n),
-                            [this](NodeId f) { return values_[f]; });
+    next = fn(values_.data(), fanins.data(), fanins.size());
   }
   if (!out_over_.empty()) {
     auto it = out_over_.find(n);

@@ -1,0 +1,133 @@
+// SIMD-wide ternary gate-evaluation kernels and the runtime slot-mask type.
+//
+// The wide simulator (sim/widesim.h) stores node values as flat
+// structure-of-arrays plane buffers — `nw` 64-bit words per node per plane —
+// and evaluates gates through the kernel table returned by wide_kernels():
+// one function per gate type, so the type dispatch happens once per gate and
+// the per-word inner loops are branchless.  Three specializations exist:
+//
+//   * portable unrolled scalar (always compiled; the reference kernels),
+//   * AVX2, 256-bit (compiled when the build enables it, see GATPG_SIMD),
+//   * AVX-512, 512-bit (likewise).
+//
+// wide_kernels() is the single dispatch point: build-time availability
+// (GATPG_HAVE_AVX2 / GATPG_HAVE_AVX512) is intersected with runtime CPU
+// feature detection, and the GATPG_SIMD environment variable
+// (scalar|avx2|avx512) can force a narrower backend for A/B runs.  Every
+// backend computes bit-identical planes — the backends are tested against
+// each other and against the PackedV3 reference ops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netlist/gate.h"
+#include "sim/logic3.h"
+
+namespace gatpg::sim {
+
+// -- Runtime-width slot masks -------------------------------------------------
+
+/// A mask over up to 64·kMaxWideWords slots.  Words at or above the active
+/// width are kept zero by construction, so operations can run over the full
+/// fixed-size array without a width parameter.
+struct WideMask {
+  std::array<std::uint64_t, kMaxWideWords> w{};
+
+  /// First `count` slots set (count <= 64 * nwords).
+  static WideMask ones(unsigned nwords, std::size_t count) {
+    WideMask m;
+    for (unsigned i = 0; i < nwords; ++i) {
+      if (count >= 64) {
+        m.w[i] = ~0ULL;
+        count -= 64;
+      } else {
+        m.w[i] = count ? ((1ULL << count) - 1) : 0;
+        count = 0;
+      }
+    }
+    return m;
+  }
+
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t x : w) acc |= x;
+    return acc != 0;
+  }
+
+  bool test(unsigned slot) const {
+    return (w[slot >> 6] >> (slot & 63)) & 1;
+  }
+  void set(unsigned slot) { w[slot >> 6] |= 1ULL << (slot & 63); }
+  void clear(unsigned slot) { w[slot >> 6] &= ~(1ULL << (slot & 63)); }
+
+  unsigned popcount() const {
+    unsigned n = 0;
+    for (const std::uint64_t x : w) {
+      n += static_cast<unsigned>(__builtin_popcountll(x));
+    }
+    return n;
+  }
+
+  /// Lowest set slot; only valid when any().
+  unsigned lowest() const {
+    for (unsigned i = 0; i < kMaxWideWords; ++i) {
+      if (w[i]) return i * 64 + static_cast<unsigned>(__builtin_ctzll(w[i]));
+    }
+    return 64 * kMaxWideWords;
+  }
+
+  WideMask& operator&=(const WideMask& o) {
+    for (unsigned i = 0; i < kMaxWideWords; ++i) w[i] &= o.w[i];
+    return *this;
+  }
+  WideMask& operator|=(const WideMask& o) {
+    for (unsigned i = 0; i < kMaxWideWords; ++i) w[i] |= o.w[i];
+    return *this;
+  }
+  /// this &= ~o
+  WideMask& remove(const WideMask& o) {
+    for (unsigned i = 0; i < kMaxWideWords; ++i) w[i] &= ~o.w[i];
+    return *this;
+  }
+
+  friend bool operator==(const WideMask&, const WideMask&) = default;
+};
+
+// -- Kernel table -------------------------------------------------------------
+
+/// Evaluates one gate over `nf` fanin rows of `nw` words per plane.
+/// `in1[i]` / `in0[i]` point at fanin i's plane rows; the result is written
+/// to `out1` / `out0` (never aliased with an input row).  One function per
+/// gate type — the table index is the dispatch, the word loop is branchless.
+using WideGateFn = void (*)(const std::uint64_t* const* in1,
+                            const std::uint64_t* const* in0,
+                            std::uint64_t* out1, std::uint64_t* out0,
+                            std::size_t nf, unsigned nw);
+
+enum class SimdBackend { kScalar, kAvx2, kAvx512 };
+
+struct WideKernels {
+  SimdBackend backend = SimdBackend::kScalar;
+  const char* name = "scalar";
+  std::array<WideGateFn, 12> eval{};  // indexed by GateType; null = not comb.
+};
+
+/// The single dispatch point: the widest backend that is compiled in,
+/// supported by this CPU, and not excluded by the GATPG_SIMD environment
+/// variable.  Resolved once per process.
+const WideKernels& wide_kernels();
+
+/// A specific backend's table, or null when it is not compiled in or the
+/// CPU lacks it (tests cross-check backends through this).
+const WideKernels* wide_kernels_for(SimdBackend backend);
+
+const char* simd_backend_name(SimdBackend backend);
+
+// Per-backend tables (defined in wide_kernels*.cpp; the AVX TUs compile to
+// a null-returning stub when their ISA is not enabled at build time).
+const WideKernels* wide_kernels_scalar();
+const WideKernels* wide_kernels_avx2();
+const WideKernels* wide_kernels_avx512();
+
+}  // namespace gatpg::sim

@@ -1,0 +1,254 @@
+// Portable unrolled scalar kernels (the reference backend) and the runtime
+// backend dispatch.  See sim/wide.h for the contract.
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/wide.h"
+
+namespace gatpg::sim {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+// Width-templated bodies: NW is a compile-time constant for the common
+// widths, so the word loops fully unroll; the generic runtime-width body
+// covers everything else.
+
+template <unsigned NW>
+void s_buf(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0) {
+  for (unsigned w = 0; w < NW; ++w) {
+    o1[w] = in1[0][w];
+    o0[w] = in0[0][w];
+  }
+}
+
+template <unsigned NW>
+void s_not(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0) {
+  for (unsigned w = 0; w < NW; ++w) {
+    o1[w] = in0[0][w];
+    o0[w] = in1[0][w];
+  }
+}
+
+template <bool kInvert, unsigned NW>
+void s_and(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf) {
+  for (unsigned w = 0; w < NW; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 &= in1[i][w];
+      a0 |= in0[i][w];
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+template <bool kInvert, unsigned NW>
+void s_or(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+          std::size_t nf) {
+  for (unsigned w = 0; w < NW; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 |= in1[i][w];
+      a0 &= in0[i][w];
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+template <bool kInvert, unsigned NW>
+void s_xor(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf) {
+  for (unsigned w = 0; w < NW; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      const u64 b1 = in1[i][w];
+      const u64 b0 = in0[i][w];
+      const u64 r1 = (a1 & b0) | (a0 & b1);
+      const u64 r0 = (a1 & b1) | (a0 & b0);
+      a1 = r1;
+      a0 = r0;
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+// Runtime-width wrappers: one switch per *gate*, hoisted out of the word
+// loop — widths 1/2/4/8 hit the fully unrolled instantiations.
+
+template <unsigned NW>
+void g_buf(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t, unsigned nw) {
+  if constexpr (NW == 0) {
+    for (unsigned w = 0; w < nw; ++w) {
+      o1[w] = in1[0][w];
+      o0[w] = in0[0][w];
+    }
+  } else {
+    s_buf<NW>(in1, in0, o1, o0);
+  }
+}
+
+void k_buf(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  switch (nw) {
+    case 1: return g_buf<1>(in1, in0, o1, o0, nf, nw);
+    case 2: return g_buf<2>(in1, in0, o1, o0, nf, nw);
+    case 4: return g_buf<4>(in1, in0, o1, o0, nf, nw);
+    case 8: return g_buf<8>(in1, in0, o1, o0, nf, nw);
+    default: return g_buf<0>(in1, in0, o1, o0, nf, nw);
+  }
+}
+
+void k_not(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  // NOT is BUF with the planes swapped.
+  k_buf(in0, in1, o1, o0, nf, nw);
+}
+
+template <bool kInvert>
+void k_and(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  switch (nw) {
+    case 1: return s_and<kInvert, 1>(in1, in0, o1, o0, nf);
+    case 2: return s_and<kInvert, 2>(in1, in0, o1, o0, nf);
+    case 4: return s_and<kInvert, 4>(in1, in0, o1, o0, nf);
+    case 8: return s_and<kInvert, 8>(in1, in0, o1, o0, nf);
+    default:
+      for (unsigned w = 0; w < nw; ++w) {
+        u64 a1 = in1[0][w];
+        u64 a0 = in0[0][w];
+        for (std::size_t i = 1; i < nf; ++i) {
+          a1 &= in1[i][w];
+          a0 |= in0[i][w];
+        }
+        o1[w] = kInvert ? a0 : a1;
+        o0[w] = kInvert ? a1 : a0;
+      }
+  }
+}
+
+template <bool kInvert>
+void k_or(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+          std::size_t nf, unsigned nw) {
+  switch (nw) {
+    case 1: return s_or<kInvert, 1>(in1, in0, o1, o0, nf);
+    case 2: return s_or<kInvert, 2>(in1, in0, o1, o0, nf);
+    case 4: return s_or<kInvert, 4>(in1, in0, o1, o0, nf);
+    case 8: return s_or<kInvert, 8>(in1, in0, o1, o0, nf);
+    default:
+      for (unsigned w = 0; w < nw; ++w) {
+        u64 a1 = in1[0][w];
+        u64 a0 = in0[0][w];
+        for (std::size_t i = 1; i < nf; ++i) {
+          a1 |= in1[i][w];
+          a0 &= in0[i][w];
+        }
+        o1[w] = kInvert ? a0 : a1;
+        o0[w] = kInvert ? a1 : a0;
+      }
+  }
+}
+
+template <bool kInvert>
+void k_xor(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  switch (nw) {
+    case 1: return s_xor<kInvert, 1>(in1, in0, o1, o0, nf);
+    case 2: return s_xor<kInvert, 2>(in1, in0, o1, o0, nf);
+    case 4: return s_xor<kInvert, 4>(in1, in0, o1, o0, nf);
+    case 8: return s_xor<kInvert, 8>(in1, in0, o1, o0, nf);
+    default:
+      for (unsigned w = 0; w < nw; ++w) {
+        u64 a1 = in1[0][w];
+        u64 a0 = in0[0][w];
+        for (std::size_t i = 1; i < nf; ++i) {
+          const u64 b1 = in1[i][w];
+          const u64 b0 = in0[i][w];
+          const u64 r1 = (a1 & b0) | (a0 & b1);
+          const u64 r0 = (a1 & b1) | (a0 & b0);
+          a1 = r1;
+          a0 = r0;
+        }
+        o1[w] = kInvert ? a0 : a1;
+        o0[w] = kInvert ? a1 : a0;
+      }
+  }
+}
+
+const WideKernels kScalarKernels = {
+    SimdBackend::kScalar,
+    "scalar",
+    {
+        nullptr,         // kInput
+        &k_buf,          // kBuf
+        &k_not,          // kNot
+        &k_and<false>,   // kAnd
+        &k_and<true>,    // kNand
+        &k_or<false>,    // kOr
+        &k_or<true>,     // kNor
+        &k_xor<false>,   // kXor
+        &k_xor<true>,    // kXnor
+        nullptr,         // kDff
+        nullptr,         // kConst0
+        nullptr,         // kConst1
+    },
+};
+
+const WideKernels& select_kernels() {
+  // Environment override: GATPG_SIMD=scalar|avx2|avx512 caps the backend
+  // (requesting an unavailable backend falls through to the next-widest).
+  const char* env = std::getenv("GATPG_SIMD");
+  const bool want_avx512 = !env || !std::strcmp(env, "avx512");
+  const bool want_avx2 = want_avx512 || (env && !std::strcmp(env, "avx2"));
+  if (want_avx512) {
+    if (const WideKernels* k = wide_kernels_avx512()) return *k;
+  }
+  if (want_avx2) {
+    if (const WideKernels* k = wide_kernels_avx2()) return *k;
+  }
+  return kScalarKernels;
+}
+
+}  // namespace
+
+const WideKernels* wide_kernels_scalar() { return &kScalarKernels; }
+
+const WideKernels& wide_kernels() {
+  static const WideKernels& kernels = select_kernels();
+  return kernels;
+}
+
+const WideKernels* wide_kernels_for(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return wide_kernels_scalar();
+    case SimdBackend::kAvx2:
+      return wide_kernels_avx2();
+    case SimdBackend::kAvx512:
+      return wide_kernels_avx512();
+  }
+  return nullptr;
+}
+
+const char* simd_backend_name(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+}  // namespace gatpg::sim

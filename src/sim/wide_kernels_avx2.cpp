@@ -1,0 +1,158 @@
+// AVX2 (256-bit) wide gate kernels.  This translation unit is compiled with
+// -mavx2 only when the build enables GATPG_HAVE_AVX2 (see the GATPG_SIMD
+// CMake option); otherwise it compiles to a stub so the dispatch in
+// wide_kernels.cpp needs no build-time branching.  Runtime CPU support is
+// checked here, behind the same single dispatch point.
+
+#include "sim/wide.h"
+
+#if defined(GATPG_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace gatpg::sim {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+// Widths are 1..kMaxWideWords words; full 4-word (256-bit) chunks run in
+// vector registers, the sub-chunk tail falls back to scalar words.  Loads
+// are unaligned (the SoA plane rows are 8-byte aligned only).
+
+inline void tail_copy(const u64* a1, const u64* a0, u64* o1, u64* o0,
+                      unsigned from, unsigned nw) {
+  for (unsigned w = from; w < nw; ++w) {
+    o1[w] = a1[w];
+    o0[w] = a0[w];
+  }
+}
+
+void k_buf(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(o1 + w),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in1[0] + w)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(o0 + w),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in0[0] + w)));
+  }
+  tail_copy(in1[0], in0[0], o1, o0, w, nw);
+}
+
+void k_not(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  k_buf(in0, in1, o1, o0, nf, nw);
+}
+
+template <bool kInvert>
+void k_and(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in1[0] + w));
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in0[0] + w));
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 = _mm256_and_si256(
+          a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in1[i] + w)));
+      a0 = _mm256_or_si256(
+          a0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in0[i] + w)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o1 + w), kInvert ? a0 : a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o0 + w), kInvert ? a1 : a0);
+  }
+  for (; w < nw; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 &= in1[i][w];
+      a0 |= in0[i][w];
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+template <bool kInvert>
+void k_or(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+          std::size_t nf, unsigned nw) {
+  // OR over (v1, v0) is AND over (v0, v1): swap input planes, swap outputs.
+  k_and<kInvert>(in0, in1, o0, o1, nf, nw);
+}
+
+template <bool kInvert>
+void k_xor(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in1[0] + w));
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in0[0] + w));
+    for (std::size_t i = 1; i < nf; ++i) {
+      const __m256i b1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in1[i] + w));
+      const __m256i b0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in0[i] + w));
+      const __m256i r1 = _mm256_or_si256(_mm256_and_si256(a1, b0),
+                                         _mm256_and_si256(a0, b1));
+      const __m256i r0 = _mm256_or_si256(_mm256_and_si256(a1, b1),
+                                         _mm256_and_si256(a0, b0));
+      a1 = r1;
+      a0 = r0;
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o1 + w), kInvert ? a0 : a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o0 + w), kInvert ? a1 : a0);
+  }
+  for (; w < nw; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      const u64 b1 = in1[i][w];
+      const u64 b0 = in0[i][w];
+      const u64 r1 = (a1 & b0) | (a0 & b1);
+      const u64 r0 = (a1 & b1) | (a0 & b0);
+      a1 = r1;
+      a0 = r0;
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+const WideKernels kAvx2Kernels = {
+    SimdBackend::kAvx2,
+    "avx2",
+    {
+        nullptr,         // kInput
+        &k_buf,          // kBuf
+        &k_not,          // kNot
+        &k_and<false>,   // kAnd
+        &k_and<true>,    // kNand
+        &k_or<false>,    // kOr
+        &k_or<true>,     // kNor
+        &k_xor<false>,   // kXor
+        &k_xor<true>,    // kXnor
+        nullptr,         // kDff
+        nullptr,         // kConst0
+        nullptr,         // kConst1
+    },
+};
+
+}  // namespace
+
+const WideKernels* wide_kernels_avx2() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+}  // namespace gatpg::sim
+
+#else  // !GATPG_HAVE_AVX2
+
+namespace gatpg::sim {
+
+const WideKernels* wide_kernels_avx2() { return nullptr; }
+
+}  // namespace gatpg::sim
+
+#endif

@@ -1,0 +1,141 @@
+// AVX-512 (512-bit) wide gate kernels.  Compiled with -mavx512f only when
+// the build enables GATPG_HAVE_AVX512; otherwise a stub.  The XOR family
+// uses vpternlogq to fuse the two-AND-one-OR plane combination into one
+// instruction per plane.
+
+#include "sim/wide.h"
+
+#if defined(GATPG_HAVE_AVX512) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace gatpg::sim {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+void k_buf(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 8 <= nw; w += 8) {
+    _mm512_storeu_si512(o1 + w, _mm512_loadu_si512(in1[0] + w));
+    _mm512_storeu_si512(o0 + w, _mm512_loadu_si512(in0[0] + w));
+  }
+  for (; w < nw; ++w) {
+    o1[w] = in1[0][w];
+    o0[w] = in0[0][w];
+  }
+}
+
+void k_not(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  k_buf(in0, in1, o1, o0, nf, nw);
+}
+
+template <bool kInvert>
+void k_and(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 8 <= nw; w += 8) {
+    __m512i a1 = _mm512_loadu_si512(in1[0] + w);
+    __m512i a0 = _mm512_loadu_si512(in0[0] + w);
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 = _mm512_and_si512(a1, _mm512_loadu_si512(in1[i] + w));
+      a0 = _mm512_or_si512(a0, _mm512_loadu_si512(in0[i] + w));
+    }
+    _mm512_storeu_si512(o1 + w, kInvert ? a0 : a1);
+    _mm512_storeu_si512(o0 + w, kInvert ? a1 : a0);
+  }
+  for (; w < nw; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      a1 &= in1[i][w];
+      a0 |= in0[i][w];
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+template <bool kInvert>
+void k_or(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+          std::size_t nf, unsigned nw) {
+  k_and<kInvert>(in0, in1, o0, o1, nf, nw);
+}
+
+template <bool kInvert>
+void k_xor(const u64* const* in1, const u64* const* in0, u64* o1, u64* o0,
+           std::size_t nf, unsigned nw) {
+  unsigned w = 0;
+  for (; w + 8 <= nw; w += 8) {
+    __m512i a1 = _mm512_loadu_si512(in1[0] + w);
+    __m512i a0 = _mm512_loadu_si512(in0[0] + w);
+    for (std::size_t i = 1; i < nf; ++i) {
+      const __m512i b1 = _mm512_loadu_si512(in1[i] + w);
+      const __m512i b0 = _mm512_loadu_si512(in0[i] + w);
+      // r = (a1 & b0) | (a0 & b1): vpternlog with a1,b0 paired via two
+      // ternary ops — (a & b) | c pattern, imm 0xEA = (a&b)|c.
+      const __m512i r1 =
+          _mm512_ternarylogic_epi64(a1, b0, _mm512_and_si512(a0, b1), 0xEA);
+      const __m512i r0 =
+          _mm512_ternarylogic_epi64(a1, b1, _mm512_and_si512(a0, b0), 0xEA);
+      a1 = r1;
+      a0 = r0;
+    }
+    _mm512_storeu_si512(o1 + w, kInvert ? a0 : a1);
+    _mm512_storeu_si512(o0 + w, kInvert ? a1 : a0);
+  }
+  for (; w < nw; ++w) {
+    u64 a1 = in1[0][w];
+    u64 a0 = in0[0][w];
+    for (std::size_t i = 1; i < nf; ++i) {
+      const u64 b1 = in1[i][w];
+      const u64 b0 = in0[i][w];
+      const u64 r1 = (a1 & b0) | (a0 & b1);
+      const u64 r0 = (a1 & b1) | (a0 & b0);
+      a1 = r1;
+      a0 = r0;
+    }
+    o1[w] = kInvert ? a0 : a1;
+    o0[w] = kInvert ? a1 : a0;
+  }
+}
+
+const WideKernels kAvx512Kernels = {
+    SimdBackend::kAvx512,
+    "avx512",
+    {
+        nullptr,         // kInput
+        &k_buf,          // kBuf
+        &k_not,          // kNot
+        &k_and<false>,   // kAnd
+        &k_and<true>,    // kNand
+        &k_or<false>,    // kOr
+        &k_or<true>,     // kNor
+        &k_xor<false>,   // kXor
+        &k_xor<true>,    // kXnor
+        nullptr,         // kDff
+        nullptr,         // kConst0
+        nullptr,         // kConst1
+    },
+};
+
+}  // namespace
+
+const WideKernels* wide_kernels_avx512() {
+  return __builtin_cpu_supports("avx512f") ? &kAvx512Kernels : nullptr;
+}
+
+}  // namespace gatpg::sim
+
+#else  // !GATPG_HAVE_AVX512
+
+namespace gatpg::sim {
+
+const WideKernels* wide_kernels_avx512() { return nullptr; }
+
+}  // namespace gatpg::sim
+
+#endif
