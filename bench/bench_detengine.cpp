@@ -1,20 +1,33 @@
-// Oblivious vs incremental implication in the deterministic engine (the
-// tentpole metric of the FrameModel rework): for each circuit a sample of
-// collapsed faults is driven through ForwardEngine::next_solution (plus the
-// required_state minimization of every solved fault) under both implication
-// engines with identical limits and an unlimited deadline, so the two modes
-// perform exactly the same search.
+// Deterministic per-fault engine storage/implication bench (the tentpole
+// metric of the FrameModel rework): for each circuit a sample of collapsed
+// faults is driven through ForwardEngine::next_solution (plus the
+// required_state minimization of every solved fault) under three
+// configurations with identical limits and an unlimited deadline, so all
+// modes perform exactly the same search:
+//
+//   oblivious  — full re-simulation reference, legacy nested-vector layout
+//   legacy     — incremental implication, legacy nested-vector layout,
+//                one FrameModel construction per fault (the pre-rework
+//                production configuration)
+//   flat       — incremental implication, flat composite-byte layout, with
+//                a shared FrameModelPool so per-fault models are
+//                reset-and-reused (the current production configuration)
 //
 // Emits BENCH_detengine.json with wall-clock, decisions/sec, gate-eval and
-// event counts per mode, plus the gate-evals-per-decision reduction of the
-// incremental engine.  Verifies on the way that per-fault status, decision
-// and backtrack counts, vectors, and minimized required states are
-// bit-identical across the modes; exit status is nonzero on any mismatch.
+// event counts per mode, the gate-evals-per-decision reduction of the
+// incremental engine, the flat-vs-legacy wall-clock speedup, and the pool's
+// construction/acquire tallies (constructions ≪ acquires proves reuse).
+// Verifies on the way that per-fault status, decision and backtrack counts,
+// vectors, and minimized required states are bit-identical across all three
+// modes and that the deterministic counters (gate_evals, events) of the
+// flat layout exactly match the legacy layout; exit status is nonzero on
+// any mismatch.
 //
 // Usage: bench_detengine [--seed=N] [--full] [--max-faults=N]
 //                        [--backtracks=N] [--solutions=N] [--repeat=N]
 //                        [names...]
 //   --full adds the largest analog (g5378).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +43,20 @@ namespace {
 
 using namespace gatpg;
 
+struct ModeSpec {
+  const char* key;  // JSON/report identifier
+  bool incremental;
+  bool flat;
+  bool pooled;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"oblivious", false, false, false},
+    {"incremental-legacy", true, false, false},
+    {"incremental-flat-pooled", true, true, true},
+};
+constexpr std::size_t kModeCount = sizeof(kModes) / sizeof(kModes[0]);
+
 struct FaultResult {
   atpg::ForwardStatus status = atpg::ForwardStatus::kAborted;
   unsigned solutions = 0;
@@ -42,7 +69,7 @@ struct FaultResult {
 };
 
 struct Sample {
-  bool incremental = false;
+  const ModeSpec* mode = nullptr;
   double wall_s = 0.0;
   long decisions = 0;
   long backtracks = 0;
@@ -50,6 +77,9 @@ struct Sample {
   long events = 0;
   std::size_t solved = 0;
   std::size_t untestable = 0;
+  // Pool tallies (pooled mode only; zero otherwise).
+  std::size_t model_builds = 0;
+  std::size_t model_acquires = 0;
 
   double evals_per_decision() const {
     return decisions > 0
@@ -66,32 +96,44 @@ struct CircuitResult {
   std::string name;
   std::size_t faults = 0;
   std::size_t sampled = 0;
-  Sample oblivious;
-  Sample incremental;
+  Sample samples[kModeCount];
   bool identical = true;
 
+  const Sample& oblivious() const { return samples[0]; }
+  const Sample& legacy() const { return samples[1]; }
+  const Sample& flat() const { return samples[2]; }
+
   double eval_reduction() const {
-    return incremental.gate_evals > 0
-               ? static_cast<double>(oblivious.gate_evals) /
-                     static_cast<double>(incremental.gate_evals)
+    return legacy().gate_evals > 0
+               ? static_cast<double>(oblivious().gate_evals) /
+                     static_cast<double>(legacy().gate_evals)
                : 0.0;
   }
-  double speedup() const {
-    return incremental.wall_s > 0 ? oblivious.wall_s / incremental.wall_s
-                                  : 0.0;
+  /// Wall-clock speedup of the reworked layout+pool over the pre-rework
+  /// incremental configuration (same implication engine, same search).
+  double flat_speedup() const {
+    return flat().wall_s > 0 ? legacy().wall_s / flat().wall_s : 0.0;
+  }
+  /// The flat layout must not change what the engine computes: its
+  /// deterministic effort counters match the legacy layout exactly.
+  bool counters_unchanged() const {
+    return legacy().gate_evals == flat().gate_evals &&
+           legacy().events == flat().events &&
+           legacy().decisions == flat().decisions &&
+           legacy().backtracks == flat().backtracks;
   }
 };
 
 /// Runs one fault to completion (bounded by the backtrack budget and the
 /// per-fault solution cap) and records everything the identity check
-/// compares.  The unlimited deadline keeps the search deterministic: both
+/// compares.  The unlimited deadline keeps the search deterministic: all
 /// modes clip on exactly the same backtrack count, never on wall clock.
 FaultResult run_fault(const netlist::Circuit& c, const fault::Fault& f,
                       const atpg::SearchLimits& limits,
                       const atpg::ObsDistances& obs, unsigned max_solutions,
-                      Sample& sample) {
+                      atpg::FrameModelPool* pool, Sample& sample) {
   FaultResult r;
-  atpg::ForwardEngine engine(c, f, limits, obs);
+  atpg::ForwardEngine engine(c, f, limits, obs, pool);
   const auto deadline = util::Deadline::unlimited();
   for (unsigned s = 0; s < max_solutions; ++s) {
     r.status = engine.next_solution(deadline);
@@ -156,15 +198,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "Oblivious vs incremental deterministic-engine implication "
+      "Deterministic-engine implication/storage bench "
       "(max_faults=%zu, backtracks=%ld, solutions=%u, repeat=%d)\n\n",
       max_faults, backtracks, max_solutions, repeat);
 
   bool consistent = true;
+  bool counters_ok = true;
   long obl_evals_total = 0;
   long inc_evals_total = 0;
-  long obl_decisions_total = 0;
-  long inc_decisions_total = 0;
+  double legacy_wall_total = 0.0;
+  double flat_wall_total = 0.0;
   std::vector<CircuitResult> results;
   for (const std::string& name : names) {
     const auto c = gen::make_circuit(name);
@@ -187,26 +230,35 @@ int main(int argc, char** argv) {
     limits.max_backtracks = backtracks;
 
     std::vector<FaultResult> reference;
-    for (const bool incremental : {false, true}) {
-      limits.incremental_model = incremental;
-      Sample& sample = incremental ? cr.incremental : cr.oblivious;
-      sample.incremental = incremental;
+    for (std::size_t m = 0; m < kModeCount; ++m) {
+      const ModeSpec& mode = kModes[m];
+      limits.incremental_model = mode.incremental;
+      limits.flat_model = mode.flat;
+      Sample& sample = cr.samples[m];
+      sample.mode = &mode;
+      // Min across repeats: the noise-robust estimator (scheduler
+      // interference only ever adds time).
       double wall = 0.0;
       for (int rep = 0; rep < repeat; ++rep) {
         Sample scratch;  // only the last repeat's counters are kept
         std::vector<FaultResult> run;
         run.reserve(picks.size());
+        // A fresh pool per repeat keeps the tallies comparable run-to-run.
+        atpg::FrameModelPool pool(c);
+        atpg::FrameModelPool* pool_ptr = mode.pooled ? &pool : nullptr;
         const util::Stopwatch sw;
         for (const std::size_t i : picks) {
           run.push_back(run_fault(c, faults[i], limits, obs, max_solutions,
-                                  scratch));
+                                  pool_ptr, scratch));
         }
-        wall += sw.seconds();
-        scratch.incremental = incremental;
-        scratch.wall_s = sample.wall_s;
+        const double elapsed = sw.seconds();
+        wall = rep == 0 ? elapsed : std::min(wall, elapsed);
+        scratch.mode = &mode;
+        scratch.model_builds = mode.pooled ? pool.constructions() : 0;
+        scratch.model_acquires = mode.pooled ? pool.acquires() : 0;
         sample = scratch;
         if (rep == 0) {
-          if (!incremental) {
+          if (m == 0) {
             reference = std::move(run);
           } else if (run != reference) {
             cr.identical = false;
@@ -214,39 +266,56 @@ int main(int argc, char** argv) {
               if (!(run[k] == reference[k])) {
                 std::printf(
                     "ERROR: %s fault #%zu diverges: oblivious %s "
-                    "dec=%ld bt=%ld sol=%u vs incremental %s dec=%ld "
+                    "dec=%ld bt=%ld sol=%u vs %s %s dec=%ld "
                     "bt=%ld sol=%u\n",
                     name.c_str(), picks[k], status_name(reference[k].status),
                     reference[k].decisions, reference[k].backtracks,
-                    reference[k].solutions, status_name(run[k].status),
-                    run[k].decisions, run[k].backtracks, run[k].solutions);
+                    reference[k].solutions, mode.key,
+                    status_name(run[k].status), run[k].decisions,
+                    run[k].backtracks, run[k].solutions);
                 break;
               }
             }
           }
         }
       }
-      sample.wall_s = wall / repeat;
+      sample.wall_s = wall;
     }
     consistent = consistent && cr.identical;
-
-    obl_evals_total += cr.oblivious.gate_evals;
-    inc_evals_total += cr.incremental.gate_evals;
-    obl_decisions_total += cr.oblivious.decisions;
-    inc_decisions_total += cr.incremental.decisions;
-    for (const Sample* s : {&cr.oblivious, &cr.incremental}) {
+    if (!cr.counters_unchanged()) {
+      counters_ok = false;
       std::printf(
-          "%-8s %-11s  wall=%8.2fms  dec=%8ld  bt=%8ld  "
-          "gate_evals=%11ld  evals/dec=%8.1f  events=%10ld  "
-          "solved=%zu  unt=%zu\n",
-          cr.name.c_str(), s->incremental ? "incremental" : "oblivious",
-          s->wall_s * 1e3, s->decisions, s->backtracks, s->gate_evals,
-          s->evals_per_decision(), s->events, s->solved, s->untestable);
+          "ERROR: %s deterministic counters differ between layouts: "
+          "legacy gate_evals=%ld events=%ld vs flat gate_evals=%ld "
+          "events=%ld\n",
+          name.c_str(), cr.legacy().gate_evals, cr.legacy().events,
+          cr.flat().gate_evals, cr.flat().events);
     }
-    std::printf("%-8s   gate-eval reduction x%.2f, wall-clock x%.2f, "
-                "identity %s\n\n",
-                cr.name.c_str(), cr.eval_reduction(), cr.speedup(),
-                cr.identical ? "OK" : "FAILED");
+
+    obl_evals_total += cr.oblivious().gate_evals;
+    inc_evals_total += cr.legacy().gate_evals;
+    legacy_wall_total += cr.legacy().wall_s;
+    flat_wall_total += cr.flat().wall_s;
+    for (const Sample& s : cr.samples) {
+      std::printf(
+          "%-8s %-23s  wall=%8.2fms  dec=%8ld  bt=%8ld  "
+          "gate_evals=%11ld  evals/dec=%8.1f  events=%10ld  "
+          "solved=%zu  unt=%zu",
+          cr.name.c_str(), s.mode->key, s.wall_s * 1e3, s.decisions,
+          s.backtracks, s.gate_evals, s.evals_per_decision(), s.events,
+          s.solved, s.untestable);
+      if (s.mode->pooled) {
+        std::printf("  builds=%zu acquires=%zu", s.model_builds,
+                    s.model_acquires);
+      }
+      std::printf("\n");
+    }
+    std::printf(
+        "%-8s   gate-eval reduction x%.2f, flat wall-clock x%.2f, "
+        "identity %s, counters %s\n\n",
+        cr.name.c_str(), cr.eval_reduction(), cr.flat_speedup(),
+        cr.identical ? "OK" : "FAILED",
+        cr.counters_unchanged() ? "unchanged" : "CHANGED");
     results.push_back(std::move(cr));
   }
 
@@ -259,6 +328,8 @@ int main(int argc, char** argv) {
       inc_evals_total > 0 ? static_cast<double>(obl_evals_total) /
                                 static_cast<double>(inc_evals_total)
                           : 0.0;
+  const double overall_flat_speedup =
+      flat_wall_total > 0 ? legacy_wall_total / flat_wall_total : 0.0;
   std::fprintf(json, "{\n  \"bench\": \"detengine\",\n");
   std::fprintf(json,
                "  \"max_faults\": %zu,\n  \"backtracks\": %ld,\n"
@@ -266,30 +337,38 @@ int main(int argc, char** argv) {
                max_faults, backtracks, max_solutions, repeat);
   std::fprintf(json, "  \"identical_across_modes\": %s,\n",
                consistent ? "true" : "false");
+  std::fprintf(json, "  \"counters_unchanged\": %s,\n",
+               counters_ok ? "true" : "false");
   std::fprintf(json, "  \"overall_gate_eval_reduction\": %.3f,\n",
                overall_reduction);
+  std::fprintf(json, "  \"overall_flat_speedup\": %.3f,\n",
+               overall_flat_speedup);
   std::fprintf(json, "  \"circuits\": [\n");
   for (std::size_t ci = 0; ci < results.size(); ++ci) {
     const CircuitResult& cr = results[ci];
     std::fprintf(json,
                  "    {\"name\": \"%s\", \"faults\": %zu, \"sampled\": %zu, "
-                 "\"identical\": %s, \"gate_eval_reduction\": %.3f, "
-                 "\"wall_clock_speedup\": %.3f, \"results\": [\n",
+                 "\"identical\": %s, \"counters_unchanged\": %s, "
+                 "\"gate_eval_reduction\": %.3f, "
+                 "\"flat_speedup\": %.3f, \"results\": [\n",
                  cr.name.c_str(), cr.faults, cr.sampled,
-                 cr.identical ? "true" : "false", cr.eval_reduction(),
-                 cr.speedup());
-    for (const Sample* s : {&cr.oblivious, &cr.incremental}) {
+                 cr.identical ? "true" : "false",
+                 cr.counters_unchanged() ? "true" : "false",
+                 cr.eval_reduction(), cr.flat_speedup());
+    for (std::size_t m = 0; m < kModeCount; ++m) {
+      const Sample& s = cr.samples[m];
       std::fprintf(
           json,
           "      {\"engine\": \"%s\", \"wall_s\": %.6f, "
           "\"decisions\": %ld, \"backtracks\": %ld, \"gate_evals\": %ld, "
           "\"events\": %ld, \"evals_per_decision\": %.2f, "
           "\"decisions_per_s\": %.1f, \"solved\": %zu, "
-          "\"untestable\": %zu}%s\n",
-          s->incremental ? "incremental" : "oblivious", s->wall_s,
-          s->decisions, s->backtracks, s->gate_evals, s->events,
-          s->evals_per_decision(), s->decisions_per_s(), s->solved,
-          s->untestable, s == &cr.oblivious ? "," : "");
+          "\"untestable\": %zu, \"model_builds\": %zu, "
+          "\"model_acquires\": %zu}%s\n",
+          s.mode->key, s.wall_s, s.decisions, s.backtracks, s.gate_evals,
+          s.events, s.evals_per_decision(), s.decisions_per_s(), s.solved,
+          s.untestable, s.model_builds, s.model_acquires,
+          m + 1 < kModeCount ? "," : "");
     }
     std::fprintf(json, "    ]}%s\n", ci + 1 < results.size() ? "," : "");
   }
@@ -298,7 +377,11 @@ int main(int argc, char** argv) {
   std::printf(
       "overall gate-eval reduction (incremental vs oblivious): x%.2f\n",
       overall_reduction);
+  std::printf(
+      "overall flat-layout wall-clock speedup (vs legacy incremental): "
+      "x%.2f\n",
+      overall_flat_speedup);
   std::printf("wrote BENCH_detengine.json%s\n",
-              consistent ? "" : " (INCONSISTENT RESULTS)");
-  return consistent ? 0 : 1;
+              consistent && counters_ok ? "" : " (INCONSISTENT RESULTS)");
+  return consistent && counters_ok ? 0 : 1;
 }

@@ -50,13 +50,17 @@ ObsDistances share_observation_distances(const netlist::Circuit& c) {
 }
 
 ForwardEngine::ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
-                             const SearchLimits& limits,
-                             ObsDistances obs_dist)
+                             const SearchLimits& limits, ObsDistances obs_dist,
+                             FrameModelPool* pool)
     : c_(c),
       fault_(f),
       limits_(limits),
-      model_(c, f, std::max(1u, limits.max_forward_frames),
-             FrameModelConfig{limits.incremental_model}),
+      own_pool_(pool ? nullptr : std::make_unique<FrameModelPool>(c)),
+      pool_(pool ? pool : own_pool_.get()),
+      model_h_(pool_->acquire(
+          f, std::max(1u, limits.max_forward_frames),
+          FrameModelConfig{limits.incremental_model, limits.flat_model})),
+      model_(*model_h_),
       stack_(model_),
       obs_dist_(obs_dist ? std::move(obs_dist)
                          : share_observation_distances(c)) {
@@ -91,8 +95,9 @@ bool ForwardEngine::excited_somewhere() const {
   return false;
 }
 
-std::vector<FrameModel::FrontierGate> ForwardEngine::full_frontier() const {
-  auto frontier = model_.d_frontier();
+std::vector<FrameModel::FrontierGate>& ForwardEngine::full_frontier() const {
+  const auto& frontier = model_.d_frontier();
+  frontier_scratch_.assign(frontier.begin(), frontier.end());
   // Branch faults: the faulted gate itself propagates the fault effect when
   // its driver carries the non-stuck good value, but the standard frontier
   // rule cannot see it (the branch is not a node).  Same for a faulted DFF
@@ -102,11 +107,11 @@ std::vector<FrameModel::FrontierGate> ForwardEngine::full_frontier() const {
       const V3 v = model_.good(t, driver_);
       if (v == V3::kX || (v == V3::k1) == fault_.stuck_at) continue;
       if (model_.composite(t, fault_.node).any_x()) {
-        frontier.push_back({t, fault_.node});
+        frontier_scratch_.push_back({t, fault_.node});
       }
     }
   }
-  return frontier;
+  return frontier_scratch_;
 }
 
 bool ForwardEngine::d_pending_at_ff_input() const {
@@ -126,7 +131,7 @@ bool ForwardEngine::pick_objective(Objective& obj) {
     return true;
   }
   // Goal 2: drive a D-frontier gate.
-  auto frontier = full_frontier();
+  auto& frontier = full_frontier();
   std::sort(frontier.begin(), frontier.end(),
             [&](const FrameModel::FrontierGate& a,
                 const FrameModel::FrontierGate& b) {
@@ -168,8 +173,17 @@ sim::State3 ForwardEngine::required_state() const {
   // Rebuild the solution on a scratch model and greedily clear state
   // assignments whose removal keeps a fault effect on some primary output.
   if (!model_.incremental()) {
-    FrameModel scratch(c_, fault_, model_.max_frames(),
-                       FrameModelConfig{false});
+    const FrameModelConfig sc_config{/*incremental=*/false, model_.flat()};
+    if (scratch_) {
+      // Reuse the pooled scratch: fold its effort into the retired tally
+      // (it is about to be zeroed) and reset instead of reconstructing.
+      retired_scratch_stats_.gate_evals += scratch_->stats().gate_evals;
+      retired_scratch_stats_.events += scratch_->stats().events;
+      scratch_->reset(fault_, model_.max_frames(), sc_config);
+    } else {
+      scratch_ = pool_->acquire(fault_, model_.max_frames(), sc_config);
+    }
+    FrameModel& scratch = *scratch_;
     scratch.set_frame_count(model_.frame_count());
     const auto pis = c_.primary_inputs();
     for (unsigned t = 0; t < model_.frame_count(); ++t) {
@@ -195,8 +209,8 @@ sim::State3 ForwardEngine::required_state() const {
         }
       }
     }
-    retired_scratch_stats_.gate_evals += scratch.stats().gate_evals;
-    retired_scratch_stats_.events += scratch.stats().events;
+    // The live scratch's stats are folded in by stats(); the retired tally
+    // only collects effort about to be wiped by reset().
     // Not currently at a solution: report the raw assignment.
     return at_solution ? scratch.extract_state() : model_.extract_state();
   }
@@ -204,7 +218,8 @@ sim::State3 ForwardEngine::required_state() const {
   // trail; each greedy probe is a trailed clear_state undone on failure
   // instead of a full window re-simulation per flip-flop.
   if (!scratch_) {
-    scratch_ = std::make_unique<FrameModel>(c_, fault_, model_.max_frames());
+    scratch_ = pool_->acquire(fault_, model_.max_frames(),
+                              FrameModelConfig{true, model_.flat()});
   }
   FrameModel& sc = *scratch_;
   sc.undo_to(0);  // back to the all-unassigned construction state

@@ -42,8 +42,13 @@ class ForwardEngine {
  public:
   /// `obs_dist` optionally shares a precomputed observation-distance table
   /// (share_observation_distances); when null the engine computes its own.
+  /// `pool` optionally recycles FrameModels across per-fault engines
+  /// (sessions build one ForwardEngine per target; the pool makes that a
+  /// reset instead of a reallocation); when null the engine owns a private
+  /// pool so behavior is identical either way.
   ForwardEngine(const netlist::Circuit& c, const fault::Fault& f,
-                const SearchLimits& limits, ObsDistances obs_dist = nullptr);
+                const SearchLimits& limits, ObsDistances obs_dist = nullptr,
+                FrameModelPool* pool = nullptr);
 
   /// Finds the next excitation/propagation solution; each call resumes the
   /// search after rejecting the previous solution.
@@ -69,19 +74,26 @@ class ForwardEngine {
   bool excited_somewhere() const;
   bool pick_objective(Objective& obj);
   bool d_pending_at_ff_input() const;
-  std::vector<FrameModel::FrontierGate> full_frontier() const;
+  /// Fills and returns a member buffer (no allocation per decision); the
+  /// next call overwrites it.
+  std::vector<FrameModel::FrontierGate>& full_frontier() const;
 
   const netlist::Circuit& c_;
   fault::Fault fault_;
   SearchLimits limits_;
-  FrameModel model_;
+  std::unique_ptr<FrameModelPool> own_pool_;  // pool-less fallback
+  FrameModelPool* pool_;                      // never null after construction
+  FrameModelHandle model_h_;
+  FrameModel& model_;
   DecisionStack stack_;
   mutable SearchStats stats_;
   netlist::NodeId driver_;  // node whose good value excites the fault
   ObsDistances obs_dist_;   // static distance-to-observation (shared)
-  /// Lazily built scratch model reused across required_state() calls
-  /// (incremental mode): reset via the trail instead of reconstruction.
-  mutable std::unique_ptr<FrameModel> scratch_;
+  /// Lazily acquired scratch model reused across required_state() calls:
+  /// reset via the trail (incremental) or reset() (oblivious) instead of
+  /// reconstruction.
+  mutable FrameModelHandle scratch_;
+  mutable std::vector<FrameModel::FrontierGate> frontier_scratch_;
   /// Effort of already-destroyed oblivious required_state scratch models,
   /// folded into stats() so both modes account minimization identically.
   mutable FrameModelStats retired_scratch_stats_;

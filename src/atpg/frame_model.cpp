@@ -9,18 +9,127 @@ using netlist::GateType;
 using netlist::NodeId;
 using sim::V3;
 
+// -- Flat-layout gate kernels ------------------------------------------------
+//
+// Each kernel folds a gate over the composite bytes of its fanins, producing
+// both planes of the output byte in one pass.  The 0x05/0x0A masks pick the
+// v1/v0 bits of both (v1, v0) pairs at once, so the ternary AND/OR/NOT
+// algebra runs on good and faulty simultaneously:
+//
+//   and: v1 = a.v1 & b.v1            or: v1 = a.v1 | b.v1
+//        v0 = a.v0 | b.v0                v0 = a.v0 & b.v0
+//   not: swap the v1/v0 bit of each pair
+//
+// (0 dominates AND through the v0 bit, 1 dominates OR through the v1 bit,
+// X = 00 stays X unless dominated — the same algebra PackedV3 uses wordwise.)
+namespace {
+
+constexpr std::uint8_t kV1 = compbits::kV1Mask;
+constexpr std::uint8_t kV0 = compbits::kV0Mask;
+
+inline std::uint8_t c_not(std::uint8_t a) {
+  return static_cast<std::uint8_t>(((a & kV1) << 1) | ((a & kV0) >> 1));
+}
+inline std::uint8_t c_and(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>((a & b & kV1) | ((a | b) & kV0));
+}
+inline std::uint8_t c_or(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(((a | b) & kV1) | (a & b & kV0));
+}
+inline std::uint8_t c_xor(std::uint8_t a, std::uint8_t b) {
+  // Separate the "is 1" / "is 0" predicates of both pairs, then
+  // 1 = (1,0)|(0,1) and 0 = (1,1)|(0,0) — X (neither bit) yields X.
+  const std::uint8_t a1 = a & kV1;
+  const std::uint8_t a0 = (a >> 1) & kV1;
+  const std::uint8_t b1 = b & kV1;
+  const std::uint8_t b0 = (b >> 1) & kV1;
+  const std::uint8_t r1 = (a1 & b0) | (a0 & b1);
+  const std::uint8_t r0 = (a1 & b1) | (a0 & b0);
+  return static_cast<std::uint8_t>(r1 | (r0 << 1));
+}
+
+std::uint8_t cg_buf(const std::uint8_t* row, const NodeId* ins, std::size_t) {
+  return row[ins[0]];
+}
+std::uint8_t cg_not(const std::uint8_t* row, const NodeId* ins, std::size_t) {
+  return c_not(row[ins[0]]);
+}
+template <std::uint8_t (*Op)(std::uint8_t, std::uint8_t), bool kInvert>
+std::uint8_t cg_fold(const std::uint8_t* row, const NodeId* ins,
+                     std::size_t n) {
+  std::uint8_t acc = row[ins[0]];
+  for (std::size_t i = 1; i < n; ++i) acc = Op(acc, row[ins[i]]);
+  return kInvert ? c_not(acc) : acc;
+}
+
+using CompGateFn = std::uint8_t (*)(const std::uint8_t*, const NodeId*,
+                                    std::size_t);
+// Indexed by GateType; sources/DFFs/constants never dispatch through it.
+constexpr std::array<CompGateFn, 12> kCompGateTable = {
+    nullptr,                 // kInput
+    &cg_buf,                 // kBuf
+    &cg_not,                 // kNot
+    &cg_fold<c_and, false>,  // kAnd
+    &cg_fold<c_and, true>,   // kNand
+    &cg_fold<c_or, false>,   // kOr
+    &cg_fold<c_or, true>,    // kNor
+    &cg_fold<c_xor, false>,  // kXor
+    &cg_fold<c_xor, true>,   // kXnor
+    nullptr,                 // kDff
+    nullptr,                 // kConst0
+    nullptr,                 // kConst1
+};
+
+}  // namespace
+
 FrameModel::FrameModel(const netlist::Circuit& c,
                        std::optional<fault::Fault> fault, unsigned max_frames,
                        FrameModelConfig config)
-    : circuit_(c), fault_(fault), max_frames_(max_frames), config_(config) {
-  assert(max_frames_ >= 1);
-  pi_assign_.assign(max_frames_,
-                    std::vector<V3>(c.primary_inputs().size(), V3::kX));
-  state_assign_.assign(c.flip_flops().size(), V3::kX);
-  good_.assign(max_frames_, std::vector<V3>(c.node_count(), V3::kX));
-  if (fault_) {
-    faulty_.assign(max_frames_, std::vector<V3>(c.node_count(), V3::kX));
+    : circuit_(c) {
+  reset(std::move(fault), max_frames, config);
+}
+
+void FrameModel::reset(std::optional<fault::Fault> fault, unsigned max_frames,
+                       FrameModelConfig config) {
+  assert(max_frames >= 1);
+  fault_ = std::move(fault);
+  fault_node_ = fault_ ? fault_->node : kNoFaultNode;
+  max_frames_ = max_frames;
+  config_ = config;
+  frame_count_ = 1;
+  stats_ = {};
+  trail_.clear();
+  const auto& c = circuit_;
+  node_stride_ = c.node_count();
+  pi_stride_ = c.primary_inputs().size();
+  const std::size_t cells =
+      static_cast<std::size_t>(max_frames_) * c.node_count();
+  if (config_.flat) {
+    if (comp_.capacity() < cells) ++buffer_grows_;
+    comp_.assign(cells, compbits::pack_same(V3::kX));
+    if (comp_fn_.empty()) {
+      comp_fn_.resize(c.node_count(), nullptr);
+      for (NodeId n = 0; n < c.node_count(); ++n) {
+        comp_fn_[n] = kCompGateTable[static_cast<std::size_t>(c.type(n))];
+      }
+    }
+    good_.clear();
+    faulty_.clear();
+  } else {
+    if (good_.capacity() < max_frames_) ++buffer_grows_;
+    good_.resize(max_frames_);
+    for (auto& vals : good_) vals.assign(c.node_count(), V3::kX);
+    if (fault_) {
+      faulty_.resize(max_frames_);
+      for (auto& vals : faulty_) vals.assign(c.node_count(), V3::kX);
+    } else {
+      faulty_.clear();
+    }
   }
+  pi_assign_.assign(
+      static_cast<std::size_t>(max_frames_) * c.primary_inputs().size(),
+      V3::kX);
+  state_assign_.assign(c.flip_flops().size(), V3::kX);
   if (config_.incremental) {
     init_incremental();
     recompute_frame(0);
@@ -35,24 +144,49 @@ FrameModel::FrameModel(const netlist::Circuit& c,
 void FrameModel::init_incremental() {
   const auto& c = circuit_;
   level_stride_ = static_cast<std::size_t>(c.max_level()) + 1;
-  buckets_.assign(static_cast<std::size_t>(max_frames_) * level_stride_, {});
-  queue_cursor_ = buckets_.size();
   const std::size_t cells =
       static_cast<std::size_t>(max_frames_) * c.node_count();
+  const std::size_t bucket_count =
+      static_cast<std::size_t>(max_frames_) * level_stride_;
+  if (level_base_.empty()) {  // circuit-static: level → slab offset
+    level_base_.assign(level_stride_ + 1, 0);
+    for (NodeId n = 0; n < c.node_count(); ++n) ++level_base_[c.level(n) + 1];
+    for (std::size_t l = 1; l <= level_stride_; ++l) {
+      level_base_[l] += level_base_[l - 1];
+    }
+    // Per-node enqueue caches: level key and bucket slab offset in one
+    // indexed load each (level_base_[level(n)] is a dependent chain).
+    node_level_.assign(c.node_count(), 0);
+    node_slab_.assign(c.node_count(), 0);
+    for (NodeId n = 0; n < c.node_count(); ++n) {
+      node_level_[n] = c.level(n);
+      node_slab_[n] = level_base_[c.level(n)];
+    }
+  }
+  if (in_queue_.capacity() < cells) ++buffer_grows_;
+  qbuf_.resize(cells);  // contents are written before being read
+  qfill_.assign(bucket_count, 0);
+  queue_cursor_ = bucket_count;
+  queue_pending_ = 0;
   in_queue_.assign(cells, 0);
   if (fault_) {
     po_d_count_.assign(max_frames_, 0);
     ffin_d_count_.assign(max_frames_, 0);
-    ff_consumer_count_.assign(c.node_count(), 0);
-    for (NodeId ff : c.flip_flops()) ++ff_consumer_count_[c.fanins(ff)[0]];
-    topo_pos_.assign(c.node_count(), 0);
-    const auto topo = c.topo_order();
-    for (std::size_t i = 0; i < topo.size(); ++i) {
-      topo_pos_[topo[i]] = static_cast<std::uint32_t>(i);
+    if (ff_consumer_count_.empty()) {  // circuit-static
+      ff_consumer_count_.assign(c.node_count(), 0);
+      for (NodeId ff : c.flip_flops()) ++ff_consumer_count_[c.fanins(ff)[0]];
+    }
+    if (topo_pos_.empty()) {  // circuit-static
+      topo_pos_.assign(c.node_count(), 0);
+      const auto topo = c.topo_order();
+      for (std::size_t i = 0; i < topo.size(); ++i) {
+        topo_pos_[topo[i]] = static_cast<std::uint32_t>(i);
+      }
     }
     in_frontier_.assign(cells, 0);
     listed_.assign(cells, 0);
-    frontier_members_.assign(max_frames_, {});
+    frontier_arena_.resize(cells);
+    frontier_fill_.assign(max_frames_, 0);
   }
 }
 
@@ -66,6 +200,9 @@ bool FrameModel::extend() {
 void FrameModel::set_frame_count(unsigned n) {
   assert(n >= 1 && n <= max_frames_);
   if (!config_.incremental || n <= frame_count_) {
+    // Shrinking never releases storage: every buffer stays sized for
+    // max_frames_, so shrink/grow cycles while backtracking over window
+    // extensions cost no allocation (see buffer_grows()).
     frame_count_ = n;
     return;
   }
@@ -79,14 +216,14 @@ void FrameModel::set_frame_count(unsigned n) {
 }
 
 void FrameModel::assign_pi(unsigned frame, std::size_t pi_index, V3 v) {
+  V3& slot = pi_assign_[pi_cell(frame, pi_index)];
   if (!config_.incremental) {
-    pi_assign_[frame][pi_index] = v;
+    slot = v;
     return;
   }
-  V3& slot = pi_assign_[frame][pi_index];
   if (slot == v) return;
-  trail_.push_back({TrailEntry::kPi, slot, frame,
-                    static_cast<std::uint32_t>(pi_index)});
+  trail_.push_back(
+      {TrailEntry::kPi, slot, frame, static_cast<std::uint32_t>(pi_index)});
   slot = v;
   if (frame < frame_count_) {
     // Inactive frames pick the assignment up when they are activated
@@ -100,16 +237,12 @@ void FrameModel::clear_pi(unsigned frame, std::size_t pi_index) {
   assign_pi(frame, pi_index, V3::kX);
 }
 
-V3 FrameModel::pi_value(unsigned frame, std::size_t pi_index) const {
-  return pi_assign_[frame][pi_index];
-}
-
 void FrameModel::assign_state(std::size_t ff_index, V3 v) {
+  V3& slot = state_assign_[ff_index];
   if (!config_.incremental) {
-    state_assign_[ff_index] = v;
+    slot = v;
     return;
   }
-  V3& slot = state_assign_[ff_index];
   if (slot == v) return;
   trail_.push_back(
       {TrailEntry::kState, slot, 0, static_cast<std::uint32_t>(ff_index)});
@@ -122,9 +255,7 @@ void FrameModel::clear_state(std::size_t ff_index) {
   assign_state(ff_index, V3::kX);
 }
 
-V3 FrameModel::state_value(std::size_t ff_index) const {
-  return state_assign_[ff_index];
-}
+// -- Legacy-layout evaluation ------------------------------------------------
 
 V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
                          unsigned frame, NodeId n, bool inject) {
@@ -133,7 +264,7 @@ V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
   const GateType t = c.type(n);
   switch (t) {
     case GateType::kInput: {
-      V3 v = pi_assign_[frame][static_cast<std::size_t>(c.pi_index(n))];
+      V3 v = pi_assign_[pi_cell(frame, static_cast<std::size_t>(c.pi_index(n)))];
       if (f && f->node == n && f->pin == fault::kOutputPin) {
         v = f->stuck_at ? V3::k1 : V3::k0;
       }
@@ -169,17 +300,10 @@ V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
         // position, not node id (one driver may feed several pins).
         const auto fanins = c.fanins(n);
         const auto fp = static_cast<std::size_t>(f->pin);
-        scratch_ins_.resize(fanins.size());
-        for (std::size_t i = 0; i < fanins.size(); ++i) {
-          scratch_ins_[i] = vals[fanins[i]];
-        }
-        scratch_ins_[fp] = f->stuck_at ? V3::k1 : V3::k0;
-        scratch_idx_.resize(fanins.size());
-        for (std::size_t i = 0; i < scratch_idx_.size(); ++i) {
-          scratch_idx_[i] = static_cast<NodeId>(i);
-        }
-        v = sim::eval_gate_scalar(t, scratch_idx_,
-                                  [&](NodeId i) { return scratch_ins_[i]; });
+        const V3 forced = f->stuck_at ? V3::k1 : V3::k0;
+        v = sim::eval_gate_scalar_pos(t, fanins.size(), [&](std::size_t i) {
+          return i == fp ? forced : vals[fanins[i]];
+        });
       } else {
         v = sim::eval_gate_scalar(t, c.fanins(n),
                                   [&](NodeId in) { return vals[in]; });
@@ -213,8 +337,116 @@ void FrameModel::simulate_plane(std::vector<std::vector<V3>>& plane,
   }
 }
 
+// -- Flat-layout evaluation --------------------------------------------------
+
+std::uint8_t FrameModel::compute_comp(unsigned frame, NodeId n) {
+  const auto& c = circuit_;
+  if (n == fault_node_) return compute_comp_faulted(frame, n);
+  // The kernel table doubles as the gate test (sources/DFFs/constants hold
+  // nullptr), so the hot case needs no GateType load or switch.
+  if (const CompGateFn fn = comp_fn_[n]) {
+    // One kernel call evaluates both planes; count per plane exactly like
+    // the legacy path (2 with a faulty plane, 1 without).
+    stats_.gate_evals += fault_ ? 2 : 1;
+    const auto fanins = c.fanins(n);
+    return fn(comp_.data() + cell(frame, 0), fanins.data(), fanins.size());
+  }
+  switch (c.type(n)) {
+    case GateType::kInput:
+      return compbits::pack_same(
+          pi_assign_[pi_cell(frame, static_cast<std::size_t>(c.pi_index(n)))]);
+    case GateType::kDff:
+      if (frame == 0) {
+        return compbits::pack_same(
+            state_assign_[static_cast<std::size_t>(c.ff_index(n))]);
+      }
+      // Both planes of the previous frame's D fanin in one byte copy.
+      return comp_[cell(frame - 1, c.fanins(n)[0])];
+    case GateType::kConst1:
+      return compbits::pack_same(V3::k1);
+    default:
+      return compbits::pack_same(V3::k0);  // kConst0
+  }
+}
+
+std::uint8_t FrameModel::compute_comp_faulted(unsigned frame, NodeId n) {
+  const auto& c = circuit_;
+  const fault::Fault& f = *fault_;
+  const V3 forced = f.stuck_at ? V3::k1 : V3::k0;
+  const GateType t = c.type(n);
+  switch (t) {
+    case GateType::kInput: {
+      const V3 g =
+          pi_assign_[pi_cell(frame, static_cast<std::size_t>(c.pi_index(n)))];
+      return compbits::pack(g, f.pin == fault::kOutputPin ? forced : g);
+    }
+    case GateType::kDff: {
+      V3 g, fy;
+      if (frame == 0) {
+        g = fy = state_assign_[static_cast<std::size_t>(c.ff_index(n))];
+      } else {
+        const std::uint8_t prev = comp_[cell(frame - 1, c.fanins(n)[0])];
+        g = compbits::good(prev);
+        fy = f.pin == 0 ? forced : compbits::faulty(prev);
+      }
+      if (f.pin == fault::kOutputPin) fy = forced;
+      return compbits::pack(g, fy);
+    }
+    case GateType::kConst0:
+    case GateType::kConst1: {
+      const V3 g = t == GateType::kConst0 ? V3::k0 : V3::k1;
+      return compbits::pack(g, f.pin == fault::kOutputPin ? forced : g);
+    }
+    default: {
+      stats_.gate_evals += 2;  // one eval per plane, like the legacy path
+      const auto fanins = c.fanins(n);
+      const std::uint8_t* row = comp_.data() + cell(frame, 0);
+      if (f.pin == fault::kOutputPin) {
+        const std::uint8_t b = comp_fn_[n](row, fanins.data(), fanins.size());
+        return static_cast<std::uint8_t>((b & 0x03) |
+                                         (compbits::bits(forced) << 2));
+      }
+      // Input-pin fault: evaluate the faulty plane with the pin forced by
+      // position (one driver may feed several pins).
+      const V3 g = sim::eval_gate_scalar(
+          t, fanins, [&](NodeId in) { return compbits::good(row[in]); });
+      const auto fp = static_cast<std::size_t>(f.pin);
+      const V3 fy =
+          sim::eval_gate_scalar_pos(t, fanins.size(), [&](std::size_t i) {
+            return i == fp ? forced : compbits::faulty(row[fanins[i]]);
+          });
+      return compbits::pack(g, fy);
+    }
+  }
+}
+
+void FrameModel::simulate_flat() {
+  const auto& c = circuit_;
+  for (unsigned t = 0; t < frame_count_; ++t) {
+    for (NodeId pi : c.primary_inputs()) {
+      comp_[cell(t, pi)] = compute_comp(t, pi);
+    }
+    for (NodeId ff : c.flip_flops()) {
+      comp_[cell(t, ff)] = compute_comp(t, ff);
+    }
+    for (NodeId n = 0; n < c.node_count(); ++n) {
+      const GateType gt = c.type(n);
+      if (gt == GateType::kConst0 || gt == GateType::kConst1) {
+        comp_[cell(t, n)] = compute_comp(t, n);
+      }
+    }
+    for (NodeId g : c.topo_order()) {
+      comp_[cell(t, g)] = compute_comp(t, g);
+    }
+  }
+}
+
 void FrameModel::simulate() {
   if (config_.incremental) return;  // values are maintained eagerly
+  if (config_.flat) {
+    simulate_flat();
+    return;
+  }
   simulate_plane(good_, /*inject=*/false);
   if (fault_) simulate_plane(faulty_, /*inject=*/true);
 }
@@ -226,8 +458,9 @@ void FrameModel::enqueue(unsigned frame, NodeId n) {
   if (in_queue_[cl]) return;
   in_queue_[cl] = 1;
   const std::size_t key =
-      static_cast<std::size_t>(frame) * level_stride_ + circuit_.level(n);
-  buckets_[key].push_back(n);
+      static_cast<std::size_t>(frame) * level_stride_ + node_level_[n];
+  qbuf_[static_cast<std::size_t>(frame) * node_stride_ + node_slab_[n] +
+        qfill_[key]++] = n;
   ++queue_pending_;
   if (key < queue_cursor_) queue_cursor_ = key;
 }
@@ -248,24 +481,50 @@ void FrameModel::propagate() {
   // Keys strictly increase along any propagation path (a fanout is deeper
   // in the same frame, or a level-0 flip-flop of the next frame), so one
   // ascending sweep of the buckets drains the queue and touches each
-  // scheduled node exactly once.
+  // scheduled node exactly once.  In particular the bucket being drained
+  // can never receive appends, so a plain index sweep suffices.
   while (queue_pending_ > 0) {
-    while (buckets_[queue_cursor_].empty()) ++queue_cursor_;
-    auto& bucket = buckets_[queue_cursor_];
-    const unsigned t = static_cast<unsigned>(queue_cursor_ / level_stride_);
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const NodeId n = bucket[i];
+    while (qfill_[queue_cursor_] == 0) ++queue_cursor_;
+    const std::size_t key = queue_cursor_;
+    const auto t = static_cast<unsigned>(key / level_stride_);
+    const auto lvl = static_cast<std::uint32_t>(key % level_stride_);
+    const std::size_t base = bucket_base(t, lvl);
+    const std::uint32_t fill = qfill_[key];
+    stats_.events += fill;
+    queue_pending_ -= fill;
+    for (std::uint32_t i = 0; i < fill; ++i) {
+      const NodeId n = qbuf_[base + i];
       in_queue_[cell(t, n)] = 0;
-      --queue_pending_;
-      ++stats_.events;
       reeval_node(t, n, /*schedule=*/true);
     }
-    bucket.clear();
+    qfill_[key] = 0;
   }
-  queue_cursor_ = buckets_.size();
+  queue_cursor_ = qfill_.size();
 }
 
 bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
+  if (config_.flat) {
+    std::uint8_t& b = comp_[cell(frame, n)];
+    const std::uint8_t nb = compute_comp(frame, n);
+    if (nb == b) return false;
+    const std::uint8_t before = b;
+    // Trail per plane in good-then-faulty order so marks and undo replay
+    // match the legacy layout entry for entry.
+    const V3 og = compbits::good(before);
+    if (compbits::good(nb) != og) {
+      trail_.push_back({TrailEntry::kGood, og, frame, n});
+    }
+    if (fault_) {
+      const V3 of = compbits::faulty(before);
+      if (compbits::faulty(nb) != of) {
+        trail_.push_back({TrailEntry::kFaulty, of, frame, n});
+      }
+    }
+    b = nb;
+    if (fault_) note_composite_change(frame, n, before, nb);
+    if (schedule) schedule_fanouts(frame, n);
+    return true;
+  }
   V3& g = good_[frame][n];
   const V3 ng = eval_node(good_, frame, n, /*inject=*/false);
   if (!fault_) {
@@ -278,7 +537,7 @@ bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
   V3& fy = faulty_[frame][n];
   const V3 nf = eval_node(faulty_, frame, n, /*inject=*/true);
   if (ng == g && nf == fy) return false;
-  const Composite before{g, fy};
+  const std::uint8_t before = compbits::pack(g, fy);
   if (ng != g) {
     trail_.push_back({TrailEntry::kGood, g, frame, n});
     g = ng;
@@ -287,7 +546,7 @@ bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
     trail_.push_back({TrailEntry::kFaulty, fy, frame, n});
     fy = nf;
   }
-  note_composite_change(frame, n, before, {ng, nf});
+  note_composite_change(frame, n, before, compbits::pack(ng, nf));
   if (schedule) schedule_fanouts(frame, n);
   return true;
 }
@@ -312,10 +571,10 @@ void FrameModel::recompute_frame(unsigned frame) {
 }
 
 void FrameModel::note_composite_change(unsigned frame, NodeId n,
-                                       const Composite& before,
-                                       const Composite& after) {
-  const int d_delta =
-      static_cast<int>(after.is_d()) - static_cast<int>(before.is_d());
+                                       std::uint8_t before,
+                                       std::uint8_t after) {
+  const int d_delta = static_cast<int>(compbits::kIsD[after & 0x0F]) -
+                      static_cast<int>(compbits::kIsD[before & 0x0F]);
   if (d_delta != 0) {
     if (circuit_.is_primary_output(n)) po_d_count_[frame] += d_delta;
     if (ff_consumer_count_[n] != 0) {
@@ -329,7 +588,7 @@ void FrameModel::note_composite_change(unsigned frame, NodeId n,
       }
     }
   }
-  if (after.any_x() != before.any_x() &&
+  if (compbits::kAnyX[after & 0x0F] != compbits::kAnyX[before & 0x0F] &&
       netlist::is_combinational(circuit_.type(n))) {
     refresh_frontier(frame, n);
   }
@@ -337,7 +596,18 @@ void FrameModel::note_composite_change(unsigned frame, NodeId n,
 
 void FrameModel::refresh_frontier(unsigned frame, NodeId gate) const {
   bool member = false;
-  if (composite(frame, gate).any_x()) {
+  if (config_.flat) {
+    // Byte-table membership test straight off the composite row.
+    const std::uint8_t* row = comp_.data() + cell(frame, 0);
+    if (compbits::kAnyX[row[gate] & 0x0F]) {
+      for (NodeId in : circuit_.fanins(gate)) {
+        if (compbits::kIsD[row[in] & 0x0F]) {
+          member = true;
+          break;
+        }
+      }
+    }
+  } else if (composite(frame, gate).any_x()) {
     for (NodeId in : circuit_.fanins(gate)) {
       if (composite(frame, in).is_d()) {
         member = true;
@@ -350,7 +620,7 @@ void FrameModel::refresh_frontier(unsigned frame, NodeId gate) const {
   in_frontier_[cl] = static_cast<char>(member);
   if (member && !listed_[cl]) {
     listed_[cl] = 1;
-    frontier_members_[frame].push_back(gate);
+    frontier_arena_[cell(frame, 0) + frontier_fill_[frame]++] = gate;
   }
   // Leaving members stay listed until the next d_frontier() compaction.
 }
@@ -363,29 +633,50 @@ void FrameModel::undo_to(std::size_t mark) {
     trail_.pop_back();
     switch (e.kind) {
       case TrailEntry::kPi:
-        pi_assign_[e.frame][e.index] = e.old_value;
+        pi_assign_[pi_cell(e.frame, e.index)] = e.old_value;
         break;
       case TrailEntry::kState:
         state_assign_[e.index] = e.old_value;
         break;
       case TrailEntry::kGood: {
+        if (config_.flat) {
+          std::uint8_t& b = comp_[cell(e.frame, e.index)];
+          if (fault_) {
+            const std::uint8_t before = b;
+            b = static_cast<std::uint8_t>((b & 0x0C) |
+                                          compbits::bits(e.old_value));
+            note_composite_change(e.frame, e.index, before, b);
+          } else {
+            b = compbits::pack_same(e.old_value);
+          }
+          break;
+        }
         V3& g = good_[e.frame][e.index];
         if (fault_) {
           const V3 fy = faulty_[e.frame][e.index];
-          const Composite before{g, fy};
+          const std::uint8_t before = compbits::pack(g, fy);
           g = e.old_value;
-          note_composite_change(e.frame, e.index, before, {g, fy});
+          note_composite_change(e.frame, e.index, before,
+                                compbits::pack(g, fy));
         } else {
           g = e.old_value;
         }
         break;
       }
       case TrailEntry::kFaulty: {
+        if (config_.flat) {
+          std::uint8_t& b = comp_[cell(e.frame, e.index)];
+          const std::uint8_t before = b;
+          b = static_cast<std::uint8_t>((b & 0x03) |
+                                        (compbits::bits(e.old_value) << 2));
+          note_composite_change(e.frame, e.index, before, b);
+          break;
+        }
         V3& fy = faulty_[e.frame][e.index];
-        const Composite before{good_[e.frame][e.index], fy};
+        const std::uint8_t before = compbits::pack(good_[e.frame][e.index], fy);
         fy = e.old_value;
         note_composite_change(e.frame, e.index, before,
-                              {good_[e.frame][e.index], fy});
+                              compbits::pack(good_[e.frame][e.index], fy));
         break;
       }
     }
@@ -419,48 +710,54 @@ bool FrameModel::d_reaches_ff_input(unsigned frame) const {
   return false;
 }
 
-std::vector<FrameModel::FrontierGate> FrameModel::d_frontier() const {
-  std::vector<FrontierGate> frontier;
-  if (!fault_) return frontier;
+const std::vector<FrameModel::FrontierGate>& FrameModel::d_frontier() const {
+  frontier_out_.clear();
+  if (!fault_) return frontier_out_;
   if (config_.incremental) {
+    const std::size_t nc = circuit_.node_count();
     for (unsigned t = 0; t < frame_count_; ++t) {
-      auto& members = frontier_members_[t];
-      std::size_t kept = 0;
-      for (NodeId g : members) {
+      NodeId* members = frontier_arena_.data() + static_cast<std::size_t>(t) * nc;
+      std::uint32_t kept = 0;
+      for (std::uint32_t i = 0; i < frontier_fill_[t]; ++i) {
+        const NodeId g = members[i];
         if (in_frontier_[cell(t, g)]) {
           members[kept++] = g;
         } else {
           listed_[cell(t, g)] = 0;
         }
       }
-      members.resize(kept);
+      frontier_fill_[t] = kept;
       // Topological order reproduces the oblivious scan order exactly, so
       // objective selection is bit-identical across the two engines.
-      std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+      std::sort(members, members + kept, [&](NodeId a, NodeId b) {
         return topo_pos_[a] < topo_pos_[b];
       });
-      for (NodeId g : members) frontier.push_back({t, g});
+      for (std::uint32_t i = 0; i < kept; ++i) {
+        frontier_out_.push_back({t, members[i]});
+      }
     }
-    return frontier;
+    return frontier_out_;
   }
   for (unsigned t = 0; t < frame_count_; ++t) {
     for (NodeId g : circuit_.topo_order()) {
       if (!composite(t, g).any_x()) continue;
       for (NodeId in : circuit_.fanins(g)) {
         if (composite(t, in).is_d()) {
-          frontier.push_back({t, g});
+          frontier_out_.push_back({t, g});
           break;
         }
       }
     }
   }
-  return frontier;
+  return frontier_out_;
 }
 
 sim::Sequence FrameModel::extract_vectors() const {
+  const std::size_t npi = circuit_.primary_inputs().size();
   sim::Sequence seq(frame_count_);
   for (unsigned t = 0; t < frame_count_; ++t) {
-    seq[t] = pi_assign_[t];
+    seq[t].assign(pi_assign_.begin() + static_cast<std::ptrdiff_t>(t * npi),
+                  pi_assign_.begin() + static_cast<std::ptrdiff_t>((t + 1) * npi));
   }
   return seq;
 }

@@ -28,11 +28,25 @@
 //   The D-frontier, po_has_d() and d_reaches_ff_input() are maintained as
 //   side effects of propagation.  Cost per decision is O(affected cone).
 //
-// tests/test_frame_model_incr.cpp differential-tests the two engines on
-// randomized operation sequences over every registry circuit.
+// Orthogonally, two storage layouts produce bit-identical values (see
+// DESIGN.md §4h):
+//
+// * Flat (FrameModelConfig{.flat = true}, the default): both planes live in
+//   one flat byte buffer indexed by cell(frame, node) — good in bits 0..1,
+//   faulty in bits 2..3 — so composite() and the D-detection summaries are
+//   single loads, and combinational gates evaluate both planes at once
+//   through a per-gate-type branchless kernel table.  Fault-free models
+//   mirror the good pair into the faulty pair so the decode is branch-free.
+// * Legacy (.flat = false, the retained reference): the original nested
+//   vector<vector<V3>> plane-per-frame layout.
+//
+// tests/test_frame_model_incr.cpp differential-tests the engines and the
+// layouts on randomized operation sequences over every registry circuit.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -47,13 +61,69 @@ struct FrameModelConfig {
   /// Event-driven implication with trail-based backtracking (default) vs
   /// the oblivious full re-simulation reference.
   bool incremental = true;
+  /// Flat composite-byte cell storage + kernel-table dispatch (default) vs
+  /// the legacy nested-vector plane layout (the retained reference).
+  bool flat = true;
 };
 
-/// Implication-effort counters, accumulated over the model's lifetime.
+/// Implication-effort counters, accumulated over the model's lifetime
+/// (reset() zeroes them; clear_stats() lets owners fold them elsewhere).
 struct FrameModelStats {
   std::uint64_t gate_evals = 0;  // combinational gate evaluations (per plane)
   std::uint64_t events = 0;      // event-queue pops (incremental mode only)
 };
+
+// -- Composite-byte cell encoding (flat layout) ------------------------------
+//
+// One byte per (frame, node) cell holds both planes as two (v1, v0) bit
+// pairs: bit0 = good.v1, bit1 = good.v0, bit2 = faulty.v1, bit3 = faulty.v0.
+// Per plane: k1 → 01, k0 → 10, X → 00 (11 unused).  The 0x05/0x0A masks
+// select the v1/v0 bits of both planes at once, so one AND/OR expression
+// evaluates a gate on both planes simultaneously (see kCompGateTable).
+namespace compbits {
+
+inline constexpr std::uint8_t kV1Mask = 0x05;  // v1 bits of both planes
+inline constexpr std::uint8_t kV0Mask = 0x0A;  // v0 bits of both planes
+
+/// V3 → two-bit plane pattern.  Enum values are k0=0, k1=1, kX=2, so the
+/// pattern is simply 2 - enum: k0→10, k1→01, kX→00.
+constexpr std::uint8_t bits(sim::V3 v) {
+  return static_cast<std::uint8_t>(2 - static_cast<int>(v));
+}
+/// Two-bit plane pattern → V3 (the unused 11 pattern never occurs).
+constexpr sim::V3 v3(std::uint8_t b) { return static_cast<sim::V3>(2 - b); }
+
+constexpr std::uint8_t pack(sim::V3 good, sim::V3 faulty) {
+  return static_cast<std::uint8_t>(bits(good) | (bits(faulty) << 2));
+}
+/// Both planes equal — also used by fault-free models to mirror the good
+/// plane into the faulty bits (multiplying the pattern by 0b0101).
+constexpr std::uint8_t pack_same(sim::V3 v) {
+  return static_cast<std::uint8_t>(bits(v) * kV1Mask);
+}
+constexpr sim::V3 good(std::uint8_t cell) {
+  return v3(static_cast<std::uint8_t>(cell & 0x03));
+}
+constexpr sim::V3 faulty(std::uint8_t cell) {
+  return v3(static_cast<std::uint8_t>((cell >> 2) & 0x03));
+}
+
+/// Byte-indexed Composite::is_d() — true for good/faulty = 1/0 (0b1001)
+/// and 0/1 (0b0110).
+inline constexpr std::array<bool, 16> kIsD = [] {
+  std::array<bool, 16> t{};
+  t[0b1001] = true;
+  t[0b0110] = true;
+  return t;
+}();
+/// Byte-indexed Composite::any_x() — true when either plane pair is 00.
+inline constexpr std::array<bool, 16> kAnyX = [] {
+  std::array<bool, 16> t{};
+  for (int b = 0; b < 16; ++b) t[b] = (b & 0x03) == 0 || (b & 0x0C) == 0;
+  return t;
+}();
+
+}  // namespace compbits
 
 class FrameModel {
  public:
@@ -61,11 +131,27 @@ class FrameModel {
   FrameModel(const netlist::Circuit& c, std::optional<fault::Fault> fault,
              unsigned max_frames, FrameModelConfig config = {});
 
+  /// Reinitializes the model to the exact post-construction state for a
+  /// (possibly different) fault / window cap / config, reusing every buffer
+  /// whose capacity suffices.  Bit-identical to constructing a fresh model;
+  /// the pool below relies on this.  Stats are zeroed (buffer_grows() is
+  /// not — it counts allocations over the object's whole lifetime).
+  void reset(std::optional<fault::Fault> fault, unsigned max_frames,
+             FrameModelConfig config = {});
+
   const netlist::Circuit& circuit() const { return circuit_; }
   bool has_fault() const { return fault_.has_value(); }
   const fault::Fault& fault() const { return *fault_; }
   bool incremental() const { return config_.incremental; }
+  bool flat() const { return config_.flat; }
   const FrameModelStats& stats() const { return stats_; }
+  /// Zeroes the lifetime counters (owners fold them into retired tallies
+  /// before reusing a model so totals stay exact across reset()).
+  void clear_stats() { stats_ = {}; }
+  /// Number of times a value/queue/frontier buffer actually had to grow —
+  /// stays flat across reset() and window shrink/grow cycles once a model
+  /// has seen its largest window (capacity is retained, never released).
+  std::uint64_t buffer_grows() const { return buffer_grows_; }
 
   unsigned frame_count() const { return frame_count_; }
   unsigned max_frames() const { return max_frames_; }
@@ -77,11 +163,15 @@ class FrameModel {
   // -- Assignable variables ---------------------------------------------
   void assign_pi(unsigned frame, std::size_t pi_index, sim::V3 v);
   void clear_pi(unsigned frame, std::size_t pi_index);
-  sim::V3 pi_value(unsigned frame, std::size_t pi_index) const;
+  sim::V3 pi_value(unsigned frame, std::size_t pi_index) const {
+    return pi_assign_[pi_cell(frame, pi_index)];
+  }
 
   void assign_state(std::size_t ff_index, sim::V3 v);
   void clear_state(std::size_t ff_index);
-  sim::V3 state_value(std::size_t ff_index) const;
+  sim::V3 state_value(std::size_t ff_index) const {
+    return state_assign_[ff_index];
+  }
 
   // -- Trail (incremental mode) ------------------------------------------
   /// Position marker into the change trail.  Record a mark before a batch
@@ -95,12 +185,20 @@ class FrameModel {
 
   // -- Values --------------------------------------------------------------
   sim::V3 good(unsigned frame, netlist::NodeId n) const {
-    return good_[frame][n];
+    return config_.flat ? compbits::good(comp_[cell(frame, n)])
+                        : good_[frame][n];
   }
   sim::V3 faulty(unsigned frame, netlist::NodeId n) const {
+    if (config_.flat) return compbits::faulty(comp_[cell(frame, n)]);
     return fault_ ? faulty_[frame][n] : good_[frame][n];
   }
   Composite composite(unsigned frame, netlist::NodeId n) const {
+    if (config_.flat) {
+      // Fault-free models mirror the good pair into the faulty bits, so
+      // this is one load in every configuration.
+      const std::uint8_t b = comp_[cell(frame, n)];
+      return {compbits::good(b), compbits::faulty(b)};
+    }
     return {good(frame, n), faulty(frame, n)};
   }
 
@@ -116,12 +214,14 @@ class FrameModel {
 
   /// D-frontier: gates with composite-X output and at least one D/D̄ fanin,
   /// over all active frames.  Returned as (frame, node) pairs in (frame,
-  /// topological-position) order — identical in both modes.
+  /// topological-position) order — identical in both modes.  The returned
+  /// reference aliases a member buffer that the next d_frontier() call
+  /// overwrites; copy it if it must survive further model mutation.
   struct FrontierGate {
     unsigned frame;
     netlist::NodeId node;
   };
-  std::vector<FrontierGate> d_frontier() const;
+  const std::vector<FrontierGate>& d_frontier() const;
 
   /// Extracts the PI assignments of all active frames as a test sequence
   /// (X where unassigned).
@@ -139,11 +239,18 @@ class FrameModel {
   };
 
   void simulate_plane(std::vector<std::vector<sim::V3>>& plane, bool inject);
-  /// Evaluates one node of one plane (sources, constants, gates; fault
-  /// injection applied when `inject`).  Shared by both engines so their
-  /// semantics cannot drift.
+  /// Evaluates one node of one plane in the legacy layout (sources,
+  /// constants, gates; fault injection applied when `inject`).
   sim::V3 eval_node(const std::vector<std::vector<sim::V3>>& plane,
                     unsigned frame, netlist::NodeId n, bool inject);
+
+  // Flat-layout evaluation.
+  /// Computes the composite byte of (frame, node) from current assignments
+  /// and fanin cells; bumps gate_evals exactly like the per-plane path.
+  std::uint8_t compute_comp(unsigned frame, netlist::NodeId n);
+  /// Slow path for the fault-site node (pin forcing, per-plane eval).
+  std::uint8_t compute_comp_faulted(unsigned frame, netlist::NodeId n);
+  void simulate_flat();
 
   // Incremental machinery.
   void init_incremental();
@@ -156,40 +263,69 @@ class FrameModel {
   bool reeval_node(unsigned frame, netlist::NodeId n, bool schedule);
   /// Directly recomputes every node of one (newly activated) frame.
   void recompute_frame(unsigned frame);
+  /// `before`/`after` are composite bytes (compbits encoding) — the flat
+  /// path passes its cells straight through; the legacy path packs.
   void note_composite_change(unsigned frame, netlist::NodeId n,
-                             const Composite& before, const Composite& after);
+                             std::uint8_t before, std::uint8_t after);
   void refresh_frontier(unsigned frame, netlist::NodeId gate) const;
   std::size_t cell(unsigned frame, netlist::NodeId n) const {
-    return static_cast<std::size_t>(frame) * circuit_.node_count() + n;
+    return static_cast<std::size_t>(frame) * node_stride_ + n;
   }
+  std::size_t pi_cell(unsigned frame, std::size_t pi_index) const {
+    return static_cast<std::size_t>(frame) * pi_stride_ + pi_index;
+  }
+  /// Start of the (frame, level) event bucket inside qbuf_.
+  std::size_t bucket_base(unsigned frame, std::uint32_t level) const {
+    return static_cast<std::size_t>(frame) * node_stride_ +
+           level_base_[level];
+  }
+
+  /// fault_node_ sentinel for fault-free models (no node compares equal).
+  static constexpr netlist::NodeId kNoFaultNode = ~netlist::NodeId{0};
 
   const netlist::Circuit& circuit_;
   std::optional<fault::Fault> fault_;
-  unsigned max_frames_;
+  // Hot-path caches (reset() keeps them current): the fault site (sentinel
+  // when fault-free) and the [frame × node] / [frame × pi] row strides.
+  netlist::NodeId fault_node_ = kNoFaultNode;
+  std::size_t node_stride_ = 0;
+  std::size_t pi_stride_ = 0;
+  unsigned max_frames_ = 1;
   FrameModelConfig config_;
   unsigned frame_count_ = 1;
   FrameModelStats stats_;
+  std::uint64_t buffer_grows_ = 0;
 
-  // Assignments.
-  std::vector<std::vector<sim::V3>> pi_assign_;  // [frame][pi]
-  std::vector<sim::V3> state_assign_;            // [ff]
+  // Assignments (flat: [frame × pi]).
+  std::vector<sim::V3> pi_assign_;
+  std::vector<sim::V3> state_assign_;  // [ff]
 
-  // Simulated planes: [frame][node].
+  // Flat layout: one composite byte per cell(frame, node).
+  std::vector<std::uint8_t> comp_;
+  // Per-node both-plane gate kernels (flat layout; circuit-static).
+  using CompGateFn = std::uint8_t (*)(const std::uint8_t*,
+                                      const netlist::NodeId*, std::size_t);
+  std::vector<CompGateFn> comp_fn_;
+
+  // Legacy layout: simulated planes [frame][node].
   std::vector<std::vector<sim::V3>> good_;
   std::vector<std::vector<sim::V3>> faulty_;
-
-  // Scratch for faulted-pin gate evaluation (no per-eval allocation).
-  std::vector<sim::V3> scratch_ins_;
-  std::vector<netlist::NodeId> scratch_idx_;
 
   // Change trail (incremental mode).
   std::vector<TrailEntry> trail_;
 
-  // Event queue: buckets keyed by frame * (max_level + 1) + level.  Keys
+  // Event queue: a bump-allocated CSR bucket arena keyed by
+  // frame * (max_level + 1) + level.  Each frame's buckets partition one
+  // node_count-sized slab of qbuf_ (bucket capacity = number of nodes on
+  // that level, so appends never overflow); qfill_ counts occupancy.  Keys
   // strictly increase during propagation (fanouts are deeper in the same
   // frame or sources of a later frame), so one ascending cursor drains it.
-  std::vector<std::vector<netlist::NodeId>> buckets_;
-  std::vector<char> in_queue_;  // [frame × node]
+  std::vector<netlist::NodeId> qbuf_;   // [frame × node] arena
+  std::vector<std::uint32_t> qfill_;    // [frame × level] occupancy
+  std::vector<std::uint32_t> level_base_;  // level → node-slab offset
+  std::vector<std::uint32_t> node_level_;  // node → level (enqueue cache)
+  std::vector<std::uint32_t> node_slab_;   // node → level_base_[level(node)]
+  std::vector<char> in_queue_;          // [frame × node]
   std::size_t queue_cursor_ = 0;
   std::size_t queue_pending_ = 0;
   std::size_t level_stride_ = 1;  // max_level + 1
@@ -199,11 +335,115 @@ class FrameModel {
   std::vector<int> ffin_d_count_;  // per frame: FF D inputs carrying D/D̄
   std::vector<std::uint32_t> ff_consumer_count_;  // DFFs fed by node n
   std::vector<std::uint32_t> topo_pos_;  // node → position in topo_order
-  // D-frontier membership: bitmap + per-frame append-only member list,
-  // compacted and sorted lazily on query (hence mutable).
+  // D-frontier membership: bitmap + per-frame append-only member arena
+  // (each gate listed at most once per frame, so node_count-sized slabs
+  // suffice), compacted and sorted lazily on query (hence mutable).
   mutable std::vector<char> in_frontier_;  // [frame × node]
   mutable std::vector<char> listed_;       // [frame × node]
-  mutable std::vector<std::vector<netlist::NodeId>> frontier_members_;
+  mutable std::vector<netlist::NodeId> frontier_arena_;  // [frame × node]
+  mutable std::vector<std::uint32_t> frontier_fill_;     // per frame
+  // d_frontier() output buffer (reused across calls; no per-query allocs).
+  mutable std::vector<FrontierGate> frontier_out_;
 };
+
+class FrameModelPool;
+
+/// Owning or pool-borrowed FrameModel handle.  Pool-borrowed handles return
+/// the model to the pool's free list on destruction; standalone handles own
+/// and delete it.  Handles must not outlive the pool that issued them.
+class FrameModelHandle {
+ public:
+  FrameModelHandle() = default;
+  FrameModelHandle(FrameModelHandle&& o) noexcept
+      : model_(o.model_), pool_(o.pool_) {
+    o.model_ = nullptr;
+    o.pool_ = nullptr;
+  }
+  FrameModelHandle& operator=(FrameModelHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      model_ = o.model_;
+      pool_ = o.pool_;
+      o.model_ = nullptr;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  FrameModelHandle(const FrameModelHandle&) = delete;
+  FrameModelHandle& operator=(const FrameModelHandle&) = delete;
+  ~FrameModelHandle() { release(); }
+
+  FrameModel* get() const { return model_; }
+  FrameModel& operator*() const { return *model_; }
+  FrameModel* operator->() const { return model_; }
+  explicit operator bool() const { return model_ != nullptr; }
+
+ private:
+  friend class FrameModelPool;
+  FrameModelHandle(FrameModel* m, FrameModelPool* pool)
+      : model_(m), pool_(pool) {}
+  void release();
+
+  FrameModel* model_ = nullptr;
+  FrameModelPool* pool_ = nullptr;  // null: standalone (handle deletes)
+};
+
+/// Recycles FrameModels across faults: acquire() pops a free model and
+/// reset()s it (bit-identical to fresh construction) instead of rebuilding
+/// every buffer per target.  Single-circuit, single-threaded — matches the
+/// deterministic engines' serial per-fault loop.  constructions() exposes
+/// how many models were actually built, so sessions can prove reuse.
+class FrameModelPool {
+ public:
+  explicit FrameModelPool(const netlist::Circuit& c) : circuit_(c) {}
+
+  FrameModelHandle acquire(std::optional<fault::Fault> fault,
+                           unsigned max_frames, FrameModelConfig config = {}) {
+    ++acquires_;
+    if (free_.empty()) {
+      ++constructions_;
+      all_.push_back(std::make_unique<FrameModel>(circuit_, std::move(fault),
+                                                  max_frames, config));
+      return {all_.back().get(), this};
+    }
+    FrameModel* m = free_.back();
+    free_.pop_back();
+    m->reset(std::move(fault), max_frames, config);
+    return {m, this};
+  }
+
+  /// Pool-less fallback: a handle that owns a freshly built model.
+  static FrameModelHandle standalone(const netlist::Circuit& c,
+                                     std::optional<fault::Fault> fault,
+                                     unsigned max_frames,
+                                     FrameModelConfig config = {}) {
+    return {new FrameModel(c, std::move(fault), max_frames, config), nullptr};
+  }
+
+  const netlist::Circuit& circuit() const { return circuit_; }
+  std::uint64_t constructions() const { return constructions_; }
+  std::uint64_t acquires() const { return acquires_; }
+
+ private:
+  friend class FrameModelHandle;
+  void release(FrameModel* m) { free_.push_back(m); }
+
+  const netlist::Circuit& circuit_;
+  std::vector<std::unique_ptr<FrameModel>> all_;
+  std::vector<FrameModel*> free_;
+  std::uint64_t constructions_ = 0;
+  std::uint64_t acquires_ = 0;
+};
+
+inline void FrameModelHandle::release() {
+  if (!model_) return;
+  if (pool_ != nullptr) {
+    pool_->release(model_);
+  } else {
+    delete model_;
+  }
+  model_ = nullptr;
+  pool_ = nullptr;
+}
 
 }  // namespace gatpg::atpg

@@ -9,8 +9,11 @@ using sim::V3;
 
 FrameGoalSearch::FrameGoalSearch(const netlist::Circuit& c,
                                  std::vector<Objective> goals,
-                                 FrameModelConfig config)
-    : model_(c, std::nullopt, 1, config),
+                                 FrameModelConfig config, FrameModelPool* pool)
+    : pool_(pool),
+      model_h_(pool ? pool->acquire(std::nullopt, 1, config)
+                    : FrameModelPool::standalone(c, std::nullopt, 1, config)),
+      model_(*model_h_),
       stack_(model_),
       goals_(std::move(goals)) {}
 
@@ -99,7 +102,20 @@ sim::State3 FrameGoalSearch::minimized_state() const {
   // Rebuild the solution on a scratch model, then greedily clear state
   // assignments whose removal keeps every goal satisfied.
   if (!model_.incremental()) {
-    FrameModel scratch(c, std::nullopt, 1, FrameModelConfig{false});
+    const FrameModelConfig sc_config{/*incremental=*/false, model_.flat()};
+    if (scratch_) {
+      // Reuse the scratch model across minimization calls: fold its effort
+      // into the retired tally (reset() is about to zero it) and reset
+      // instead of constructing a fresh model per call.
+      retired_gate_evals_ += scratch_->stats().gate_evals;
+      retired_events_ += scratch_->stats().events;
+      scratch_->reset(std::nullopt, 1, sc_config);
+    } else {
+      scratch_ = pool_ ? pool_->acquire(std::nullopt, 1, sc_config)
+                       : FrameModelPool::standalone(c, std::nullopt, 1,
+                                                    sc_config);
+    }
+    FrameModel& scratch = *scratch_;
     const auto pis = c.primary_inputs();
     for (std::size_t i = 0; i < pis.size(); ++i) {
       scratch.assign_pi(0, i, model_.pi_value(0, i));
@@ -125,14 +141,17 @@ sim::State3 FrameGoalSearch::minimized_state() const {
         scratch.simulate();
       }
     }
-    retired_gate_evals_ += scratch.stats().gate_evals;
-    retired_events_ += scratch.stats().events;
+    // The live scratch's stats are folded in by flush_stats; the retired
+    // tally only collects effort about to be wiped by reset().
     return scratch.extract_state();
   }
   // Incremental: reuse one scratch model, reset through the trail; each
   // greedy probe is a trailed clear_state undone when a goal breaks.
   if (!scratch_) {
-    scratch_ = std::make_unique<FrameModel>(c, std::nullopt, 1);
+    const FrameModelConfig sc_config{/*incremental=*/true, model_.flat()};
+    scratch_ = pool_ ? pool_->acquire(std::nullopt, 1, sc_config)
+                     : FrameModelPool::standalone(c, std::nullopt, 1,
+                                                  sc_config);
   }
   FrameModel& sc = *scratch_;
   sc.undo_to(0);  // single-frame model: construction state is consistent
@@ -162,8 +181,13 @@ sim::State3 FrameGoalSearch::minimized_state() const {
 
 DeterministicJustifier::DeterministicJustifier(const netlist::Circuit& c,
                                                const SearchLimits& limits,
-                                               state::StateStore* store)
-    : c_(c), limits_(limits), store_(store) {}
+                                               state::StateStore* store,
+                                               FrameModelPool* pool)
+    : c_(c),
+      limits_(limits),
+      store_(store),
+      own_pool_(pool ? nullptr : std::make_unique<FrameModelPool>(c)),
+      pool_(pool ? pool : own_pool_.get()) {}
 
 std::string DeterministicJustifier::key_of(const State3& s) {
   std::string k(s.size(), 'X');
@@ -216,8 +240,9 @@ DeterministicJustifier::Outcome DeterministicJustifier::justify_rec(
     }
   }
 
-  FrameGoalSearch search(c_, std::move(goals),
-                         FrameModelConfig{limits_.incremental_model});
+  FrameGoalSearch search(
+      c_, std::move(goals),
+      FrameModelConfig{limits_.incremental_model, limits_.flat_model}, pool_);
   bool any_aborted = false;
   for (;;) {
     const auto step = search.next(deadline, limits_.max_backtracks, stats_);

@@ -36,8 +36,12 @@ class FrameGoalSearch {
  public:
   enum class Step { kSolution, kExhausted, kAborted };
 
+  /// `pool` (optional) recycles the frame model and the minimization
+  /// scratch across searches — the justifier builds one FrameGoalSearch per
+  /// recursion level per fault, so pooling turns that into a reset.
   FrameGoalSearch(const netlist::Circuit& c, std::vector<Objective> goals,
-                  FrameModelConfig config = {});
+                  FrameModelConfig config = {},
+                  FrameModelPool* pool = nullptr);
 
   /// Advances to the next satisfying assignment.  `stats` accumulates
   /// decisions/backtracks (and implication gate-eval/event counts) across
@@ -66,11 +70,13 @@ class FrameGoalSearch {
   /// Adds the model-side effort accrued since the last flush to `stats`.
   void flush_stats(SearchStats& stats);
 
-  FrameModel model_;
+  FrameModelPool* pool_ = nullptr;  // may be null (standalone models)
+  FrameModelHandle model_h_;
+  FrameModel& model_;
   DecisionStack stack_;
   std::vector<Objective> goals_;
-  /// Scratch model reused by minimized_state (incremental mode).
-  mutable std::unique_ptr<FrameModel> scratch_;
+  /// Scratch model reused by minimized_state (both modes; pooled).
+  mutable FrameModelHandle scratch_;
   /// Effort of already-destroyed oblivious minimized_state scratch models,
   /// folded into flush_stats so both modes account minimization identically.
   mutable std::uint64_t retired_gate_evals_ = 0;
@@ -95,8 +101,11 @@ class DeterministicJustifier {
   /// result — the completed exhaustive proof — is recorded back.  Sub-level
   /// kUnjustifiable results are never recorded: requirement-cycle pruning
   /// makes them valid only relative to the outer path.
+  /// `pool` (optional) recycles FrameModels across recursion levels and
+  /// faults; when null the justifier owns a private pool.
   DeterministicJustifier(const netlist::Circuit& c, const SearchLimits& limits,
-                         state::StateStore* store = nullptr);
+                         state::StateStore* store = nullptr,
+                         FrameModelPool* pool = nullptr);
 
   Outcome justify(const sim::State3& target, const util::Deadline& deadline);
 
@@ -112,6 +121,8 @@ class DeterministicJustifier {
   SearchLimits limits_;
   SearchStats stats_;
   state::StateStore* store_ = nullptr;  // not owned; may be null
+  std::unique_ptr<FrameModelPool> own_pool_;  // pool-less fallback
+  FrameModelPool* pool_;                      // never null after construction
 };
 
 }  // namespace gatpg::atpg

@@ -18,6 +18,9 @@ struct SearchLimits {
   /// Event-driven incremental implication (default) vs the oblivious
   /// re-simulation reference engine; results are bit-identical.
   bool incremental_model = true;
+  /// Flat composite-byte FrameModel storage (default) vs the legacy
+  /// nested-vector layout; results are bit-identical.
+  bool flat_model = true;
 };
 
 }  // namespace gatpg::atpg

@@ -23,7 +23,8 @@ HybridEngine::HybridEngine(const netlist::Circuit& c,
       config_(config),
       depth_(depth),
       rng_(rng),
-      obs_dist_(atpg::share_observation_distances(c)) {}
+      obs_dist_(atpg::share_observation_distances(c)),
+      model_pool_(c) {}
 
 unsigned HybridEngine::ga_sequence_length(const PassConfig& pass) const {
   if (pass.seq_len_override) return pass.seq_len_override;
@@ -61,12 +62,13 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
           ? config_.max_justify_depth
           : std::clamp(4 * std::max(1u, depth_), 8u, 64u);
   limits.incremental_model = config_.incremental_model;
+  limits.flat_model = config_.flat_model;
 
-  ForwardEngine forward(c_, f, limits, obs_dist_);
+  ForwardEngine forward(c_, f, limits, obs_dist_, &model_pool_);
   const GaStateJustifier ga_justifier(c_);
   state::StateStore& store = s.state_store();
-  atpg::DeterministicJustifier det_justifier(c_, limits,
-                                             store.enabled() ? &store : nullptr);
+  atpg::DeterministicJustifier det_justifier(
+      c_, limits, store.enabled() ? &store : nullptr, &model_pool_);
   // DeterministicJustifier resets its stats per justify() call; accumulate
   // them here across the attempt loop.
   atpg::SearchStats det_total;
@@ -88,6 +90,11 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
   counters.det_backtracks += effort.backtracks;
   counters.det_gate_evals += effort.gate_evals;
   counters.det_events += effort.events;
+  // Absolute pool tallies (not deltas): ≤ a handful of constructions per
+  // session is the pool-reuse invariant bench_detengine asserts.
+  counters.det_model_builds =
+      static_cast<long>(model_pool_.constructions());
+  counters.det_model_acquires = static_cast<long>(model_pool_.acquires());
   if (s.observer()) s.observer()->on_target_end(s, effort);
   return outcome;
 }
@@ -373,9 +380,11 @@ AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
     pre.max_backtracks = config_.prefilter_backtracks;
     pre.max_forward_frames = 4;
     pre.incremental_model = config_.incremental_model;
+    pre.flat_model = config_.flat_model;
     const auto obs_dist = atpg::share_observation_distances(c_);
+    atpg::FrameModelPool pre_pool(c_);
     for (std::size_t i = 0; i < faults_.size(); ++i) {
-      ForwardEngine fe(c_, faults_.faults[i], pre, obs_dist);
+      ForwardEngine fe(c_, faults_.faults[i], pre, obs_dist, &pre_pool);
       const auto st =
           fe.next_solution(util::Deadline::after_seconds(pre.time_limit_s));
       if (st == ForwardStatus::kUntestable) {

@@ -79,6 +79,10 @@ struct HybridConfig {
   /// (default) vs the oblivious re-simulation reference.  Results are
   /// bit-identical; this knob exists for benchmarking and debugging.
   bool incremental_model = true;
+  /// Deterministic-engine FrameModel storage: flat composite-byte cells
+  /// (default) vs the legacy nested-vector layout.  Results are
+  /// bit-identical; this knob exists for benchmarking and debugging.
+  bool flat_model = true;
   /// Cross-fault state-knowledge layer (justified-sequence cache,
   /// unjustifiable-cube proofs, GA seeding, forward-solution reuse).
   /// Disabled by default; disabled runs are bit-identical to the
@@ -132,6 +136,10 @@ class HybridEngine : public session::Engine {
   util::Rng& rng_;
   /// Observation-distance table shared by every per-fault ForwardEngine.
   atpg::ObsDistances obs_dist_;
+  /// FrameModel pool shared by every per-fault ForwardEngine and
+  /// DeterministicJustifier: per-target model construction becomes a
+  /// reset-and-reuse (constructions() is mirrored into EngineCounters).
+  atpg::FrameModelPool model_pool_;
   std::size_t next_target_ = 0;  // stepwise round-robin cursor
 };
 

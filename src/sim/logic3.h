@@ -287,13 +287,14 @@ PackedV3 eval_gate_packed(netlist::GateType type,
   }
 }
 
-/// Scalar gate evaluation (used by the reference/oblivious simulators and
-/// property tests).
+/// Position-indexed scalar gate evaluation: `value(i)` fetches fanin i by
+/// its pin position.  Lets callers force a faulted pin by position without
+/// materializing a gather buffer.
 template <typename Fetch>
-V3 eval_gate_scalar(netlist::GateType type,
-                    std::span<const netlist::NodeId> fanins, Fetch&& value) {
+V3 eval_gate_scalar_pos(netlist::GateType type, std::size_t fanin_count,
+                        Fetch&& value) {
   using netlist::GateType;
-  V3 acc = value(fanins[0]);
+  V3 acc = value(std::size_t{0});
   switch (type) {
     case GateType::kBuf:
       return acc;
@@ -301,26 +302,35 @@ V3 eval_gate_scalar(netlist::GateType type,
       return v3_not(acc);
     case GateType::kAnd:
     case GateType::kNand:
-      for (std::size_t i = 1; i < fanins.size(); ++i) {
-        acc = v3_and(acc, value(fanins[i]));
+      for (std::size_t i = 1; i < fanin_count; ++i) {
+        acc = v3_and(acc, value(i));
       }
       return type == GateType::kNand ? v3_not(acc) : acc;
     case GateType::kOr:
     case GateType::kNor:
-      for (std::size_t i = 1; i < fanins.size(); ++i) {
-        acc = v3_or(acc, value(fanins[i]));
+      for (std::size_t i = 1; i < fanin_count; ++i) {
+        acc = v3_or(acc, value(i));
       }
       return type == GateType::kNor ? v3_not(acc) : acc;
     case GateType::kXor:
     case GateType::kXnor:
-      for (std::size_t i = 1; i < fanins.size(); ++i) {
-        acc = v3_xor(acc, value(fanins[i]));
+      for (std::size_t i = 1; i < fanin_count; ++i) {
+        acc = v3_xor(acc, value(i));
       }
       return type == GateType::kXnor ? v3_not(acc) : acc;
     default:
       assert(false && "eval_gate_scalar on non-combinational node");
       return V3::kX;
   }
+}
+
+/// Scalar gate evaluation (used by the reference/oblivious simulators and
+/// property tests).
+template <typename Fetch>
+V3 eval_gate_scalar(netlist::GateType type,
+                    std::span<const netlist::NodeId> fanins, Fetch&& value) {
+  return eval_gate_scalar_pos(type, fanins.size(),
+                              [&](std::size_t i) { return value(fanins[i]); });
 }
 
 }  // namespace gatpg::sim

@@ -14,7 +14,8 @@ DetTargetEngine::DetTargetEngine(const netlist::Circuit& c,
     : c_(c),
       limits_(limits),
       rng_(rng),
-      obs_dist_(atpg::share_observation_distances(c)) {}
+      obs_dist_(atpg::share_observation_distances(c)),
+      model_pool_(c) {}
 
 std::size_t DetTargetEngine::step(session::Session& s,
                                   const util::Deadline&) {
@@ -30,8 +31,8 @@ std::size_t DetTargetEngine::step(session::Session& s,
   const fault::Fault& f = fm.fault(target);
   const auto fault_deadline =
       util::Deadline::after_seconds(limits_.time_limit_s);
-  atpg::ForwardEngine forward(c_, f, limits_, obs_dist_);
-  atpg::DeterministicJustifier justifier(c_, limits_);
+  atpg::ForwardEngine forward(c_, f, limits_, obs_dist_, &model_pool_);
+  atpg::DeterministicJustifier justifier(c_, limits_, nullptr, &model_pool_);
   atpg::SearchStats det_total;  // justifier stats, summed over attempts
   bool produced = false;
   std::size_t newly = 0;
@@ -87,6 +88,10 @@ std::size_t DetTargetEngine::step(session::Session& s,
   counters.det_backtracks += effort.backtracks;
   counters.det_gate_evals += effort.gate_evals;
   counters.det_events += effort.events;
+  // Absolute pool tallies (not deltas): pool reuse keeps constructions at
+  // a handful per session instead of one per targeted fault.
+  counters.det_model_builds = static_cast<long>(model_pool_.constructions());
+  counters.det_model_acquires = static_cast<long>(model_pool_.acquires());
   if (s.observer()) s.observer()->on_target_end(s, effort);
   return newly;
 }

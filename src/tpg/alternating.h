@@ -80,6 +80,9 @@ class DetTargetEngine : public session::Engine {
   util::Rng& rng_;
   /// Observation-distance table shared by every per-fault ForwardEngine.
   atpg::ObsDistances obs_dist_;
+  /// FrameModel pool shared across targeted faults (reset-and-reuse
+  /// instead of per-target construction; tallies go to EngineCounters).
+  atpg::FrameModelPool model_pool_;
   std::size_t next_target_ = 0;  // round-robin cursor
   Outcome last_;
 };

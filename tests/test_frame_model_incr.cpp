@@ -1,9 +1,14 @@
-// Differential tests for the two FrameModel implication engines: the
-// event-driven incremental engine (default) must agree bit-for-bit with the
-// oblivious full re-simulation reference on randomized operation sequences
-// (assignments, clears, window extensions, trail-based backtracking) over
-// every registry circuit, and the deterministic search built on top must
-// make identical decisions in both modes.
+// Differential tests for the FrameModel implication engines and storage
+// layouts: the event-driven incremental engine (default) must agree
+// bit-for-bit with the oblivious full re-simulation reference, and the flat
+// composite-byte layout (default) must agree bit-for-bit — values, trail
+// marks, D-frontier contents and order, and effort stats — with the legacy
+// nested-vector layout, on randomized operation sequences (assignments,
+// clears, window extensions, trail-based backtracking) over every registry
+// circuit; the deterministic search built on top must make identical
+// decisions in every mode/layout combination.  FrameModelPool reuse
+// (reset-and-reuse instead of per-fault construction) must also be
+// bit-identical and must retain buffer capacity across shrink/grow cycles.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -218,12 +223,14 @@ struct SearchRecord {
 };
 
 SearchRecord run_search(const netlist::Circuit& c, const Fault& f,
-                        bool incremental, const ObsDistances& obs) {
+                        bool incremental, const ObsDistances& obs,
+                        bool flat = true, FrameModelPool* pool = nullptr) {
   SearchLimits limits;
   limits.max_backtracks = 150;
   limits.max_forward_frames = 6;
   limits.incremental_model = incremental;
-  ForwardEngine engine(c, f, limits, obs);
+  limits.flat_model = flat;
+  ForwardEngine engine(c, f, limits, obs, pool);
   // The unlimited deadline keeps the comparison deterministic: both modes
   // clip on the backtrack budget, never on wall clock.
   const auto deadline = util::Deadline::unlimited();
@@ -297,6 +304,285 @@ TEST(FrameModelIncr, JustifierIsModeDeterministic) {
           << name << " trial " << trial;
     }
   }
+}
+
+// -- Flat vs legacy layout ---------------------------------------------------
+
+/// One randomized session driven identically against both storage layouts
+/// under the same implication engine.  Beyond the value/frontier agreement
+/// of expect_agree, the layouts must also agree on trail marks (entry for
+/// entry — DecisionStack marks recorded on one layout must mean the same
+/// thing on the other) and on the effort stats (gate_evals, events).
+void run_layout_session(const netlist::Circuit& c,
+                        const std::optional<Fault>& fault, bool incremental,
+                        unsigned ops, std::uint64_t seed) {
+  FrameModel flat(c, fault, kMaxFrames, FrameModelConfig{incremental, true});
+  FrameModel legacy(c, fault, kMaxFrames,
+                    FrameModelConfig{incremental, false});
+  ASSERT_TRUE(flat.flat());
+  ASSERT_FALSE(legacy.flat());
+
+  struct Undo {
+    bool is_pi = false;
+    unsigned frame = 0;
+    std::size_t index = 0;
+    V3 old_value = V3::kX;
+  };
+  struct PushedOp {
+    std::size_t mark = 0;
+    unsigned frames_at_push = 1;
+    std::vector<Undo> undos;
+  };
+  std::vector<PushedOp> stack;
+
+  util::Rng rng(seed);
+  const std::size_t npi = c.primary_inputs().size();
+  const std::size_t nff = c.flip_flops().size();
+  const V3 values[3] = {V3::k0, V3::k1, V3::kX};
+  const std::string base = c.name() +
+                           (fault ? " fault@" + c.name(fault->node)
+                                  : " no-fault") +
+                           (incremental ? " incr" : " obl");
+  for (unsigned op = 0; op < ops; ++op) {
+    const std::string context = base + " op " + std::to_string(op);
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 3 && !stack.empty()) {
+      const PushedOp popped = stack.back();
+      stack.pop_back();
+      if (incremental) {
+        flat.undo_to(popped.mark);
+        legacy.undo_to(popped.mark);
+      } else {
+        for (auto it = popped.undos.rbegin(); it != popped.undos.rend();
+             ++it) {
+          if (it->is_pi) {
+            flat.assign_pi(it->frame, it->index, it->old_value);
+            legacy.assign_pi(it->frame, it->index, it->old_value);
+          } else {
+            flat.assign_state(it->index, it->old_value);
+            legacy.assign_state(it->index, it->old_value);
+          }
+        }
+      }
+      flat.set_frame_count(popped.frames_at_push);
+      legacy.set_frame_count(popped.frames_at_push);
+    } else {
+      PushedOp pushed;
+      pushed.mark = flat.trail_mark();
+      pushed.frames_at_push = flat.frame_count();
+      if (kind < 5 && flat.frame_count() < kMaxFrames) {
+        ASSERT_TRUE(flat.extend()) << context;
+        ASSERT_TRUE(legacy.extend()) << context;
+      } else if (nff > 0 && kind < 7) {
+        Undo u;
+        u.index = rng.below(nff);
+        u.old_value = flat.state_value(u.index);
+        const V3 v = values[rng.below(3)];
+        flat.assign_state(u.index, v);
+        legacy.assign_state(u.index, v);
+        pushed.undos.push_back(u);
+      } else if (npi > 0) {
+        Undo u;
+        u.is_pi = true;
+        u.frame = static_cast<unsigned>(rng.below(flat.frame_count()));
+        u.index = rng.below(npi);
+        u.old_value = flat.pi_value(u.frame, u.index);
+        const V3 v = values[rng.below(3)];
+        flat.assign_pi(u.frame, u.index, v);
+        legacy.assign_pi(u.frame, u.index, v);
+        pushed.undos.push_back(u);
+      }
+      stack.push_back(std::move(pushed));
+    }
+    flat.simulate();
+    legacy.simulate();
+    expect_agree(c, flat, legacy, context);
+    ASSERT_EQ(flat.trail_mark(), legacy.trail_mark()) << context;
+    ASSERT_EQ(flat.stats().gate_evals, legacy.stats().gate_evals) << context;
+    ASSERT_EQ(flat.stats().events, legacy.stats().events) << context;
+  }
+}
+
+TEST(FrameModelLayout, RandomizedOpsAgreeOnAllRegistryCircuits) {
+  for (const std::string& name : gen::registry_names()) {
+    const auto c = gen::make_circuit(name);
+    const bool large = c.node_count() > 1500;
+    const unsigned ops = large ? 10 : 36;
+    for (const bool incremental : {true, false}) {
+      run_layout_session(c, std::nullopt, incremental, ops,
+                         0xf1a7 + c.node_count());
+      std::uint64_t seed = 23;
+      for (const Fault& f : sample_faults(c, large ? 1 : 2)) {
+        run_layout_session(c, f, incremental, ops, seed++);
+      }
+    }
+  }
+}
+
+TEST(FrameModelLayout, ForwardEngineIsLayoutDeterministic) {
+  for (const std::string& name : gen::registry_names()) {
+    const auto c = gen::make_circuit(name);
+    const bool large = c.node_count() > 1500;
+    const auto obs = share_observation_distances(c);
+    for (const Fault& f : sample_faults(c, large ? 2 : 4)) {
+      const SearchRecord flat = run_search(c, f, true, obs, true);
+      const SearchRecord legacy = run_search(c, f, true, obs, false);
+      EXPECT_EQ(flat, legacy)
+          << name << " fault at " << c.name(f.node) << " pin " << f.pin
+          << " sa" << int(f.stuck_at);
+    }
+  }
+}
+
+TEST(FrameModelLayout, ObliviousSearchIsLayoutDeterministic) {
+  for (const std::string& name :
+       {std::string("s27"), std::string("g298")}) {
+    const auto c = gen::make_circuit(name);
+    const auto obs = share_observation_distances(c);
+    for (const Fault& f : sample_faults(c, 4)) {
+      const SearchRecord flat = run_search(c, f, false, obs, true);
+      const SearchRecord legacy = run_search(c, f, false, obs, false);
+      EXPECT_EQ(flat, legacy)
+          << name << " fault at " << c.name(f.node) << " pin " << f.pin;
+    }
+  }
+}
+
+TEST(FrameModelLayout, JustifierIsLayoutDeterministic) {
+  for (const std::string& name :
+       {std::string("s27"), std::string("g298"), std::string("g526")}) {
+    const auto c = gen::make_circuit(name);
+    const std::size_t nff = c.flip_flops().size();
+    util::Rng rng(11);
+    for (int trial = 0; trial < 4; ++trial) {
+      sim::State3 target(nff, V3::kX);
+      for (std::size_t i = 0; i < nff; ++i) {
+        const V3 values[3] = {V3::k0, V3::k1, V3::kX};
+        target[i] = values[rng.below(3)];
+      }
+      SearchLimits limits;
+      limits.max_backtracks = 100;
+      limits.max_justify_depth = 6;
+      limits.time_limit_s = 3600.0;  // determinism: clip on backtracks only
+
+      limits.flat_model = true;
+      DeterministicJustifier flat(c, limits);
+      const auto rf = flat.justify(target, util::Deadline::unlimited());
+
+      limits.flat_model = false;
+      DeterministicJustifier legacy(c, limits);
+      const auto rl = legacy.justify(target, util::Deadline::unlimited());
+
+      EXPECT_EQ(static_cast<int>(rf.status), static_cast<int>(rl.status))
+          << name << " trial " << trial;
+      EXPECT_EQ(rf.sequence, rl.sequence) << name << " trial " << trial;
+      // Across layouts (same engine) the effort counters match exactly —
+      // the flat path evaluates precisely the same gates and pops
+      // precisely the same events as the legacy path.
+      EXPECT_EQ(flat.stats().decisions, legacy.stats().decisions)
+          << name << " trial " << trial;
+      EXPECT_EQ(flat.stats().backtracks, legacy.stats().backtracks)
+          << name << " trial " << trial;
+      EXPECT_EQ(flat.stats().gate_evals, legacy.stats().gate_evals)
+          << name << " trial " << trial;
+      EXPECT_EQ(flat.stats().events, legacy.stats().events)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+// -- Model pooling -----------------------------------------------------------
+
+TEST(FrameModelPool, AcquireReusesFreedModels) {
+  const auto c = gen::make_circuit("g298");
+  const auto faults = sample_faults(c, 3);
+  ASSERT_GE(faults.size(), 2u);
+  FrameModelPool pool(c);
+  EXPECT_EQ(pool.constructions(), 0u);
+  EXPECT_EQ(pool.acquires(), 0u);
+  {
+    const FrameModelHandle h = pool.acquire(faults[0], 3);
+    EXPECT_EQ(pool.constructions(), 1u);
+    // A second concurrent handle needs a second model.
+    const FrameModelHandle h2 = pool.acquire(faults[1], 4);
+    EXPECT_EQ(pool.constructions(), 2u);
+  }
+  // Both returned to the free list: further acquires construct nothing.
+  for (unsigned i = 0; i < 8; ++i) {
+    const FrameModelHandle h =
+        pool.acquire(faults[i % faults.size()], 2 + i % 3);
+    EXPECT_EQ(pool.constructions(), 2u) << i;
+  }
+  EXPECT_EQ(pool.acquires(), 10u);
+}
+
+TEST(FrameModelPool, ResetIsBitIdenticalToFreshConstruction) {
+  const auto c = gen::make_circuit("g298");
+  const auto faults = sample_faults(c, 4);
+  ASSERT_GE(faults.size(), 2u);
+  const std::size_t npi = c.primary_inputs().size();
+  for (const bool flat : {true, false}) {
+    for (const bool incremental : {true, false}) {
+      const FrameModelConfig config{incremental, flat};
+      // Dirty a model thoroughly: fault A, assignments, window growth.
+      FrameModel reused(c, faults[0], 4, config);
+      util::Rng rng(31);
+      reused.extend();
+      for (int i = 0; i < 6; ++i) {
+        reused.assign_pi(static_cast<unsigned>(rng.below(2)), rng.below(npi),
+                         rng.bit() ? V3::k1 : V3::k0);
+      }
+      reused.simulate();
+      // Reset to fault B must equal a fresh fault-B model everywhere.
+      reused.reset(faults[1], 3, config);
+      FrameModel fresh(c, faults[1], 3, config);
+      expect_agree(c, reused, fresh, "reset-vs-fresh");
+      EXPECT_EQ(reused.trail_mark(), 0u);
+      EXPECT_EQ(reused.stats().gate_evals, fresh.stats().gate_evals);
+      EXPECT_EQ(reused.stats().events, fresh.stats().events);
+      // And it must behave identically from here on.
+      reused.assign_pi(0, 0, V3::k1);
+      fresh.assign_pi(0, 0, V3::k1);
+      reused.simulate();
+      fresh.simulate();
+      expect_agree(c, reused, fresh, "reset-vs-fresh after assign");
+    }
+  }
+}
+
+TEST(FrameModelPool, BufferCapacityRetainedAcrossShrinkGrowCycles) {
+  const auto c = gen::make_circuit("g526");
+  const auto faults = sample_faults(c, 2);
+  ASSERT_GE(faults.size(), 2u);
+  FrameModel m(c, faults[0], 6);
+  const std::uint64_t grows = m.buffer_grows();
+  // Window shrink/grow via reset and extend/set_frame_count must reuse the
+  // high-water buffers, never reallocate.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    m.reset(faults[1], 2);
+    while (m.extend()) {
+    }
+    m.set_frame_count(1);
+    m.reset(faults[0], 6);
+    while (m.extend()) {
+    }
+    EXPECT_EQ(m.buffer_grows(), grows) << "cycle " << cycle;
+  }
+}
+
+TEST(FrameModelPool, SharedPoolSearchesAreBitIdentical) {
+  const auto c = gen::make_circuit("g298");
+  const auto obs = share_observation_distances(c);
+  const auto faults = sample_faults(c, 6);
+  FrameModelPool pool(c);
+  for (const Fault& f : faults) {
+    const SearchRecord pooled = run_search(c, f, true, obs, true, &pool);
+    const SearchRecord solo = run_search(c, f, true, obs, true, nullptr);
+    EXPECT_EQ(pooled, solo) << c.name(f.node) << " pin " << f.pin;
+  }
+  // One model + one required_state scratch serve the whole fault list.
+  EXPECT_LE(pool.constructions(), 2u);
+  EXPECT_GE(pool.acquires(), faults.size());
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Threshold check for bench_detengine runs against a committed snapshot.
+
+Fails (exit 1) when a fresh BENCH_detengine.json shows:
+  * a cross-mode identity failure or a layout counter divergence
+    (identical_across_modes / counters_unchanged false);
+  * any deterministic search counter (decisions, backtracks, gate_evals,
+    events, solved, untestable) differing from the snapshot for the same
+    circuit+engine — the search itself must be bit-stable across commits;
+  * more FrameModel constructions in the pooled mode than the snapshot
+    records (pool-reuse regression: builds must stay at a handful while
+    acquires scale with the fault count);
+  * an overall flat-vs-legacy wall-clock speedup below --min-speedup
+    (the floor is deliberately below the locally-measured ratio to absorb
+    CI runner noise; a real regression drops the ratio toward 1.0).
+
+Usage:
+  check_bench_detengine.py --fresh build/BENCH_detengine.json \
+      --snapshot BENCH_detengine.json [--min-speedup 1.15]
+
+The snapshot must be produced by the same bench arguments as the fresh run
+(the script cross-checks them).
+"""
+
+import argparse
+import json
+import sys
+
+DET_COUNTERS = ("decisions", "backtracks", "gate_evals", "events", "solved",
+                "untestable")
+BENCH_ARGS = ("max_faults", "backtracks", "solutions", "repeat")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fresh", required=True,
+                    help="BENCH_detengine.json from this run")
+    ap.add_argument("--snapshot", required=True,
+                    help="committed reference BENCH_detengine.json")
+    ap.add_argument("--min-speedup", type=float, default=1.15,
+                    help="overall_flat_speedup floor (default 1.15)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    snap = load(args.snapshot)
+    errors = []
+
+    for key in BENCH_ARGS:
+        if fresh.get(key) != snap.get(key):
+            errors.append(
+                f"bench arg mismatch: {key} fresh={fresh.get(key)} "
+                f"snapshot={snap.get(key)} (rerun with the snapshot's args)")
+
+    if not fresh.get("identical_across_modes", False):
+        errors.append("identical_across_modes is false: a mode/layout "
+                      "changed the search result")
+    if not fresh.get("counters_unchanged", False):
+        errors.append("counters_unchanged is false: the flat layout's "
+                      "gate_evals/events diverged from the legacy layout")
+
+    snap_circuits = {c["name"]: c for c in snap.get("circuits", [])}
+    fresh_circuits = {c["name"]: c for c in fresh.get("circuits", [])}
+    for name, sc in snap_circuits.items():
+        fc = fresh_circuits.get(name)
+        if fc is None:
+            errors.append(f"{name}: missing from fresh run")
+            continue
+        snap_engines = {r["engine"]: r for r in sc["results"]}
+        fresh_engines = {r["engine"]: r for r in fc["results"]}
+        for engine, sr in snap_engines.items():
+            fr = fresh_engines.get(engine)
+            if fr is None:
+                errors.append(f"{name}/{engine}: missing from fresh run")
+                continue
+            for counter in DET_COUNTERS:
+                if fr.get(counter) != sr.get(counter):
+                    errors.append(
+                        f"{name}/{engine}: {counter} changed "
+                        f"{sr.get(counter)} -> {fr.get(counter)}")
+            if engine == "incremental-flat-pooled":
+                if fr.get("model_builds", 0) > sr.get("model_builds", 0):
+                    errors.append(
+                        f"{name}: pool constructions regressed "
+                        f"{sr.get('model_builds')} -> "
+                        f"{fr.get('model_builds')} (reset-and-reuse broken?)")
+
+    speedup = fresh.get("overall_flat_speedup", 0.0)
+    if speedup < args.min_speedup:
+        errors.append(
+            f"overall_flat_speedup {speedup:.3f} below floor "
+            f"{args.min_speedup:.2f} (snapshot recorded "
+            f"{snap.get('overall_flat_speedup', 0.0):.3f})")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: counters stable, pool reuse intact, "
+          f"flat speedup x{speedup:.2f} >= {args.min_speedup:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
