@@ -37,6 +37,7 @@
 #include "common.h"
 #include "fault/faultlist.h"
 #include "gen/registry.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -319,61 +320,60 @@ int main(int argc, char** argv) {
     results.push_back(std::move(cr));
   }
 
-  FILE* json = std::fopen("BENCH_detengine.json", "w");
-  if (!json) {
-    std::fprintf(stderr, "cannot write BENCH_detengine.json\n");
-    return 1;
-  }
   const double overall_reduction =
       inc_evals_total > 0 ? static_cast<double>(obl_evals_total) /
                                 static_cast<double>(inc_evals_total)
                           : 0.0;
   const double overall_flat_speedup =
       flat_wall_total > 0 ? legacy_wall_total / flat_wall_total : 0.0;
-  std::fprintf(json, "{\n  \"bench\": \"detengine\",\n");
-  std::fprintf(json,
-               "  \"max_faults\": %zu,\n  \"backtracks\": %ld,\n"
-               "  \"solutions\": %u,\n  \"repeat\": %d,\n",
-               max_faults, backtracks, max_solutions, repeat);
-  std::fprintf(json, "  \"identical_across_modes\": %s,\n",
-               consistent ? "true" : "false");
-  std::fprintf(json, "  \"counters_unchanged\": %s,\n",
-               counters_ok ? "true" : "false");
-  std::fprintf(json, "  \"overall_gate_eval_reduction\": %.3f,\n",
-               overall_reduction);
-  std::fprintf(json, "  \"overall_flat_speedup\": %.3f,\n",
-               overall_flat_speedup);
-  std::fprintf(json, "  \"circuits\": [\n");
-  for (std::size_t ci = 0; ci < results.size(); ++ci) {
-    const CircuitResult& cr = results[ci];
-    std::fprintf(json,
-                 "    {\"name\": \"%s\", \"faults\": %zu, \"sampled\": %zu, "
-                 "\"identical\": %s, \"counters_unchanged\": %s, "
-                 "\"gate_eval_reduction\": %.3f, "
-                 "\"flat_speedup\": %.3f, \"results\": [\n",
-                 cr.name.c_str(), cr.faults, cr.sampled,
-                 cr.identical ? "true" : "false",
-                 cr.counters_unchanged() ? "true" : "false",
-                 cr.eval_reduction(), cr.flat_speedup());
+  util::JsonWriter json(util::JsonWriter::Style::kPretty);
+  json.begin_object();
+  json.field("bench", "detengine");
+  json.field("max_faults", max_faults);
+  json.field("backtracks", backtracks);
+  json.field("solutions", max_solutions);
+  json.field("repeat", repeat);
+  json.field("identical_across_modes", consistent);
+  json.field("counters_unchanged", counters_ok);
+  json.field("overall_gate_eval_reduction", overall_reduction);
+  json.field("overall_flat_speedup", overall_flat_speedup);
+  json.key("circuits").begin_array();
+  for (const CircuitResult& cr : results) {
+    json.begin_object();
+    json.field("name", cr.name);
+    json.field("faults", cr.faults);
+    json.field("sampled", cr.sampled);
+    json.field("identical", cr.identical);
+    json.field("counters_unchanged", cr.counters_unchanged());
+    json.field("gate_eval_reduction", cr.eval_reduction());
+    json.field("flat_speedup", cr.flat_speedup());
+    json.key("results").begin_array();
     for (std::size_t m = 0; m < kModeCount; ++m) {
       const Sample& s = cr.samples[m];
-      std::fprintf(
-          json,
-          "      {\"engine\": \"%s\", \"wall_s\": %.6f, "
-          "\"decisions\": %ld, \"backtracks\": %ld, \"gate_evals\": %ld, "
-          "\"events\": %ld, \"evals_per_decision\": %.2f, "
-          "\"decisions_per_s\": %.1f, \"solved\": %zu, "
-          "\"untestable\": %zu, \"model_builds\": %zu, "
-          "\"model_acquires\": %zu}%s\n",
-          s.mode->key, s.wall_s, s.decisions, s.backtracks, s.gate_evals,
-          s.events, s.evals_per_decision(), s.decisions_per_s(), s.solved,
-          s.untestable, s.model_builds, s.model_acquires,
-          m + 1 < kModeCount ? "," : "");
+      json.begin_object();
+      json.field("engine", s.mode->key);
+      json.field("wall_s", s.wall_s);
+      json.field("decisions", s.decisions);
+      json.field("backtracks", s.backtracks);
+      json.field("gate_evals", s.gate_evals);
+      json.field("events", s.events);
+      json.field("evals_per_decision", s.evals_per_decision());
+      json.field("decisions_per_s", s.decisions_per_s());
+      json.field("solved", s.solved);
+      json.field("untestable", s.untestable);
+      json.field("model_builds", s.model_builds);
+      json.field("model_acquires", s.model_acquires);
+      json.end_object();
     }
-    std::fprintf(json, "    ]}%s\n", ci + 1 < results.size() ? "," : "");
+    json.end_array();
+    json.end_object();
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
+  json.end_array();
+  json.end_object();
+  if (!json.write_file("BENCH_detengine.json")) {
+    std::fprintf(stderr, "cannot write BENCH_detengine.json\n");
+    return 1;
+  }
   std::printf(
       "overall gate-eval reduction (incremental vs oblivious): x%.2f\n",
       overall_reduction);

@@ -24,6 +24,7 @@
 #include "fault/faultlist.h"
 #include "fault/faultsim.h"
 #include "helpers_bench.h"
+#include "util/json_writer.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -195,62 +196,57 @@ int main(int argc, char** argv) {
     results.push_back(std::move(cr));
   }
 
-  FILE* json = std::fopen("BENCH_faultsim.json", "w");
-  if (!json) {
-    std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n  \"bench\": \"faultsim\",\n");
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-               util::ParallelConfig{}.resolved());
-  std::fprintf(json, "  \"vectors\": %zu,\n  \"repeat\": %d,\n", vectors,
-               repeat);
-  std::fprintf(json, "  \"consistent_across_configs\": %s,\n",
-               consistent ? "true" : "false");
   const double overall_reduction =
       diff_evals_total > 0 ? static_cast<double>(full_evals_total) /
                                  static_cast<double>(diff_evals_total)
                            : 0.0;
-  std::fprintf(json, "  \"min_gate_eval_reduction\": %.3f,\n",
-               worst_eval_reduction);
-  std::fprintf(json, "  \"overall_gate_eval_reduction\": %.3f,\n",
-               overall_reduction);
-  std::fprintf(json, "  \"circuits\": [\n");
-  for (std::size_t ci = 0; ci < results.size(); ++ci) {
-    const CircuitResult& cr = results[ci];
-    std::fprintf(json,
-                 "    {\"name\": \"%s\", \"faults\": %zu, \"results\": [\n",
-                 cr.name.c_str(), cr.faults);
-    for (std::size_t si = 0; si < cr.samples.size(); ++si) {
-      const Sample& s = cr.samples[si];
+  util::JsonWriter json(util::JsonWriter::Style::kPretty);
+  json.begin_object();
+  json.field("bench", "faultsim");
+  json.field("hardware_concurrency", util::ParallelConfig{}.resolved());
+  json.field("vectors", vectors);
+  json.field("repeat", repeat);
+  json.field("consistent_across_configs", consistent);
+  json.field("min_gate_eval_reduction", worst_eval_reduction);
+  json.field("overall_gate_eval_reduction", overall_reduction);
+  json.key("circuits").begin_array();
+  for (const CircuitResult& cr : results) {
+    json.begin_object();
+    json.field("name", cr.name);
+    json.field("faults", cr.faults);
+    json.key("results").begin_array();
+    for (const Sample& s : cr.samples) {
       const Sample* b = cr.baseline_for(s);
-      std::fprintf(
-          json,
-          "      {\"engine\": \"%s\", \"threads\": %u, \"run_s\": %.6f, "
-          "\"what_if_s\": %.6f, \"gate_evals\": %llu, "
-          "\"good_gate_evals\": %llu, \"group_vectors\": %llu, "
-          "\"group_vectors_skipped\": %llu, \"skip_rate\": %.4f, "
-          "\"groups_repacked\": %llu, \"detected\": %zu, "
-          "\"speedup_vs_full_sweep\": %.3f, "
-          "\"gate_eval_reduction\": %.3f}%s\n",
-          s.differential ? "differential" : "full_sweep", s.threads, s.run_s,
-          s.what_if_s, static_cast<unsigned long long>(s.run_stats.gate_evals),
-          static_cast<unsigned long long>(s.run_stats.good_gate_evals),
-          static_cast<unsigned long long>(s.run_stats.group_vectors),
-          static_cast<unsigned long long>(s.run_stats.group_vectors_skipped),
-          s.run_stats.skip_rate(),
-          static_cast<unsigned long long>(s.run_stats.groups_repacked),
-          s.detected, b && s.run_s > 0 ? b->run_s / s.run_s : 0.0,
-          b && s.total_evals() > 0
-              ? static_cast<double>(b->total_evals()) /
-                    static_cast<double>(s.total_evals())
-              : 0.0,
-          si + 1 < cr.samples.size() ? "," : "");
+      json.begin_object();
+      json.field("engine", s.differential ? "differential" : "full_sweep");
+      json.field("threads", s.threads);
+      json.field("run_s", s.run_s);
+      json.field("what_if_s", s.what_if_s);
+      json.field("gate_evals", s.run_stats.gate_evals);
+      json.field("good_gate_evals", s.run_stats.good_gate_evals);
+      json.field("group_vectors", s.run_stats.group_vectors);
+      json.field("group_vectors_skipped", s.run_stats.group_vectors_skipped);
+      json.field("skip_rate", s.run_stats.skip_rate());
+      json.field("groups_repacked", s.run_stats.groups_repacked);
+      json.field("detected", s.detected);
+      json.field("speedup_vs_full_sweep",
+                 b && s.run_s > 0 ? b->run_s / s.run_s : 0.0);
+      json.field("gate_eval_reduction",
+                 b && s.total_evals() > 0
+                     ? static_cast<double>(b->total_evals()) /
+                           static_cast<double>(s.total_evals())
+                     : 0.0);
+      json.end_object();
     }
-    std::fprintf(json, "    ]}%s\n", ci + 1 < results.size() ? "," : "");
+    json.end_array();
+    json.end_object();
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
+  json.end_array();
+  json.end_object();
+  if (!json.write_file("BENCH_faultsim.json")) {
+    std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
+    return 1;
+  }
   std::printf("overall gate-eval reduction (differential vs full sweep): "
               "x%.2f\n",
               overall_reduction);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/json_writer.h"
+
 namespace gatpg::bench {
 
 BenchOptions parse_options(int argc, char** argv,
@@ -64,30 +66,30 @@ JsonReport::Run JsonReport::observe(JsonReport* report, std::string circuit,
 }
 
 bool JsonReport::write_file(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  std::fputs("[\n", f);
-  for (std::size_t r = 0; r < records_.size(); ++r) {
-    const Record& record = records_[r];
-    std::fprintf(f,
-                 "  {\"circuit\": \"%s\", \"engine\": \"%s\", "
-                 "\"total_faults\": %zu, \"detected\": %zu, "
-                 "\"untestable\": %zu, \"vectors\": %zu, \"passes\": [",
-                 record.circuit.c_str(), record.engine.c_str(),
-                 record.total_faults, record.detected, record.untestable,
-                 record.vectors);
-    for (std::size_t p = 0; p < record.passes.size(); ++p) {
-      const session::PassOutcome& pass = record.passes[p];
-      std::fprintf(f,
-                   "%s{\"detected\": %zu, \"vectors\": %zu, "
-                   "\"untestable\": %zu, \"time_s\": %.6g}",
-                   p == 0 ? "" : ", ", pass.detected, pass.vectors,
-                   pass.untestable, pass.time_s);
+  util::JsonWriter w(util::JsonWriter::Style::kPretty);
+  w.begin_array();
+  for (const Record& record : records_) {
+    w.begin_object();
+    w.field("circuit", record.circuit);
+    w.field("engine", record.engine);
+    w.field("total_faults", record.total_faults);
+    w.field("detected", record.detected);
+    w.field("untestable", record.untestable);
+    w.field("vectors", record.vectors);
+    w.key("passes").begin_array();
+    for (const session::PassOutcome& pass : record.passes) {
+      w.begin_object();
+      w.field("detected", pass.detected);
+      w.field("vectors", pass.vectors);
+      w.field("untestable", pass.untestable);
+      w.field("time_s", pass.time_s);
+      w.end_object();
     }
-    std::fprintf(f, "]}%s\n", r + 1 == records_.size() ? "" : ",");
+    w.end_array();
+    w.end_object();
   }
-  std::fputs("]\n", f);
-  return std::fclose(f) == 0;
+  w.end_array();
+  return w.write_file(path);
 }
 
 void finish_json(const BenchOptions& options, const JsonReport& report) {

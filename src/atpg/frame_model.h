@@ -423,6 +423,23 @@ class FrameModelPool {
   const netlist::Circuit& circuit() const { return circuit_; }
   std::uint64_t constructions() const { return constructions_; }
   std::uint64_t acquires() const { return acquires_; }
+  /// Models owned by the pool (free or checked out).
+  std::size_t inventory() const { return all_.size(); }
+
+  /// Pre-builds free models until the inventory reaches `inventory` —
+  /// snapshot resume recreates a checkpointed pool's inventory this way so
+  /// subsequent demand grows (or not) exactly like the uninterrupted run's
+  /// pool.  Deliberately moves neither constructions() nor acquires(): the
+  /// resumed engine continues the checkpointed tallies, and inventory
+  /// rebuilds are not new work.
+  void prewarm(std::size_t inventory) {
+    while (all_.size() < inventory) {
+      all_.push_back(
+          std::make_unique<FrameModel>(circuit_, std::nullopt, 1u,
+                                       FrameModelConfig{}));
+      free_.push_back(all_.back().get());
+    }
+  }
 
  private:
   friend class FrameModelHandle;

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "serialize/archive.h"
+
 namespace gatpg::fault {
 
 using netlist::Circuit;
@@ -148,6 +150,19 @@ FaultList collapse(const Circuit& c) {
     list.class_sizes.push_back(sizes.at(root));
   }
   return list;
+}
+
+std::uint64_t identity_digest(const FaultList& list) {
+  serialize::Digest d;
+  d.add_u64(list.faults.size());
+  for (std::size_t i = 0; i < list.faults.size(); ++i) {
+    const Fault& f = list.faults[i];
+    d.add_u64(static_cast<std::uint64_t>(f.node));
+    d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.pin)));
+    d.add_byte(f.stuck_at ? 1 : 0);
+    d.add_u64(list.class_sizes[i]);
+  }
+  return d.value();
 }
 
 }  // namespace gatpg::fault

@@ -13,6 +13,7 @@
 // reports.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "fault/fault.h"
@@ -33,5 +34,11 @@ std::vector<Fault> all_pin_faults(const netlist::Circuit& c);
 
 /// Collapsed fault list.
 FaultList collapse(const netlist::Circuit& c);
+
+/// FNV-1a-64 over the fault sites and class sizes.  Snapshot resume uses
+/// this to prove the regenerated fault list matches the checkpointed one
+/// (fault statuses are stored positionally, so any reordering or count
+/// change would silently misattribute them otherwise).
+std::uint64_t identity_digest(const FaultList& list);
 
 }  // namespace gatpg::fault

@@ -140,6 +140,11 @@ class FaultSimulator {
   const FaultSimConfig& config() const { return config_; }
   const SimStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SimStats{}; }
+  /// Overwrites the accumulated counters.  Snapshot resume rebuilds the
+  /// machines by replaying the committed segments — which reproduces the
+  /// run() costs exactly — but what-if costs are not replayable, so the
+  /// session restores the checkpointed totals wholesale afterwards.
+  void restore_stats(const SimStats& s) { stats_ = s; }
 
   /// Non-mutating what-if: would appending `seq` to the session detect
   /// fault `fault_index`?  Simulates copies of the good machine and of that

@@ -1,9 +1,11 @@
 #include "hybrid/hybrid_atpg.h"
 
 #include <algorithm>
+#include <array>
 #include <optional>
 
 #include "netlist/depth.h"
+#include "serialize/archive.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::hybrid {
@@ -45,7 +47,6 @@ void HybridEngine::fill_x(Sequence& seq) {
 HybridEngine::TargetOutcome HybridEngine::target_fault(
     session::Session& s, std::size_t fault_index, const PassConfig& pass) {
   const fault::Fault& f = s.faults().fault(fault_index);
-  fault::FaultSimulator& fsim = s.simulator();
   ++s.counters().targeted;
 
   const auto deadline = util::Deadline::after_seconds(pass.time_limit_s);
@@ -91,10 +92,12 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
   counters.det_gate_evals += effort.gate_evals;
   counters.det_events += effort.events;
   // Absolute pool tallies (not deltas): ≤ a handful of constructions per
-  // session is the pool-reuse invariant bench_detengine asserts.
+  // session is the pool-reuse invariant bench_detengine asserts.  The
+  // resume baselines are zero except after load_state.
   counters.det_model_builds =
-      static_cast<long>(model_pool_.constructions());
-  counters.det_model_acquires = static_cast<long>(model_pool_.acquires());
+      pool_builds_base_ + static_cast<long>(model_pool_.constructions());
+  counters.det_model_acquires =
+      pool_acquires_base_ + static_cast<long>(model_pool_.acquires());
   if (s.observer()) s.observer()->on_target_end(s, effort);
   return outcome;
 }
@@ -325,15 +328,26 @@ void HybridEngine::resolve_target(session::Session& s, std::size_t fault_index,
 void HybridEngine::run(session::Session& s, const PassConfig& pass,
                        const util::Deadline& pass_deadline) {
   session::FaultManager& fm = s.faults();
-  for (std::size_t i = 0; i < fm.size(); ++i) {
-    if (pass_deadline.expired()) break;  // leave the rest for later passes
-    if (fm.status(i) != FaultStatus::kUndetected) continue;
+  // The pass cursor lives in the FaultManager so a mid-pass checkpoint
+  // resumes the ascending scan at the exact next target; begin_pass()
+  // rewinds it, so an uninterrupted pass scans from 0 as before.
+  for (std::size_t i = fm.pass_cursor(); i < fm.size(); ++i) {
+    if (pass_deadline.expired() || s.stop_requested()) break;
+    if (fm.status(i) != FaultStatus::kUndetected) {
+      fm.set_pass_cursor(i + 1);
+      continue;
+    }
     if (s.simulator().detected()[i]) {
       // Incidentally detected by an earlier test.
       fm.mark_detected(i);
+      fm.set_pass_cursor(i + 1);
       continue;
     }
     resolve_target(s, i, target_fault(s, i, pass));
+    fm.set_pass_cursor(i + 1);
+    // One fully-completed unit of work: statuses applied, detections
+    // absorbed, cursor advanced — a consistent checkpoint point.
+    s.checkpoint_tick();
   }
 }
 
@@ -355,6 +369,29 @@ std::size_t HybridEngine::step(session::Session& s,
   (void)deadline;  // per-fault limits come from the pass config
   resolve_target(s, target, target_fault(s, target, pass));
   return fm.detected_count() - before;
+}
+
+void HybridEngine::save_state(serialize::Writer& w) const {
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(next_target_);
+  w.i64(pool_builds_base_ + static_cast<long>(model_pool_.constructions()));
+  w.i64(pool_acquires_base_ + static_cast<long>(model_pool_.acquires()));
+  w.u64(model_pool_.inventory());
+}
+
+void HybridEngine::load_state(serialize::Reader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state_words(words);
+  next_target_ = r.u64();
+  pool_builds_base_ = static_cast<long>(r.i64());
+  pool_acquires_base_ = static_cast<long>(r.i64());
+  // Rebuild the checkpointed pool's inventory up front (uncounted), so
+  // post-resume demand only constructs models where the uninterrupted run
+  // would have, keeping the mirrored tallies bit-identical.
+  model_pool_.prewarm(r.u64());
+  pool_builds_base_ -= static_cast<long>(model_pool_.constructions());
+  pool_acquires_base_ -= static_cast<long>(model_pool_.acquires());
 }
 
 HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)

@@ -106,6 +106,12 @@ class HybridEngine : public session::Engine {
   std::size_t step(session::Session& session,
                    const util::Deadline& deadline) override;
 
+  /// Snapshot hooks: the X-fill RNG stream, the stepwise cursor, and the
+  /// model-pool tallies/inventory (restored as baselines + prewarm so the
+  /// mirrored absolute counters continue the checkpointed totals).
+  void save_state(serialize::Writer& w) const override;
+  void load_state(serialize::Reader& r) override;
+
  private:
   struct TargetOutcome {
     bool detected = false;
@@ -141,6 +147,12 @@ class HybridEngine : public session::Engine {
   /// reset-and-reuse (constructions() is mirrored into EngineCounters).
   atpg::FrameModelPool model_pool_;
   std::size_t next_target_ = 0;  // stepwise round-robin cursor
+  /// Checkpointed pool tallies carried across a resume: the mirrored
+  /// counters report base + the live pool's own tallies, so a resumed
+  /// engine's fresh pool continues the uninterrupted totals (zero for a
+  /// never-resumed engine).
+  long pool_builds_base_ = 0;
+  long pool_acquires_base_ = 0;
 };
 
 class HybridAtpg {

@@ -1,0 +1,93 @@
+// atpgd core: a persistent ATPG service speaking a length-prefixed request
+// protocol on stdin and streaming JSON-line events on stdout.
+//
+// Protocol (see DESIGN.md §4i):
+//   request  = u32 little-endian payload length + payload bytes
+//   payload  = "<command> key=value key=value ..." (UTF-8 text)
+//   response = one JSON object per line on stdout, flushed per event
+//
+// Commands:
+//   submit circuit=<name> [job=<id>] [shards=N] [workers=N] [engine=ga-hitec
+//          |hitec] [time_scale=X] [pass_budget=X] [time_limit=X]
+//          [backtracks=N] [seed=N] [threads=N] [store=0|1]
+//          [checkpoint=<path>] [interval=X] [every_ticks=N] [resume=0|1]
+//
+// time_limit/backtracks override every pass's per-fault limits.  A job
+// whose wall-clock limits never bind (pass_budget=0 plus a generous
+// time_limit, with backtracks as the real budget) is a pure function of
+// its parameters — the shape the kill/resume CI smoke relies on to assert
+// bit-identical digests across a daemon restart.
+//   status
+//   quit
+//
+// Jobs execute in submission order, each sharded across `workers` threads
+// via service::run_sharded; per-shard pass rows stream as {"event":"pass"}
+// lines while the job runs and the merged result (with its component
+// digests, printed as hex strings) arrives as {"event":"done"}.  Each job
+// auto-checkpoints its shard sessions (`checkpoint`/`interval`/
+// `every_ticks`; a killed daemon restarted with resume=1 continues from the
+// snapshots bit-identically).  The WarmStoreCache persists across
+// submissions, so a resubmitted circuit — or a revised netlist with the
+// same PI/FF interface — starts with the StateStore knowledge the previous
+// run accumulated.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/shard.h"
+#include "util/json_writer.h"
+
+namespace gatpg::service {
+
+struct DaemonConfig {
+  /// Directory for job snapshots when a submit gives no checkpoint= path
+  /// (empty = no default checkpointing).
+  std::string checkpoint_dir;
+  /// Default auto-checkpoint interval for jobs that don't set interval=.
+  double default_interval_s = 0.0;
+};
+
+/// One daemon over explicit streams (tests drive it with pipes or string
+/// buffers; tools/atpgd wires stdin/stdout).
+class Daemon {
+ public:
+  Daemon(DaemonConfig config, std::FILE* in, std::FILE* out);
+
+  /// Serves requests until EOF or `quit`.  Returns the process exit code.
+  int serve();
+
+  /// Handles one decoded request payload; returns false when the daemon
+  /// should shut down (`quit`).  Exposed for unit tests.
+  bool handle_request(const std::string& request);
+
+  const WarmStoreCache& warm_cache() const { return warm_; }
+
+ private:
+  using Args = std::map<std::string, std::string>;
+
+  void handle_submit(const Args& args);
+  void handle_status();
+  void emit(util::JsonWriter& line);
+  void emit_error(const std::string& message);
+
+  DaemonConfig config_;
+  std::FILE* in_;
+  std::FILE* out_;
+  std::mutex out_mu_;  // pass events arrive on shard worker threads
+  WarmStoreCache warm_;
+  long jobs_done_ = 0;
+  long next_job_id_ = 1;
+};
+
+// -- Framing helpers (shared with test clients) -----------------------------
+
+/// Reads one length-prefixed frame; false on clean EOF.  Throws
+/// std::runtime_error on a truncated frame or an oversized length.
+bool read_frame(std::FILE* in, std::string* payload);
+/// Writes one length-prefixed frame and flushes.
+void write_frame(std::FILE* out, const std::string& payload);
+
+}  // namespace gatpg::service

@@ -13,6 +13,11 @@
 #include "session/pass.h"
 #include "util/stopwatch.h"
 
+namespace gatpg::serialize {
+class Writer;
+class Reader;
+}  // namespace gatpg::serialize
+
 namespace gatpg::session {
 
 class Session;
@@ -38,6 +43,20 @@ class Engine {
                            const util::Deadline& /*deadline*/) {
     return 0;
   }
+
+  // -- Snapshot hooks --------------------------------------------------------
+  // Engine-private progress that lives outside the session substrate: RNG
+  // stream positions, round/stagnation counters, round-robin cursors.  The
+  // session writes the payload inside its own engine section (so hooks use
+  // the plain field API, no begin_section), records name() next to it, and
+  // refuses to load a snapshot into an engine of a different name.  Engines
+  // with no private state (none today) keep the no-op defaults.  load_state
+  // must also prime the engine to skip any work the checkpointed run had
+  // already performed before its first unit (audition probes, pass-entry
+  // initialization) — resumed runs must replay nothing.
+
+  virtual void save_state(serialize::Writer& /*w*/) const {}
+  virtual void load_state(serialize::Reader& /*r*/) {}
 };
 
 }  // namespace gatpg::session

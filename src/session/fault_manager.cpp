@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "serialize/archive.h"
+
 namespace gatpg::session {
 
 FaultManager::FaultManager(fault::FaultList list)
@@ -38,6 +40,7 @@ std::size_t FaultManager::absorb_detections(
 
 void FaultManager::begin_pass() {
   std::fill(aborted_.begin(), aborted_.end(), 0);
+  pass_cursor_ = 0;
 }
 
 void FaultManager::mark_aborted(std::size_t i) {
@@ -84,6 +87,51 @@ std::size_t FaultManager::next_undetected(std::size_t start) const {
     if (status_[i] == FaultStatus::kUndetected) return i;
   }
   return n;
+}
+
+std::uint64_t FaultManager::digest() const {
+  serialize::Digest d;
+  d.add_u64(status_.size());
+  for (const FaultStatus s : status_)
+    d.add_byte(static_cast<std::uint8_t>(s));
+  for (const char a : aborted_) d.add_byte(a ? 1 : 0);
+  d.add_u64(num_detected_);
+  d.add_u64(num_untestable_);
+  d.add_u64(static_cast<std::uint64_t>(aborted_total_));
+  return d.value();
+}
+
+void FaultManager::save(serialize::Writer& w) const {
+  w.begin_section("FMGR");
+  w.u64(status_.size());
+  for (const FaultStatus s : status_) w.u8(static_cast<std::uint8_t>(s));
+  for (const char a : aborted_) w.u8(a ? 1 : 0);
+  w.u64(num_detected_);
+  w.u64(num_untestable_);
+  w.i64(aborted_total_);
+  w.u64(pass_cursor_);
+  w.end_section();
+}
+
+void FaultManager::load(serialize::Reader& r) {
+  r.enter_section("FMGR");
+  const std::uint64_t n = r.u64();
+  if (n != status_.size())
+    throw serialize::SnapshotError(
+        "snapshot fault count " + std::to_string(n) + " != live fault count " +
+        std::to_string(status_.size()));
+  for (auto& s : status_) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(FaultStatus::kUntestable))
+      throw serialize::SnapshotError("snapshot: invalid fault status");
+    s = static_cast<FaultStatus>(v);
+  }
+  for (auto& a : aborted_) a = static_cast<char>(r.u8());
+  num_detected_ = r.u64();
+  num_untestable_ = r.u64();
+  aborted_total_ = static_cast<long>(r.i64());
+  pass_cursor_ = r.u64();
+  r.leave_section();
 }
 
 }  // namespace gatpg::session

@@ -11,10 +11,16 @@
 // partial-Fisher-Yates fault sampling of the simulation-based GA.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "fault/faultlist.h"
 #include "util/rng.h"
+
+namespace gatpg::serialize {
+class Writer;
+class Reader;
+}  // namespace gatpg::serialize
 
 namespace gatpg::session {
 
@@ -85,6 +91,25 @@ class FaultManager {
   /// `start` (wrapping); size() when everything is resolved.
   std::size_t next_undetected(std::size_t start) const;
 
+  // -- Pass cursor -----------------------------------------------------------
+  // Progress marker of the targeted engines' ascending scan within the
+  // current pass, owned here so a mid-pass checkpoint can resume the scan at
+  // the exact next target.  begin_pass() rewinds it.
+
+  std::size_t pass_cursor() const { return pass_cursor_; }
+  void set_pass_cursor(std::size_t i) { pass_cursor_ = i; }
+
+  // -- Snapshot support ------------------------------------------------------
+
+  /// FNV-1a-64 over the status array plus the aborted flags and counters —
+  /// the resume identity check compares this against the uninterrupted run.
+  std::uint64_t digest() const;
+  void save(serialize::Writer& w) const;
+  /// Restores statuses/flags/counters/cursor.  The fault list itself is NOT
+  /// serialized (it is regenerated from the circuit); the caller verifies
+  /// list identity via fault::identity_digest before loading.
+  void load(serialize::Reader& r);
+
  private:
   fault::FaultList list_;
   std::vector<FaultStatus> status_;
@@ -92,6 +117,7 @@ class FaultManager {
   std::size_t num_detected_ = 0;
   std::size_t num_untestable_ = 0;
   long aborted_total_ = 0;
+  std::size_t pass_cursor_ = 0;
 };
 
 }  // namespace gatpg::session

@@ -33,27 +33,50 @@ std::size_t Session::commit_test(sim::Sequence candidate) {
 }
 
 SessionResult Session::run(Engine& engine, const PassSchedule& schedule) {
+  running_engine_ = &engine;
+  stop_requested_ = false;
+  if (!resume_primed_) {
+    // A fresh run (not a resume continuation): any pass progress left over
+    // from a previous schedule on this session is irrelevant to it.
+    completed_outcomes_.clear();
+    run_rounds_base_ = rounds_;
+  }
+  resume_primed_ = false;
+
   if (observer_) observer_->on_session_begin(*this);
 
   SessionResult result;
   result.total_faults = faults_.size();
-  const long rounds_before = rounds_;
 
-  for (const PassConfig& pass : schedule.passes) {
-    const std::size_t pass_index = result.passes.size();
-    faults_.begin_pass();
+  for (std::size_t pass_index = 0; pass_index < schedule.passes.size();
+       ++pass_index) {
+    const PassConfig& pass = schedule.passes[pass_index];
+    if (pass_index < completed_outcomes_.size()) {
+      // Completed before the checkpoint; replay the saved row verbatim.
+      result.passes.push_back(completed_outcomes_[pass_index]);
+      continue;
+    }
+    const bool continuing = resume_mid_pass_;
+    resume_mid_pass_ = false;
+    // A mid-pass resume keeps the restored aborted flags and pass cursor;
+    // begin_pass() would rewind the pass the checkpoint interrupted.
+    if (!continuing) faults_.begin_pass();
+    pass_in_progress_ = true;
     if (observer_) observer_->on_pass_begin(*this, pass_index, pass);
 
     const auto deadline = util::Deadline::after_seconds(pass.pass_budget_s);
     engine.run(*this, pass, deadline);
+    if (stop_requested_) break;  // checkpointed and stopping: no outcome row
 
     counters_.store = store_.stats();
     PassOutcome po;
     po.detected = faults_.detected_count();
     po.vectors = tests_.vectors();
     po.untestable = faults_.untestable_count();
-    po.time_s = total_.seconds();
+    po.time_s = elapsed_s();
     result.passes.push_back(po);
+    completed_outcomes_.push_back(po);
+    pass_in_progress_ = false;
     if (observer_) observer_->on_pass_end(*this, pass_index, po);
     util::log_info() << c_.name() << " pass " << result.passes.size() << ": det="
                      << po.detected << " vec=" << po.vectors << " unt="
@@ -65,10 +88,35 @@ SessionResult Session::run(Engine& engine, const PassSchedule& schedule) {
   result.fault_state = faults_.status();
   counters_.store = store_.stats();
   result.counters = counters_;
-  result.rounds = rounds_ - rounds_before;
+  result.rounds = rounds_ - run_rounds_base_;
   result.evaluations = evaluations_;
+  result.digests.faults = faults_.digest();
+  result.digests.tests = tests_.digest();
+  result.digests.store = store_.digest();
   if (observer_) observer_->on_session_end(*this, result);
+  running_engine_ = nullptr;
   return result;
+}
+
+void Session::checkpoint_tick() {
+  ++ticks_;
+  const CheckpointConfig& cp = config_.checkpoint;
+  if (cp.path.empty()) return;
+  bool write = false;
+  if (cp.stop_after_ticks > 0 && ticks_ >= cp.stop_after_ticks &&
+      !stop_requested_) {
+    stop_requested_ = true;
+    write = true;
+  }
+  if (cp.every_ticks > 0 && ticks_ % cp.every_ticks == 0) write = true;
+  if (cp.interval_s > 0.0 &&
+      total_.seconds() - last_checkpoint_s_ >= cp.interval_s) {
+    write = true;
+  }
+  if (write) {
+    checkpoint(cp.path);
+    last_checkpoint_s_ = total_.seconds();
+  }
 }
 
 }  // namespace gatpg::session

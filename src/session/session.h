@@ -16,6 +16,8 @@
 //   copies; everything flows through the session.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/faultlist.h"
@@ -49,6 +51,16 @@ struct SessionResult {
   long rounds = 0;
   /// Cumulative fitness evaluations over the session's lifetime.
   long evaluations = 0;
+  /// Content digests of the final session state (FaultManager status array,
+  /// TestSetBuilder segments, StateStore caches).  Two runs are
+  /// bit-identical iff these match — the kill-and-resume suite and the
+  /// sharded daemon's merge verification both compare them.
+  struct Digests {
+    std::uint64_t faults = 0;
+    std::uint64_t tests = 0;
+    std::uint64_t store = 0;
+  };
+  Digests digests;
 
   std::size_t detected() const {
     return passes.empty() ? 0 : passes.back().detected;
@@ -64,12 +76,32 @@ struct SessionResult {
   }
 };
 
+/// Auto-checkpoint policy, evaluated by Session::checkpoint_tick() — the
+/// hook the engines call after every fully-completed unit of work (a
+/// resolved target, a committed GA round), i.e. exactly at the points where
+/// the live state is a consistent prefix of the run.
+struct CheckpointConfig {
+  /// Snapshot file path; empty disables auto-checkpointing entirely.
+  std::string path;
+  /// Write a snapshot whenever this many seconds have passed since the
+  /// last one (0 = no time-based checkpointing).
+  double interval_s = 0.0;
+  /// Write a snapshot every N ticks (0 = no tick-based checkpointing).
+  long every_ticks = 0;
+  /// Test hook: after this many ticks, write one snapshot and request the
+  /// engine to stop (0 = never).  The kill-and-resume suite uses this to
+  /// interrupt a run at an exact, reproducible mid-pass point.
+  long stop_after_ticks = 0;
+};
+
 struct SessionConfig {
   /// Fault-simulator engine options (threads, differential vs full-sweep).
   fault::FaultSimConfig faultsim;
   /// State-knowledge layer options (disabled by default; enabling it must
   /// not change which faults are detectable, only how fast they resolve).
   state::StateStoreConfig state_store;
+  /// Auto-checkpoint policy (inert by default).
+  CheckpointConfig checkpoint;
 };
 
 class Session {
@@ -93,8 +125,8 @@ class Session {
   const state::StateStore& state_store() const { return store_; }
 
   /// Wall-clock seconds since construction (what PassOutcome::time_s
-  /// reports).
-  double elapsed_s() const { return total_.seconds(); }
+  /// reports), plus the elapsed time carried over from a resumed snapshot.
+  double elapsed_s() const { return time_offset_s_ + total_.seconds(); }
 
   /// Observer for per-pass reporting; nullptr (default) disables it.  Not
   /// owned; must outlive run().
@@ -120,7 +152,39 @@ class Session {
   /// PassOutcome row (reported to the observer).  Returns the unified
   /// result; the session stays live, so callers can keep stepping engines
   /// or run another schedule on the same fault population.
+  ///
+  /// On a session primed by resume(), completed passes are skipped (their
+  /// saved outcome rows are prepended verbatim) and the first unfinished
+  /// pass continues from the checkpointed cursor without re-clearing the
+  /// aborted flags.  If the checkpoint policy stops the run mid-pass, the
+  /// partial pass gets no outcome row and the result carries the state as
+  /// of the stop.
   SessionResult run(Engine& engine, const PassSchedule& schedule);
+
+  // -- Snapshot / resume -----------------------------------------------------
+
+  /// Serializes the complete live session state to `path` (atomically):
+  /// circuit/fault-list identity, fault statuses and pass cursor, committed
+  /// segments, StateStore caches, counters, simulator stats, pass progress,
+  /// and — when called during run() — the running engine's private state.
+  void checkpoint(const std::string& path) const;
+
+  /// Restores a snapshot into this freshly-constructed session (same
+  /// circuit, same fault list, same config) and primes `engine` with its
+  /// checkpointed private state.  The simulator machines are rebuilt by
+  /// replaying the committed segments — reproducing the uninterrupted
+  /// run()'s exact call sequence — and every component digest recorded at
+  /// checkpoint time is re-verified after load.  Throws
+  /// serialize::SnapshotError on any identity or integrity mismatch.
+  void resume(const std::string& path, Engine& engine);
+
+  /// Engine hook: one fully-completed unit of work.  Applies the
+  /// auto-checkpoint policy (interval/tick/stop-after) and may set
+  /// stop_requested().
+  void checkpoint_tick();
+  /// True once the checkpoint policy has asked the engine to wind down;
+  /// engine loops treat it like an expired deadline.
+  bool stop_requested() const { return stop_requested_; }
 
  private:
   const netlist::Circuit& c_;
@@ -134,6 +198,20 @@ class Session {
   long evaluations_ = 0;
   util::Stopwatch total_;
   ProgressObserver* observer_ = nullptr;
+
+  // Pass progress, serialized so run() can continue a schedule.
+  std::vector<PassOutcome> completed_outcomes_;
+  bool pass_in_progress_ = false;
+  long run_rounds_base_ = 0;  // rounds_ at the start of the current run()
+  double time_offset_s_ = 0.0;
+  bool resume_primed_ = false;    // next run() continues a restored schedule
+  bool resume_mid_pass_ = false;  // skip begin_pass() on the next pass entry
+
+  // Auto-checkpoint bookkeeping.
+  const Engine* running_engine_ = nullptr;
+  long ticks_ = 0;
+  double last_checkpoint_s_ = 0.0;
+  bool stop_requested_ = false;
 };
 
 }  // namespace gatpg::session

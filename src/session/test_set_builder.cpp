@@ -2,12 +2,63 @@
 
 #include <utility>
 
+#include "serialize/archive.h"
+
 namespace gatpg::session {
 
 std::size_t TestSetBuilder::commit(sim::Sequence segment) {
   test_set_.insert(test_set_.end(), segment.begin(), segment.end());
   segments_.push_back(std::move(segment));
   return segments_.size() - 1;
+}
+
+std::uint64_t TestSetBuilder::digest() const {
+  serialize::Digest d;
+  d.add_u64(segments_.size());
+  for (const sim::Sequence& seg : segments_) {
+    d.add_u64(seg.size());
+    for (const sim::Vector3& vec : seg) {
+      d.add_u64(vec.size());
+      for (const sim::V3 v : vec) d.add_byte(static_cast<std::uint8_t>(v));
+    }
+  }
+  return d.value();
+}
+
+void TestSetBuilder::save(serialize::Writer& w) const {
+  w.begin_section("TSET");
+  w.u64(segments_.size());
+  for (const sim::Sequence& seg : segments_) {
+    w.u64(seg.size());
+    for (const sim::Vector3& vec : seg) {
+      w.u64(vec.size());
+      for (const sim::V3 v : vec) w.u8(static_cast<std::uint8_t>(v));
+    }
+  }
+  w.end_section();
+}
+
+void TestSetBuilder::load(serialize::Reader& r) {
+  r.enter_section("TSET");
+  test_set_.clear();
+  segments_.clear();
+  const std::uint64_t num_segments = r.u64();
+  segments_.reserve(num_segments);
+  for (std::uint64_t s = 0; s < num_segments; ++s) {
+    sim::Sequence seg(r.u64());
+    for (sim::Vector3& vec : seg) {
+      vec.resize(r.u64());
+      for (sim::V3& v : vec) {
+        const std::uint8_t byte = r.u8();
+        if (byte > static_cast<std::uint8_t>(sim::V3::kX))
+          throw serialize::SnapshotError("snapshot: invalid ternary value");
+        v = static_cast<sim::V3>(byte);
+      }
+    }
+    test_set_.insert(test_set_.end(), seg.begin(), seg.end());
+    segments_.push_back(std::move(seg));
+  }
+  r.leave_section();
 }
 
 }  // namespace gatpg::session

@@ -9,9 +9,15 @@
 // used to keep collapse into this one structure.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/seqsim.h"
+
+namespace gatpg::serialize {
+class Writer;
+class Reader;
+}  // namespace gatpg::serialize
 
 namespace gatpg::session {
 
@@ -25,6 +31,15 @@ class TestSetBuilder {
   const std::vector<sim::Sequence>& segments() const { return segments_; }
   std::size_t vectors() const { return test_set_.size(); }
   std::size_t segment_count() const { return segments_.size(); }
+
+  // -- Snapshot support ------------------------------------------------------
+
+  /// FNV-1a-64 over segment shapes and vector values.
+  std::uint64_t digest() const;
+  /// Serializes the segments only; load() rebuilds the flat concatenation,
+  /// preserving the flat-equals-concatenation invariant by construction.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   sim::Sequence test_set_;

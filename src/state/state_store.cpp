@@ -1,6 +1,9 @@
 #include "state/state_store.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "serialize/archive.h"
 
 namespace gatpg::state {
 
@@ -229,6 +232,233 @@ void StateStore::cache_forward(std::size_t fault_index, Sequence vectors,
   forward_[fault_index] = {std::move(vectors), std::move(required)};
   forward_valid_[fault_index] = 1;
   ++stats_.forward_cache_inserts;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot support
+
+namespace {
+
+void digest_state(serialize::Digest& d, const State3& s) {
+  d.add_u64(s.size());
+  for (const sim::V3 v : s) d.add_byte(static_cast<std::uint8_t>(v));
+}
+
+void digest_sequence(serialize::Digest& d, const Sequence& seq) {
+  d.add_u64(seq.size());
+  for (const sim::Vector3& vec : seq) digest_state(d, vec);
+}
+
+void write_state(serialize::Writer& w, const State3& s) {
+  w.u64(s.size());
+  for (const sim::V3 v : s) w.u8(static_cast<std::uint8_t>(v));
+}
+
+State3 read_state(serialize::Reader& r) {
+  State3 s(r.u64());
+  for (sim::V3& v : s) {
+    const std::uint8_t byte = r.u8();
+    if (byte > static_cast<std::uint8_t>(sim::V3::kX))
+      throw serialize::SnapshotError("snapshot: invalid ternary value in store");
+    v = static_cast<sim::V3>(byte);
+  }
+  return s;
+}
+
+void write_sequence(serialize::Writer& w, const Sequence& seq) {
+  w.u64(seq.size());
+  for (const sim::Vector3& vec : seq) write_state(w, vec);
+}
+
+Sequence read_sequence(serialize::Reader& r) {
+  Sequence seq(r.u64());
+  for (sim::Vector3& vec : seq) vec = read_state(r);
+  return seq;
+}
+
+void write_stats(serialize::Writer& w, const StateStoreStats& st) {
+  const long* fields[] = {
+      &st.seq_hits,          &st.seq_misses,        &st.seq_inserts,
+      &st.seq_verify_failures, &st.unjust_hits,     &st.unjust_misses,
+      &st.unjust_inserts,    &st.unjust_subsumed,   &st.reachable_inserts,
+      &st.near_miss_inserts, &st.ga_seeds_served,   &st.forward_cache_hits,
+      &st.forward_cache_inserts};
+  for (const long* f : fields) w.i64(*f);
+}
+
+void read_stats(serialize::Reader& r, StateStoreStats& st) {
+  long* fields[] = {
+      &st.seq_hits,          &st.seq_misses,        &st.seq_inserts,
+      &st.seq_verify_failures, &st.unjust_hits,     &st.unjust_misses,
+      &st.unjust_inserts,    &st.unjust_subsumed,   &st.reachable_inserts,
+      &st.near_miss_inserts, &st.ga_seeds_served,   &st.forward_cache_hits,
+      &st.forward_cache_inserts};
+  for (long* f : fields) *f = static_cast<long>(r.i64());
+}
+
+void digest_stats(serialize::Digest& d, const StateStoreStats& st) {
+  const long* fields[] = {
+      &st.seq_hits,          &st.seq_misses,        &st.seq_inserts,
+      &st.seq_verify_failures, &st.unjust_hits,     &st.unjust_misses,
+      &st.unjust_inserts,    &st.unjust_subsumed,   &st.reachable_inserts,
+      &st.near_miss_inserts, &st.ga_seeds_served,   &st.forward_cache_hits,
+      &st.forward_cache_inserts};
+  for (const long* f : fields) d.add_u64(static_cast<std::uint64_t>(*f));
+}
+
+}  // namespace
+
+std::uint64_t StateStore::digest() const {
+  serialize::Digest d;
+  d.add_u64(justified_.size());
+  for (const JustifiedEntry& e : justified_) {
+    digest_state(d, e.cube);
+    digest_sequence(d, e.sequence);
+  }
+  d.add_u64(unjustifiable_.size());
+  for (const State3& u : unjustifiable_) digest_state(d, u);
+  for (const auto* pool : {&reachable_, &near_misses_}) {
+    d.add_u64(pool->size());
+    for (const TraceEntry& e : *pool) {
+      digest_state(d, e.state);
+      digest_sequence(d, *e.sequence);
+      d.add_u64(e.prefix_len);
+      d.add_u64(e.stamp);
+    }
+  }
+  d.add_u64(forward_valid_.size());
+  for (std::size_t i = 0; i < forward_valid_.size(); ++i) {
+    if (!forward_valid_[i]) continue;
+    d.add_u64(i);
+    digest_sequence(d, forward_[i].vectors);
+    digest_state(d, forward_[i].required);
+  }
+  d.add_u64(next_stamp_);
+  digest_stats(d, stats_);
+  return d.value();
+}
+
+void StateStore::save(serialize::Writer& w) const {
+  w.begin_section("STOR");
+  w.boolean(config_.enabled);
+  w.u64(config_.max_justified);
+  w.u64(config_.max_unjustifiable);
+  w.u64(config_.max_reachable);
+  w.u64(config_.max_near_misses);
+  w.u32(config_.max_verifies_per_lookup);
+  w.f64(config_.ga_seed_fraction);
+
+  w.u64(justified_.size());
+  for (const JustifiedEntry& e : justified_) {
+    write_state(w, e.cube);
+    write_sequence(w, e.sequence);
+  }
+  w.u64(unjustifiable_.size());
+  for (const State3& u : unjustifiable_) write_state(w, u);
+
+  // Shared trace sequences, deduplicated by first appearance so sharing
+  // survives the round trip.
+  std::vector<const Sequence*> table;
+  std::unordered_map<const Sequence*, std::uint64_t> index_of;
+  for (const auto* pool : {&reachable_, &near_misses_}) {
+    for (const TraceEntry& e : *pool) {
+      const Sequence* p = e.sequence.get();
+      if (index_of.emplace(p, table.size()).second) table.push_back(p);
+    }
+  }
+  w.u64(table.size());
+  for (const Sequence* p : table) write_sequence(w, *p);
+  for (const auto* pool : {&reachable_, &near_misses_}) {
+    w.u64(pool->size());
+    for (const TraceEntry& e : *pool) {
+      write_state(w, e.state);
+      w.u64(index_of.at(e.sequence.get()));
+      w.u64(e.prefix_len);
+      w.u64(e.stamp);
+    }
+  }
+
+  w.u64(forward_valid_.size());
+  for (std::size_t i = 0; i < forward_valid_.size(); ++i) {
+    w.u8(forward_valid_[i] ? 1 : 0);
+    if (!forward_valid_[i]) continue;
+    write_sequence(w, forward_[i].vectors);
+    write_state(w, forward_[i].required);
+  }
+
+  w.u64(next_stamp_);
+  write_stats(w, stats_);
+  w.end_section();
+}
+
+void StateStore::load(serialize::Reader& r) {
+  r.enter_section("STOR");
+  const bool enabled = r.boolean();
+  const std::uint64_t max_justified = r.u64();
+  const std::uint64_t max_unjustifiable = r.u64();
+  const std::uint64_t max_reachable = r.u64();
+  const std::uint64_t max_near_misses = r.u64();
+  const std::uint32_t max_verifies = r.u32();
+  const double seed_fraction = r.f64();
+  if (enabled != config_.enabled || max_justified != config_.max_justified ||
+      max_unjustifiable != config_.max_unjustifiable ||
+      max_reachable != config_.max_reachable ||
+      max_near_misses != config_.max_near_misses ||
+      max_verifies != config_.max_verifies_per_lookup ||
+      seed_fraction != config_.ga_seed_fraction) {
+    throw serialize::SnapshotError(
+        "snapshot: StateStore config mismatch (eviction/seeding would "
+        "diverge from the checkpointed run)");
+  }
+
+  justified_.clear();
+  justified_.resize(r.u64());
+  for (JustifiedEntry& e : justified_) {
+    e.cube = read_state(r);
+    e.sequence = read_sequence(r);
+  }
+  unjustifiable_.clear();
+  unjustifiable_.resize(r.u64());
+  for (State3& u : unjustifiable_) u = read_state(r);
+
+  std::vector<std::shared_ptr<const Sequence>> table(r.u64());
+  for (auto& p : table)
+    p = std::make_shared<const Sequence>(read_sequence(r));
+  for (auto* pool : {&reachable_, &near_misses_}) {
+    pool->clear();
+    pool->resize(r.u64());
+    for (TraceEntry& e : *pool) {
+      e.state = read_state(r);
+      const std::uint64_t idx = r.u64();
+      if (idx >= table.size())
+        throw serialize::SnapshotError("snapshot: trace sequence index out of range");
+      e.sequence = table[idx];
+      e.prefix_len = r.u64();
+      e.stamp = r.u64();
+    }
+  }
+
+  const std::uint64_t forward_count = r.u64();
+  forward_.clear();
+  forward_valid_.clear();
+  forward_.resize(forward_count);
+  forward_valid_.resize(forward_count, 0);
+  for (std::uint64_t i = 0; i < forward_count; ++i) {
+    forward_valid_[i] = static_cast<char>(r.u8());
+    if (!forward_valid_[i]) continue;
+    forward_[i].vectors = read_sequence(r);
+    forward_[i].required = read_state(r);
+  }
+
+  next_stamp_ = r.u64();
+  read_stats(r, stats_);
+  r.leave_section();
+}
+
+void StateStore::drop_unverified() {
+  unjustifiable_.clear();
+  forward_.clear();
+  forward_valid_.clear();
 }
 
 }  // namespace gatpg::state

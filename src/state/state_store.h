@@ -47,6 +47,11 @@
 #include "netlist/circuit.h"
 #include "sim/seqsim.h"
 
+namespace gatpg::serialize {
+class Writer;
+class Reader;
+}  // namespace gatpg::serialize
+
 namespace gatpg::state {
 
 struct StateStoreConfig {
@@ -166,6 +171,28 @@ class StateStore {
   std::size_t unjustifiable_size() const { return unjustifiable_.size(); }
   std::size_t reachable_size() const { return reachable_.size(); }
   std::size_t near_miss_size() const { return near_misses_.size(); }
+
+  // -- Snapshot support ------------------------------------------------------
+
+  /// FNV-1a-64 over every cache's contents, the insertion stamps, and the
+  /// effectiveness stats — any divergence between a resumed and an
+  /// uninterrupted run shows up here.
+  std::uint64_t digest() const;
+  /// Serializes all four caches, the stamp counter, and the stats.  Shared
+  /// trace sequences are deduplicated through a first-appearance table so
+  /// the O(len)-not-O(len^2) sharing survives the round trip.  Config caps
+  /// are recorded and verified by load() (a resumed store with different
+  /// caps would evict differently and break determinism).
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
+
+  /// Drops the knowledge that is only sound for the exact netlist it was
+  /// learned on: unjustifiable-cube proofs and per-fault forward solutions.
+  /// Justified sequences, reachable states, and near misses survive — they
+  /// are re-verified or merely rank GA seeds, so stale entries cost a
+  /// verify, never correctness.  The daemon calls this when warming a
+  /// store across netlist revisions.
+  void drop_unverified();
 
  private:
   struct JustifiedEntry {

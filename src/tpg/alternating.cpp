@@ -1,7 +1,10 @@
 #include "tpg/alternating.h"
 
+#include <array>
+
 #include "atpg/detengine.h"
 #include "atpg/justify.h"
+#include "serialize/archive.h"
 
 namespace gatpg::tpg {
 
@@ -89,19 +92,45 @@ std::size_t DetTargetEngine::step(session::Session& s,
   counters.det_gate_evals += effort.gate_evals;
   counters.det_events += effort.events;
   // Absolute pool tallies (not deltas): pool reuse keeps constructions at
-  // a handful per session instead of one per targeted fault.
-  counters.det_model_builds = static_cast<long>(model_pool_.constructions());
-  counters.det_model_acquires = static_cast<long>(model_pool_.acquires());
+  // a handful per session instead of one per targeted fault.  The resume
+  // baselines continue a checkpointed run's totals (zero otherwise).
+  counters.det_model_builds =
+      pool_builds_base_ + static_cast<long>(model_pool_.constructions());
+  counters.det_model_acquires =
+      pool_acquires_base_ + static_cast<long>(model_pool_.acquires());
   if (s.observer()) s.observer()->on_target_end(s, effort);
   return newly;
 }
 
 void DetTargetEngine::run(session::Session& s, const session::PassConfig&,
                           const util::Deadline& deadline) {
-  while (!deadline.expired()) {
+  while (!deadline.expired() && !s.stop_requested()) {
     step(s, deadline);
     if (!last_.had_target) break;
+    s.checkpoint_tick();  // one targeted fault = one unit of work
   }
+}
+
+void DetTargetEngine::save_state(serialize::Writer& w) const {
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(next_target_);
+  w.i64(pool_builds_base_ + static_cast<long>(model_pool_.constructions()));
+  w.i64(pool_acquires_base_ + static_cast<long>(model_pool_.acquires()));
+  w.u64(model_pool_.inventory());
+}
+
+void DetTargetEngine::load_state(serialize::Reader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state_words(words);
+  next_target_ = static_cast<std::size_t>(r.u64());
+  pool_builds_base_ = static_cast<long>(r.i64());
+  pool_acquires_base_ = static_cast<long>(r.i64());
+  // Rebuild the checkpointed inventory without counting, so post-resume
+  // construction only happens where the uninterrupted pool would also grow.
+  model_pool_.prewarm(static_cast<std::size_t>(r.u64()));
+  pool_builds_base_ -= static_cast<long>(model_pool_.constructions());
+  pool_acquires_base_ -= static_cast<long>(model_pool_.acquires());
 }
 
 namespace {
@@ -127,27 +156,49 @@ AlternatingEngine::AlternatingEngine(const netlist::Circuit& c,
 void AlternatingEngine::run(session::Session& s, const session::PassConfig&,
                             const util::Deadline& deadline) {
   session::FaultManager& fm = s.faults();
-  unsigned barren_rounds = 0;
-  unsigned det_failures = 0;
+  // A resumed run keeps the checkpointed phase counters; a fresh entry
+  // starts from a clean alternation.
+  if (!resuming_) {
+    barren_rounds_ = 0;
+    det_failures_ = 0;
+  }
+  resuming_ = false;
 
-  while (!deadline.expired() &&
-         det_failures < config_.det_failures_to_stop && !fm.all_resolved()) {
+  while (!deadline.expired() && !s.stop_requested() &&
+         det_failures_ < config_.det_failures_to_stop && !fm.all_resolved()) {
     // --- Simulation phase -------------------------------------------------
-    while (barren_rounds < config_.switch_after && !deadline.expired()) {
+    while (barren_rounds_ < config_.switch_after && !deadline.expired() &&
+           !s.stop_requested() && fm.detected_count() < fm.size()) {
       const std::size_t newly = simgen_.step(s, deadline);
       s.note_round();
-      barren_rounds = newly == 0 ? barren_rounds + 1 : 0;
-      if (fm.detected_count() == fm.size()) break;
+      barren_rounds_ = newly == 0 ? barren_rounds_ + 1 : 0;
+      s.checkpoint_tick();  // one committed GA round = one unit of work
     }
-    barren_rounds = 0;
-    if (deadline.expired()) break;
+    if (deadline.expired() || s.stop_requested()) break;
+    barren_rounds_ = 0;
 
     // --- Deterministic phase: one targeted fault --------------------------
     det_.step(s, deadline);
     const DetTargetEngine::Outcome& outcome = det_.last_outcome();
     if (!outcome.had_target) break;  // everything resolved
-    det_failures = outcome.resolved ? 0 : det_failures + 1;
+    det_failures_ = outcome.resolved ? 0 : det_failures_ + 1;
+    s.checkpoint_tick();  // one targeted fault = one unit of work
   }
+}
+
+void AlternatingEngine::save_state(serialize::Writer& w) const {
+  w.u32(barren_rounds_);
+  w.u32(det_failures_);
+  simgen_.save_state(w);
+  det_.save_state(w);  // covers the shared rng_ (held by reference)
+}
+
+void AlternatingEngine::load_state(serialize::Reader& r) {
+  barren_rounds_ = r.u32();
+  det_failures_ = r.u32();
+  simgen_.load_state(r);
+  det_.load_state(r);
+  resuming_ = true;
 }
 
 AlternatingResult alternating_hybrid_generate(

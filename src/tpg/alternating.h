@@ -74,6 +74,12 @@ class DetTargetEngine : public session::Engine {
 
   const Outcome& last_outcome() const { return last_; }
 
+  /// Snapshot hooks: the X-fill RNG stream (the caller-owned object this
+  /// engine holds by reference), the round-robin cursor, and the model-pool
+  /// tallies/inventory (baselines + prewarm, as in HybridEngine).
+  void save_state(serialize::Writer& w) const override;
+  void load_state(serialize::Reader& r) override;
+
  private:
   const netlist::Circuit& c_;
   const atpg::SearchLimits& limits_;
@@ -85,6 +91,10 @@ class DetTargetEngine : public session::Engine {
   atpg::FrameModelPool model_pool_;
   std::size_t next_target_ = 0;  // round-robin cursor
   Outcome last_;
+  /// Checkpointed pool tallies carried across a resume (zero for a
+  /// never-resumed engine); mirrored counters report base + live tallies.
+  long pool_builds_base_ = 0;
+  long pool_acquires_base_ = 0;
 };
 
 /// The alternation scheduler: SimGenEngine rounds until `switch_after`
@@ -99,12 +109,21 @@ class AlternatingEngine : public session::Engine {
   void run(session::Session& session, const session::PassConfig& pass,
            const util::Deadline& deadline) override;
 
+  /// Snapshot hooks: the phase counters plus both sub-engines' state (the
+  /// shared X-fill RNG is covered by the DetTargetEngine hook, which
+  /// serializes the referenced object).
+  void save_state(serialize::Writer& w) const override;
+  void load_state(serialize::Reader& r) override;
+
  private:
   const AlternatingConfig& config_;
   SimGenConfig sim_config_;
   util::Rng rng_;
   SimGenEngine simgen_;
   DetTargetEngine det_;
+  unsigned barren_rounds_ = 0;  // barren GA rounds in the current sim phase
+  unsigned det_failures_ = 0;   // consecutive unresolved det targets
+  bool resuming_ = false;       // set by load_state; run() keeps the counters
 };
 
 AlternatingResult alternating_hybrid_generate(

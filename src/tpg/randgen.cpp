@@ -1,9 +1,11 @@
 #include "tpg/randgen.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "fault/faultsim.h"
+#include "serialize/archive.h"
 
 namespace gatpg::tpg {
 
@@ -30,9 +32,14 @@ RandomEngine::RandomEngine(const netlist::Circuit& c,
 void RandomEngine::run(session::Session& s, const session::PassConfig&,
                        const util::Deadline&) {
   const std::size_t npi = c_.primary_inputs().size();
-  weights_.assign(npi, 0.5);
+  const bool resuming = resuming_;
+  resuming_ = false;
+  if (!resuming) {
+    weights_.assign(npi, 0.5);
+    stagnant_ = 0;
+  }
 
-  if (config_.weighted && npi > 0) {
+  if (!resuming && config_.weighted && npi > 0) {
     // Audition profiles: uniform 0.5 plus `weight_trials` random draws from
     // a small palette; keep whichever detects most in one trial block from
     // power-up.  The session simulator doubles as the probe — reset_all()
@@ -60,17 +67,34 @@ void RandomEngine::run(session::Session& s, const session::PassConfig&,
     probe.reset_all();
   }
 
-  unsigned stagnant = 0;
   while (s.tests().vectors() < config_.max_vectors &&
-         stagnant < config_.stagnation_blocks &&
+         stagnant_ < config_.stagnation_blocks && !s.stop_requested() &&
          s.faults().detected_count() < s.faults().size()) {
     const std::size_t remaining = config_.max_vectors - s.tests().vectors();
     const auto block = weighted_block(
         c_, rng_, std::min(config_.block_size, remaining), weights_);
     const std::size_t newly = s.commit_test(block);
     s.faults().absorb_detections(s.simulator().detected());
-    stagnant = newly == 0 ? stagnant + 1 : 0;
+    stagnant_ = newly == 0 ? stagnant_ + 1 : 0;
+    s.checkpoint_tick();  // one committed block = one unit of work
   }
+}
+
+void RandomEngine::save_state(serialize::Writer& w) const {
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(weights_.size());
+  for (const double weight : weights_) w.f64(weight);
+  w.u32(stagnant_);
+}
+
+void RandomEngine::load_state(serialize::Reader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state_words(words);
+  weights_.resize(r.u64());
+  for (double& weight : weights_) weight = r.f64();
+  stagnant_ = r.u32();
+  resuming_ = true;
 }
 
 RandomGenResult random_pattern_generate(const netlist::Circuit& c,

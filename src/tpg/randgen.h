@@ -52,11 +52,20 @@ class RandomEngine : public session::Engine {
   /// Valid after run(): the weight profile the audition settled on.
   const std::vector<double>& weights() const { return weights_; }
 
+  /// Snapshot hooks: the block RNG stream, the audition's chosen weight
+  /// profile, and the stagnation counter.  A resumed run skips the audition
+  /// (its probes were consumed by the checkpointed run) and continues
+  /// block generation directly.
+  void save_state(serialize::Writer& w) const override;
+  void load_state(serialize::Reader& r) override;
+
  private:
   const netlist::Circuit& c_;
   const RandomGenConfig& config_;
   util::Rng rng_;
   std::vector<double> weights_;
+  unsigned stagnant_ = 0;   // consecutive blocks without a detection
+  bool resuming_ = false;   // set by load_state; run() skips the audition
 };
 
 RandomGenResult random_pattern_generate(

@@ -1,6 +1,9 @@
 #include "tpg/simgen.h"
 
 #include <algorithm>
+#include <array>
+
+#include "serialize/archive.h"
 
 namespace gatpg::tpg {
 
@@ -55,13 +58,33 @@ std::size_t SimGenEngine::step(session::Session& s,
 
 void SimGenEngine::run(session::Session& s, const session::PassConfig&,
                        const util::Deadline& deadline) {
-  unsigned stagnant = 0;
-  while (stagnant < config_.stagnation_rounds && !deadline.expired() &&
+  // A resumed run keeps the checkpointed stagnation window; a fresh pass
+  // entry starts a new one.
+  if (!resuming_) stagnant_ = 0;
+  resuming_ = false;
+  while (stagnant_ < config_.stagnation_rounds && !deadline.expired() &&
+         !s.stop_requested() &&
          s.faults().detected_count() < s.faults().size()) {
     const std::size_t newly = step(s, deadline);
     s.note_round();
-    stagnant = newly == 0 ? stagnant + 1 : 0;
+    stagnant_ = newly == 0 ? stagnant_ + 1 : 0;
+    s.checkpoint_tick();  // one committed GA round = one unit of work
   }
+}
+
+void SimGenEngine::save_state(serialize::Writer& w) const {
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(round_counter_);
+  w.u32(stagnant_);
+}
+
+void SimGenEngine::load_state(serialize::Reader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state_words(words);
+  round_counter_ = r.u64();
+  stagnant_ = r.u32();
+  resuming_ = true;
 }
 
 namespace {

@@ -62,11 +62,19 @@ class SimGenEngine : public session::Engine {
   std::size_t step(session::Session& session,
                    const util::Deadline& deadline) override;
 
+  /// Snapshot hooks: the sampling RNG stream, the per-round GA seed
+  /// counter, and the stagnation counter (hoisted out of run()'s locals so
+  /// a resumed run continues the stall window where it left off).
+  void save_state(serialize::Writer& w) const override;
+  void load_state(serialize::Reader& r) override;
+
  private:
   const netlist::Circuit& c_;
   const SimGenConfig& config_;
   util::Rng rng_;
   std::uint64_t round_counter_ = 0;
+  unsigned stagnant_ = 0;      // consecutive rounds without a detection
+  bool resuming_ = false;      // set by load_state; run() keeps stagnant_
 };
 
 class SimulationTestGenerator {

@@ -1,0 +1,149 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gatpg::util {
+
+void JsonWriter::append_escaped(std::string& out, std::string_view v) {
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().count > 0) out_.push_back(',');
+  if (style_ == Style::kPretty) {
+    out_.push_back('\n');
+    out_.append(2 * stack_.size(), ' ');
+  }
+  ++stack_.back().count;
+}
+
+void JsonWriter::open(char bracket, bool array) {
+  separate();
+  out_.push_back(bracket);
+  stack_.push_back(Frame{array, 0});
+}
+
+void JsonWriter::close(char bracket) {
+  const bool had_elements = !stack_.empty() && stack_.back().count > 0;
+  if (!stack_.empty()) stack_.pop_back();
+  if (style_ == Style::kPretty && had_elements) {
+    out_.push_back('\n');
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_.push_back(bracket);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{', /*array=*/false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[', /*array=*/true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  append_escaped(out_, k);
+  out_ += style_ == Style::kPretty ? ": " : ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  append_escaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  separate();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, ec == std::errc() ? ptr : buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_int(std::int64_t v) {
+  separate();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, ec == std::errc() ? ptr : buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_uint(std::uint64_t v) {
+  separate();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, ec == std::errc() ? ptr : buf);
+  return *this;
+}
+
+void JsonWriter::clear() {
+  out_.clear();
+  stack_.clear();
+  after_key_ = false;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gatpg::util

@@ -1,0 +1,92 @@
+// Minimal streaming JSON writer shared by the bench emitters (BENCH_*.json
+// machine-readable results) and the atpgd service (JSON-line event streams).
+//
+// The writer owns the comma/indent bookkeeping that hand-rolled fprintf
+// emitters keep getting subtly wrong (trailing commas, unescaped strings):
+// callers just open containers and emit keys/values in order.  Pretty style
+// produces the conventional 2-space-indented layout for files meant to be
+// read by humans; compact style produces a single line suitable for
+// JSON-lines protocols.
+//
+// Numbers: integrals print exactly; doubles print the shortest
+// round-trippable form (std::to_chars), with non-finite values mapped to
+// null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gatpg::util {
+
+class JsonWriter {
+ public:
+  enum class Style { kCompact, kPretty };
+
+  explicit JsonWriter(Style style = Style::kCompact) : style_(style) {}
+
+  // -- Containers ----------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // -- Values (inside an array, or after key() inside an object) -----------
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value_int(static_cast<std::int64_t>(v));
+    } else {
+      return value_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  // -- Output --------------------------------------------------------------
+  /// The document so far.  Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+  /// Resets to an empty document (style preserved) for writer reuse.
+  void clear();
+  /// Writes str() plus a trailing newline; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// Appends `v` JSON-escaped (quotes included) to `out` — the one piece of
+  /// the writer useful standalone.
+  static void append_escaped(std::string& out, std::string_view v);
+
+ private:
+  struct Frame {
+    bool array = false;
+    std::size_t count = 0;
+  };
+
+  JsonWriter& value_int(std::int64_t v);
+  JsonWriter& value_uint(std::uint64_t v);
+  /// Comma/newline/indent before the next element of the open container.
+  void separate();
+  void open(char bracket, bool array);
+  void close(char bracket);
+
+  Style style_;
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace gatpg::util

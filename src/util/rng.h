@@ -6,6 +6,7 @@
 // it is fast, has a 256-bit state, and passes BigCrush.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -92,6 +93,18 @@ class Rng {
   /// Uniform double in [0,1).
   double uniform() {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // -- Snapshot support ------------------------------------------------------
+  // The raw 256-bit state, so a checkpointed run resumes its random stream at
+  // exactly the next draw.  set_state_words with an all-zero array would jam
+  // the generator; callers only ever feed back state_words() output.
+
+  std::array<std::uint64_t, 4> state_words() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state_words(const std::array<std::uint64_t, 4>& w) {
+    for (int i = 0; i < 4; ++i) state_[i] = w[i];
   }
 
  private:

@@ -1,0 +1,533 @@
+// Serialization-layer tests: archive primitive round-trips and validation,
+// per-component snapshot round-trips (Rng, FaultManager, TestSetBuilder,
+// StateStore), resume identity checks, and the kill-and-resume differential
+// suite — a run checkpointed mid-pass at randomized points and resumed must
+// finish bit-identical to the uninterrupted run, at worker-thread counts
+// 1 and 4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "gen/registry.h"
+#include "hybrid/hybrid_atpg.h"
+#include "netlist/depth.h"
+#include "serialize/archive.h"
+#include "session/fault_manager.h"
+#include "session/session.h"
+#include "session/test_set_builder.h"
+#include "state/state_store.h"
+#include "util/rng.h"
+
+namespace gatpg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Archive primitives
+
+TEST(Archive, PrimitiveRoundTrip) {
+  serialize::Writer w;
+  w.begin_section("PRIM");
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+  const std::uint8_t blob[] = {1, 2, 3, 4, 5};
+  w.bytes(blob, sizeof blob);
+  w.str("justify me");
+  w.str("");
+  w.end_section();
+
+  serialize::Reader r(w.finish());
+  r.enter_section("PRIM");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  const std::vector<std::uint8_t> got = r.bytes();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.str(), "justify me");
+  EXPECT_EQ(r.str(), "");
+  r.leave_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Archive, SectionsAreSelfDelimiting) {
+  serialize::Writer w;
+  w.begin_section("AAAA");
+  w.u64(1);
+  w.end_section();
+  w.begin_section("BBBB");
+  w.str("second");
+  w.end_section();
+
+  serialize::Reader r(w.finish());
+  r.enter_section("AAAA");
+  EXPECT_EQ(r.u64(), 1u);
+  r.leave_section();
+  r.enter_section("BBBB");
+  EXPECT_EQ(r.str(), "second");
+  r.leave_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Archive, WrongSectionTagThrows) {
+  serialize::Writer w;
+  w.begin_section("GOOD");
+  w.u32(7);
+  w.end_section();
+  serialize::Reader r(w.finish());
+  EXPECT_THROW(r.enter_section("EVIL"), serialize::SnapshotError);
+}
+
+TEST(Archive, NestedSectionThrows) {
+  serialize::Writer w;
+  w.begin_section("OUTR");
+  EXPECT_THROW(w.begin_section("INNR"), serialize::SnapshotError);
+}
+
+TEST(Archive, HeaderAndDigestValidation) {
+  serialize::Writer w;
+  w.begin_section("DATA");
+  w.u64(0x1122334455667788ULL);
+  w.end_section();
+  const std::vector<std::uint8_t> good = w.finish();
+  EXPECT_NO_THROW(serialize::Reader{good});
+
+  // Truncated buffer.
+  std::vector<std::uint8_t> cut(good.begin(), good.end() - 1);
+  EXPECT_THROW(serialize::Reader{cut}, serialize::SnapshotError);
+
+  // Bad magic (byte 0), bad version (byte 8), bad sentinel (byte 12),
+  // corrupted payload byte (header is 16 bytes; payload follows).
+  for (const std::size_t at : {std::size_t{0}, std::size_t{8},
+                               std::size_t{12}, std::size_t{16}}) {
+    std::vector<std::uint8_t> bad = good;
+    bad[at] ^= 0x40;
+    EXPECT_THROW(serialize::Reader{bad}, serialize::SnapshotError)
+        << "corruption at byte " << at << " was not rejected";
+  }
+}
+
+TEST(Archive, FileRoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "archive_roundtrip.snap";
+  serialize::Writer w;
+  w.begin_section("FILE");
+  w.str("on disk");
+  w.end_section();
+  w.write_file(path);
+
+  serialize::Reader r = serialize::Reader::from_file(path);
+  r.enter_section("FILE");
+  EXPECT_EQ(r.str(), "on disk");
+  r.leave_section();
+  std::remove(path.c_str());
+
+  EXPECT_THROW(serialize::Reader::from_file(testing::TempDir() +
+                                            "does_not_exist.snap"),
+               serialize::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Rng state capture
+
+TEST(RngSnapshot, StateWordsContinueTheStream) {
+  util::Rng a(123);
+  for (int i = 0; i < 5; ++i) a();
+  const auto words = a.state_words();
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(a());
+
+  util::Rng b(999);  // seed is irrelevant once the state is restored
+  b.set_state_words(words);
+  for (std::uint64_t v : expect) EXPECT_EQ(b(), v);
+}
+
+// ---------------------------------------------------------------------------
+// Component round trips
+
+fault::FaultList s27_faults() {
+  static const netlist::Circuit c = gen::make_circuit("s27");
+  return fault::collapse(c);
+}
+
+TEST(FaultManagerSnapshot, RoundTripRestoresEverything) {
+  session::FaultManager fm(s27_faults());
+  fm.begin_pass();
+  fm.mark_detected(0);
+  fm.mark_detected(7);
+  fm.mark_untestable(3);
+  fm.mark_aborted(5);
+  fm.set_pass_cursor(11);
+
+  serialize::Writer w;
+  fm.save(w);
+  session::FaultManager loaded(s27_faults());
+  serialize::Reader r(w.finish());
+  loaded.load(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(loaded.digest(), fm.digest());
+  EXPECT_EQ(loaded.status(), fm.status());
+  EXPECT_EQ(loaded.detected_count(), 2u);
+  EXPECT_EQ(loaded.untestable_count(), 1u);
+  EXPECT_TRUE(loaded.aborted_this_pass(5));
+  EXPECT_FALSE(loaded.aborted_this_pass(4));
+  EXPECT_EQ(loaded.aborted_total(), 1);
+  EXPECT_EQ(loaded.pass_cursor(), 11u);
+}
+
+TEST(FaultManagerSnapshot, DigestTracksContent) {
+  session::FaultManager a(s27_faults());
+  session::FaultManager b(s27_faults());
+  EXPECT_EQ(a.digest(), b.digest());
+  b.mark_detected(9);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(TestSetBuilderSnapshot, RoundTripPreservesInvariant) {
+  using sim::V3;
+  session::TestSetBuilder tb;
+  tb.commit({{V3::k0, V3::k1}, {V3::kX, V3::k1}});
+  tb.commit({{V3::k1, V3::k1}});
+  tb.commit({});  // empty segment keeps its boundary
+
+  serialize::Writer w;
+  tb.save(w);
+  session::TestSetBuilder loaded;
+  serialize::Reader r(w.finish());
+  loaded.load(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(loaded.digest(), tb.digest());
+  EXPECT_EQ(loaded.test_set(), tb.test_set());
+  EXPECT_EQ(loaded.segments(), tb.segments());
+  // Flat set == in-order concatenation of the segments, by construction.
+  sim::Sequence concat;
+  for (const sim::Sequence& seg : loaded.segments()) {
+    concat.insert(concat.end(), seg.begin(), seg.end());
+  }
+  EXPECT_EQ(loaded.test_set(), concat);
+}
+
+TEST(StateStoreSnapshot, RoundTripAndConfigGuard) {
+  using sim::V3;
+  const netlist::Circuit c = gen::make_circuit("s27");
+  state::StateStoreConfig cfg;
+  cfg.enabled = true;
+  state::StateStore store(c, cfg);
+
+  sim::State3 cube(c.flip_flops().size(), V3::kX);
+  cube[0] = V3::k1;
+  store.record_unjustifiable(cube);
+  sim::State3 cube2(c.flip_flops().size(), V3::kX);
+  cube2[0] = V3::k0;
+  sim::Sequence seq(2, sim::Vector3(c.primary_inputs().size(), V3::k0));
+  store.record_justified(cube2, seq);
+  store.cache_forward(4, seq, cube2);
+
+  serialize::Writer w;
+  store.save(w);
+  const std::vector<std::uint8_t> archive = w.finish();
+
+  state::StateStore loaded(c, cfg);
+  serialize::Reader r(archive);
+  loaded.load(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(loaded.digest(), store.digest());
+  EXPECT_EQ(loaded.unjustifiable_size(), 1u);
+  EXPECT_EQ(loaded.justified_size(), 1u);
+  ASSERT_NE(loaded.cached_forward(4), nullptr);
+  EXPECT_EQ(loaded.cached_forward(4)->vectors, seq);
+
+  // A store configured with different cache caps would evict differently;
+  // load() must reject the archive rather than diverge.
+  state::StateStoreConfig other = cfg;
+  other.max_justified = cfg.max_justified / 2;
+  state::StateStore mismatched(c, other);
+  serialize::Reader r2(archive);
+  EXPECT_THROW(mismatched.load(r2), serialize::SnapshotError);
+}
+
+TEST(StateStoreSnapshot, DropUnverifiedKeepsReverifiableKnowledge) {
+  using sim::V3;
+  const netlist::Circuit c = gen::make_circuit("s27");
+  state::StateStoreConfig cfg;
+  cfg.enabled = true;
+  state::StateStore store(c, cfg);
+
+  sim::State3 cube(c.flip_flops().size(), V3::kX);
+  cube[0] = V3::k1;
+  store.record_unjustifiable(cube);
+  sim::State3 cube2(c.flip_flops().size(), V3::kX);
+  cube2[0] = V3::k0;
+  sim::Sequence seq(1, sim::Vector3(c.primary_inputs().size(), V3::k1));
+  store.record_justified(cube2, seq);
+  store.cache_forward(0, seq, cube2);
+
+  store.drop_unverified();
+  // Netlist-specific proofs and forward solutions are gone; the justified
+  // cache (re-verified on every hit) survives.
+  EXPECT_EQ(store.unjustifiable_size(), 0u);
+  EXPECT_EQ(store.cached_forward(0), nullptr);
+  EXPECT_EQ(store.justified_size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session checkpoint / resume
+
+/// A deterministic two-pass GA+deterministic schedule whose limits are
+/// backtrack/generation-bounded, never wall-clock-bounded, so every run is a
+/// pure function of (circuit, fault list, seed) — the property the
+/// differential suite depends on.
+hybrid::HybridConfig cheap_config(unsigned threads) {
+  hybrid::HybridConfig cfg;
+  session::PassConfig ga;
+  ga.mode = session::JustifyMode::kGenetic;
+  ga.time_limit_s = 1000.0;
+  ga.max_backtracks = 200;
+  ga.ga_population = 64;
+  ga.ga_generations = 2;
+  ga.seq_len_multiplier = 2.0;
+  session::PassConfig det;
+  det.mode = session::JustifyMode::kDeterministic;
+  det.time_limit_s = 1000.0;
+  det.max_backtracks = 200;
+  cfg.schedule.passes = {ga, det};
+  cfg.max_solutions_per_fault = 4;
+  cfg.seed = 7;
+  cfg.parallel.threads = threads;
+  cfg.state_store.enabled = true;
+  return cfg;
+}
+
+session::SessionConfig session_config(const hybrid::HybridConfig& cfg) {
+  session::SessionConfig scfg;
+  scfg.faultsim = cfg.faultsim;
+  scfg.faultsim.parallel = cfg.parallel;
+  scfg.state_store = cfg.state_store;
+  return scfg;
+}
+
+fault::FaultList capped_faults(const netlist::Circuit& c, std::size_t cap) {
+  fault::FaultList full = fault::collapse(c);
+  if (full.size() > cap) {
+    full.faults.resize(cap);
+    full.class_sizes.resize(cap);
+  }
+  return full;
+}
+
+session::SessionResult run_uninterrupted(const netlist::Circuit& c,
+                                         const fault::FaultList& faults,
+                                         const hybrid::HybridConfig& cfg) {
+  session::Session s(c, faults, session_config(cfg));
+  util::Rng rng(cfg.seed);
+  hybrid::HybridEngine engine(c, cfg, netlist::sequential_depth(c), rng);
+  return s.run(engine, cfg.schedule);
+}
+
+void expect_counters_equal(const session::EngineCounters& a,
+                           const session::EngineCounters& b) {
+  EXPECT_EQ(a.targeted, b.targeted);
+  EXPECT_EQ(a.forward_solutions, b.forward_solutions);
+  EXPECT_EQ(a.ga_invocations, b.ga_invocations);
+  EXPECT_EQ(a.ga_successes, b.ga_successes);
+  EXPECT_EQ(a.det_justify_calls, b.det_justify_calls);
+  EXPECT_EQ(a.det_justify_successes, b.det_justify_successes);
+  EXPECT_EQ(a.verify_failures, b.verify_failures);
+  EXPECT_EQ(a.no_justification_needed, b.no_justification_needed);
+  EXPECT_EQ(a.aborted_faults, b.aborted_faults);
+  EXPECT_EQ(a.committed_tests, b.committed_tests);
+  EXPECT_EQ(a.det_decisions, b.det_decisions);
+  EXPECT_EQ(a.det_backtracks, b.det_backtracks);
+  EXPECT_EQ(a.det_gate_evals, b.det_gate_evals);
+  EXPECT_EQ(a.det_events, b.det_events);
+  EXPECT_EQ(a.det_model_builds, b.det_model_builds);
+  EXPECT_EQ(a.det_model_acquires, b.det_model_acquires);
+  EXPECT_EQ(a.store.seq_hits, b.store.seq_hits);
+  EXPECT_EQ(a.store.seq_misses, b.store.seq_misses);
+  EXPECT_EQ(a.store.seq_inserts, b.store.seq_inserts);
+  EXPECT_EQ(a.store.seq_verify_failures, b.store.seq_verify_failures);
+  EXPECT_EQ(a.store.unjust_hits, b.store.unjust_hits);
+  EXPECT_EQ(a.store.unjust_misses, b.store.unjust_misses);
+  EXPECT_EQ(a.store.unjust_inserts, b.store.unjust_inserts);
+  EXPECT_EQ(a.store.unjust_subsumed, b.store.unjust_subsumed);
+  EXPECT_EQ(a.store.reachable_inserts, b.store.reachable_inserts);
+  EXPECT_EQ(a.store.near_miss_inserts, b.store.near_miss_inserts);
+  EXPECT_EQ(a.store.ga_seeds_served, b.store.ga_seeds_served);
+  EXPECT_EQ(a.store.forward_cache_hits, b.store.forward_cache_hits);
+  EXPECT_EQ(a.store.forward_cache_inserts, b.store.forward_cache_inserts);
+}
+
+/// Bit-for-bit equality of everything a run produces except wall-clock
+/// times (PassOutcome::time_s is the one legitimately nondeterministic
+/// field).
+void expect_identical(const session::SessionResult& a,
+                      const session::SessionResult& b) {
+  EXPECT_EQ(a.digests.faults, b.digests.faults);
+  EXPECT_EQ(a.digests.tests, b.digests.tests);
+  EXPECT_EQ(a.digests.store, b.digests.store);
+  EXPECT_EQ(a.fault_state, b.fault_state);
+  EXPECT_EQ(a.test_set, b.test_set);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.passes.size(), b.passes.size());
+  for (std::size_t p = 0; p < a.passes.size(); ++p) {
+    EXPECT_EQ(a.passes[p].detected, b.passes[p].detected);
+    EXPECT_EQ(a.passes[p].vectors, b.passes[p].vectors);
+    EXPECT_EQ(a.passes[p].untestable, b.passes[p].untestable);
+  }
+  expect_counters_equal(a.counters, b.counters);
+}
+
+TEST(SessionSnapshot, ResumeRejectsMismatches) {
+  const netlist::Circuit s27 = gen::make_circuit("s27");
+  const fault::FaultList faults = fault::collapse(s27);
+  const hybrid::HybridConfig cfg = cheap_config(1);
+  const std::string snap = testing::TempDir() + "mismatch.snap";
+  std::remove(snap.c_str());
+
+  {
+    session::SessionConfig scfg = session_config(cfg);
+    scfg.checkpoint.path = snap;
+    scfg.checkpoint.stop_after_ticks = 3;
+    session::Session s(s27, faults, scfg);
+    util::Rng rng(cfg.seed);
+    hybrid::HybridEngine engine(s27, cfg, netlist::sequential_depth(s27), rng);
+    s.run(engine, cfg.schedule);
+  }
+  ASSERT_NE(std::fopen(snap.c_str(), "rb"), nullptr);
+
+  // Wrong circuit.
+  {
+    const netlist::Circuit other = gen::make_circuit("g344");
+    session::Session s(other, session_config(cfg));
+    util::Rng rng(cfg.seed);
+    hybrid::HybridEngine engine(other, cfg, netlist::sequential_depth(other),
+                                rng);
+    EXPECT_THROW(s.resume(snap, engine), serialize::SnapshotError);
+  }
+  // Wrong fault-sim engine shape.
+  {
+    hybrid::HybridConfig shape = cfg;
+    shape.faultsim.differential = !shape.faultsim.differential;
+    session::Session s(s27, faults, session_config(shape));
+    util::Rng rng(cfg.seed);
+    hybrid::HybridEngine engine(s27, shape, netlist::sequential_depth(s27),
+                                rng);
+    EXPECT_THROW(s.resume(snap, engine), serialize::SnapshotError);
+  }
+  // Not a freshly constructed session.
+  {
+    session::Session s(s27, faults, session_config(cfg));
+    util::Rng rng(cfg.seed);
+    hybrid::HybridEngine engine(s27, cfg, netlist::sequential_depth(s27), rng);
+    s.run(engine, cfg.schedule);
+    EXPECT_THROW(s.resume(snap, engine), serialize::SnapshotError);
+  }
+  std::remove(snap.c_str());
+}
+
+TEST(SessionSnapshot, CheckpointOutsideRunIsNotResumable) {
+  // A snapshot taken with no engine running carries no engine state; resume
+  // must refuse it instead of continuing with an unprimed engine.
+  const netlist::Circuit s27 = gen::make_circuit("s27");
+  const fault::FaultList faults = fault::collapse(s27);
+  const hybrid::HybridConfig cfg = cheap_config(1);
+  const std::string snap = testing::TempDir() + "postrun.snap";
+
+  session::Session s(s27, faults, session_config(cfg));
+  s.checkpoint(snap);
+
+  session::Session fresh(s27, faults, session_config(cfg));
+  util::Rng rng(cfg.seed);
+  hybrid::HybridEngine engine(s27, cfg, netlist::sequential_depth(s27), rng);
+  EXPECT_THROW(fresh.resume(snap, engine), serialize::SnapshotError);
+  std::remove(snap.c_str());
+}
+
+// The kill-and-resume differential suite: on every registry circuit, stop a
+// run at a randomized mid-pass tick (writing one snapshot), resume it in a
+// fresh session, and require the finished result to be bit-identical to the
+// uninterrupted run — the tentpole property of the snapshot layer.
+class KillResume : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KillResume, MidPassCheckpointResumesBitIdentical) {
+  const unsigned threads = GetParam();
+  util::Rng pick(0xC0FFEE + threads);  // randomized but reproducible stops
+  for (const std::string& name : gen::registry_names()) {
+    SCOPED_TRACE("circuit " + name);
+    const netlist::Circuit c = gen::make_circuit(name);
+    // Cap the population on the big circuits to keep the sweep bounded; the
+    // differential is valid for any fixed fault list.
+    const fault::FaultList faults = capped_faults(c, 40);
+    ASSERT_GE(faults.size(), 12u);
+    const hybrid::HybridConfig cfg = cheap_config(threads);
+
+    const session::SessionResult reference = run_uninterrupted(c, faults, cfg);
+
+    // Runs with stop_after_ticks = stop, resuming from the snapshot if the
+    // stop fired (fault dropping can finish a run in very few ticks, so a
+    // deep stop may never trigger — the run then completed uninterrupted
+    // and must equal the reference directly).
+    const auto kill_and_resume =
+        [&](long stop) -> session::SessionResult {
+      const std::string snap = testing::TempDir() + "kr_" + name + "_t" +
+                               std::to_string(threads) + ".snap";
+      std::remove(snap.c_str());
+      session::SessionResult partial;
+      {
+        session::SessionConfig scfg = session_config(cfg);
+        scfg.checkpoint.path = snap;
+        scfg.checkpoint.stop_after_ticks = stop;
+        session::Session s(c, faults, scfg);
+        util::Rng rng(cfg.seed);
+        hybrid::HybridEngine engine(c, cfg, netlist::sequential_depth(c),
+                                    rng);
+        partial = s.run(engine, cfg.schedule);
+      }
+      std::FILE* f = std::fopen(snap.c_str(), "rb");
+      if (!f) return partial;  // stop never fired: completed uninterrupted
+      std::fclose(f);
+      EXPECT_LT(partial.passes.size(), cfg.schedule.passes.size());
+
+      session::Session resumed(c, faults, session_config(cfg));
+      util::Rng rng(cfg.seed);  // overwritten by the restored engine state
+      hybrid::HybridEngine engine(c, cfg, netlist::sequential_depth(c), rng);
+      resumed.resume(snap, engine);
+      const session::SessionResult finished =
+          resumed.run(engine, cfg.schedule);
+      std::remove(snap.c_str());
+      return finished;
+    };
+
+    {
+      // The first tick always fires, so every circuit exercises a real
+      // mid-pass resume at least once.
+      SCOPED_TRACE("stop tick 1");
+      expect_identical(reference, kill_and_resume(1));
+    }
+    {
+      const long stop = 2 + static_cast<long>(pick.below(6));
+      SCOPED_TRACE("stop tick " + std::to_string(stop));
+      expect_identical(reference, kill_and_resume(stop));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KillResume, ::testing::Values(1u, 4u));
+
+}  // namespace
+}  // namespace gatpg

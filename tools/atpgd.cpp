@@ -1,0 +1,33 @@
+// atpgd — the persistent ATPG service over stdin/stdout.
+//
+// Requests arrive as u32-LE length-prefixed text frames on stdin; events
+// stream as JSON lines on stdout (see src/service/daemon.h for the command
+// set and DESIGN.md §4i for the protocol).  A socket front-end can wrap
+// this binary 1:1 (e.g. socat UNIX-LISTEN:... EXEC:atpgd).
+//
+// Usage: atpgd [--checkpoint-dir=DIR] [--interval=SECONDS]
+//   --checkpoint-dir  default snapshot location for jobs that don't pass
+//                     checkpoint=; each job writes <dir>/<job>.snap.shardK
+//   --interval        default auto-checkpoint interval for submitted jobs
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/daemon.h"
+
+int main(int argc, char** argv) {
+  gatpg::service::DaemonConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      config.checkpoint_dir = arg.substr(17);
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      config.default_interval_s = std::atof(arg.c_str() + 11);
+    } else {
+      std::fprintf(stderr, "atpgd: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  gatpg::service::Daemon daemon(config, stdin, stdout);
+  return daemon.serve();
+}

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Threshold check for bench JSON reports against committed snapshots.
+
+One checker, per-bench threshold specs.  Every bench shares the same
+contract:
+
+  * the fresh run's bench arguments must match the snapshot's (comparing
+    counters across different workloads is meaningless);
+  * the bench's self-check invariants must hold (cross-mode/config
+    identity booleans emitted by the bench itself);
+  * deterministic counters must equal the snapshot exactly, per circuit
+    and per result row — the simulated/searched work is bit-stable across
+    commits, so any drift is a behavior change, not noise;
+  * a wall-clock-derived overall ratio must stay above a floor that sits
+    deliberately below the locally-measured value to absorb CI runner
+    noise (a real regression drops the ratio toward 1.0).
+
+Supported benches:
+
+  detengine   BENCH_detengine.json — deterministic-engine search counters,
+              FrameModel pool-reuse regression guard, flat-layout speedup
+              floor (ratio key overall_flat_speedup, default floor 1.15).
+  faultsim    BENCH_faultsim.json — fault-simulator gate-eval/grouping
+              counters per (engine, threads) row, differential-mode
+              gate-eval reduction floor (ratio key
+              overall_gate_eval_reduction, default floor 1.5).
+
+Usage:
+  check_bench.py --bench detengine --fresh build/BENCH_detengine.json \
+      --snapshot BENCH_detengine.json [--min-ratio 1.15]
+  check_bench.py --bench faultsim --fresh build/BENCH_faultsim.json \
+      --snapshot BENCH_faultsim.json [--min-ratio 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def detengine_pool_guard(name, fresh_row, snap_row, errors):
+    """Pool-reuse regression: constructions must not grow (acquires scale
+    with the fault count, builds stay at a handful)."""
+    if fresh_row.get("model_builds", 0) > snap_row.get("model_builds", 0):
+        errors.append(
+            f"{name}: pool constructions regressed "
+            f"{snap_row.get('model_builds')} -> "
+            f"{fresh_row.get('model_builds')} (reset-and-reuse broken?)")
+
+
+BENCH_SPECS = {
+    "detengine": {
+        "args": ("max_faults", "backtracks", "solutions", "repeat"),
+        "invariants": {
+            "identical_across_modes":
+                "a mode/layout changed the search result",
+            "counters_unchanged":
+                "the flat layout's gate_evals/events diverged from the "
+                "legacy layout",
+        },
+        # One result row per engine mode within a circuit.
+        "row_key": lambda r: r["engine"],
+        "counters": ("decisions", "backtracks", "gate_evals", "events",
+                     "solved", "untestable"),
+        "row_guards": {"incremental-flat-pooled": detengine_pool_guard},
+        "ratio_key": "overall_flat_speedup",
+        "default_floor": 1.15,
+    },
+    "faultsim": {
+        "args": ("vectors", "repeat"),
+        "invariants": {
+            "consistent_across_configs":
+                "an engine/thread configuration diverged from the "
+                "full-sweep reference",
+        },
+        # One result row per (engine, thread-count) configuration.
+        "row_key": lambda r: f"{r['engine']}@t{r['threads']}",
+        "counters": ("gate_evals", "good_gate_evals", "group_vectors",
+                     "group_vectors_skipped", "groups_repacked", "detected"),
+        "row_guards": {},
+        "ratio_key": "overall_gate_eval_reduction",
+        "default_floor": 1.5,
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(spec, fresh, snap, floor):
+    errors = []
+
+    for key in spec["args"]:
+        if fresh.get(key) != snap.get(key):
+            errors.append(
+                f"bench arg mismatch: {key} fresh={fresh.get(key)} "
+                f"snapshot={snap.get(key)} (rerun with the snapshot's args)")
+
+    for key, message in spec["invariants"].items():
+        if not fresh.get(key, False):
+            errors.append(f"{key} is false: {message}")
+
+    snap_circuits = {c["name"]: c for c in snap.get("circuits", [])}
+    fresh_circuits = {c["name"]: c for c in fresh.get("circuits", [])}
+    row_key = spec["row_key"]
+    for name, sc in snap_circuits.items():
+        fc = fresh_circuits.get(name)
+        if fc is None:
+            errors.append(f"{name}: missing from fresh run")
+            continue
+        snap_rows = {row_key(r): r for r in sc["results"]}
+        fresh_rows = {row_key(r): r for r in fc["results"]}
+        for key, sr in snap_rows.items():
+            fr = fresh_rows.get(key)
+            if fr is None:
+                errors.append(f"{name}/{key}: missing from fresh run")
+                continue
+            for counter in spec["counters"]:
+                if fr.get(counter) != sr.get(counter):
+                    errors.append(
+                        f"{name}/{key}: {counter} changed "
+                        f"{sr.get(counter)} -> {fr.get(counter)}")
+            guard = spec["row_guards"].get(fr.get("engine"))
+            if guard:
+                guard(name, fr, sr, errors)
+
+    ratio = fresh.get(spec["ratio_key"], 0.0)
+    if ratio < floor:
+        errors.append(
+            f"{spec['ratio_key']} {ratio:.3f} below floor {floor:.2f} "
+            f"(snapshot recorded {snap.get(spec['ratio_key'], 0.0):.3f})")
+    return errors, ratio
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, choices=sorted(BENCH_SPECS),
+                    help="which bench's thresholds to apply")
+    ap.add_argument("--fresh", required=True,
+                    help="bench JSON from this run")
+    ap.add_argument("--snapshot", required=True,
+                    help="committed reference bench JSON")
+    ap.add_argument("--min-ratio", type=float, default=None,
+                    help="floor for the bench's overall wall-clock ratio "
+                         "(default: per-bench)")
+    args = ap.parse_args()
+
+    spec = BENCH_SPECS[args.bench]
+    floor = args.min_ratio if args.min_ratio is not None \
+        else spec["default_floor"]
+    errors, ratio = check(spec, load(args.fresh), load(args.snapshot), floor)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK [{args.bench}]: counters stable, "
+          f"{spec['ratio_key']} x{ratio:.2f} >= {floor:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
