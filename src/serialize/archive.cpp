@@ -141,9 +141,21 @@ Reader Reader::from_file(const std::string& path) {
 }
 
 void Reader::need(std::size_t n) const {
+  // pos_ never passes the limit, so limit - pos_ cannot underflow; comparing
+  // this way keeps a corrupt length near SIZE_MAX from wrapping pos_ + n.
   const std::size_t limit = in_section_ ? section_end_ : end_;
-  if (pos_ + n > limit)
+  if (n > limit - pos_)
     throw SnapshotError("archive: truncated read (need " + std::to_string(n) + " bytes)");
+}
+
+std::uint64_t Reader::count(std::size_t min_elem_bytes) {
+  const std::uint64_t n = u64();
+  const std::size_t limit = in_section_ ? section_end_ : end_;
+  const std::size_t per = min_elem_bytes == 0 ? 1 : min_elem_bytes;
+  if (n > (limit - pos_) / per)
+    throw SnapshotError("archive: element count " + std::to_string(n) +
+                        " exceeds remaining payload");
+  return n;
 }
 
 std::uint8_t Reader::u8() {
@@ -194,7 +206,7 @@ void Reader::enter_section(const char (&tag)[5]) {
     throw SnapshotError(std::string("archive: expected section ") + tag + ", found " + got);
   pos_ += 4;
   const std::uint64_t len = u64();
-  if (pos_ + len > end_) throw SnapshotError("archive: section length exceeds payload");
+  if (len > end_ - pos_) throw SnapshotError("archive: section length exceeds payload");
   section_end_ = pos_ + len;
   in_section_ = true;
 }

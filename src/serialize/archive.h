@@ -127,6 +127,13 @@ class Reader {
   std::vector<std::uint8_t> bytes();
   std::string str();
 
+  /// Reads a u64 element count and verifies it is plausible: each element
+  /// occupies at least `min_elem_bytes` of payload, so the count may not
+  /// exceed the bytes remaining in the current section.  Use in place of
+  /// u64() before resize()/reserve() on container loads so a corrupt count
+  /// cannot force a huge allocation.
+  std::uint64_t count(std::size_t min_elem_bytes);
+
   /// Enters the next section, which must carry `tag`; records its extent.
   void enter_section(const char (&tag)[5]);
   /// Leaves the current section, verifying it was consumed exactly.

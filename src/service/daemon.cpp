@@ -1,5 +1,7 @@
 #include "service/daemon.h"
 
+#include <sys/stat.h>
+
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
@@ -95,7 +97,14 @@ void write_frame(std::FILE* out, const std::string& payload) {
 }
 
 Daemon::Daemon(DaemonConfig config, std::FILE* in, std::FILE* out)
-    : config_(std::move(config)), in_(in), out_(out) {}
+    : config_(std::move(config)), in_(in), out_(out) {
+  // Best-effort: make sure the default snapshot directory exists before the
+  // first job tries to auto-checkpoint into it.  If it still can't be
+  // written to, the submit fails with an error event, not a crash.
+  if (!config_.checkpoint_dir.empty()) {
+    ::mkdir(config_.checkpoint_dir.c_str(), 0777);
+  }
+}
 
 void Daemon::emit(util::JsonWriter& line) {
   const std::lock_guard<std::mutex> lock(out_mu_);

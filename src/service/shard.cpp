@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <thread>
 
@@ -169,7 +170,9 @@ bool WarmStoreCache::seed(session::Session& session, unsigned shards,
     serialize::Reader r(entry.archive);
     session.state_store().load(r);
   } catch (const serialize::SnapshotError&) {
-    // Config mismatch or corruption: start cold.
+    // Config mismatch or corruption: discard whatever a partial load left
+    // behind so the shard genuinely starts cold.
+    session.state_store().clear();
     entries_.erase(it);
     return false;
   }
@@ -249,20 +252,35 @@ ShardedResult run_sharded(const netlist::Circuit& c,
 
   // Phase 2 (parallel): worker w runs shards w, w+W, ... sequentially on
   // its own thread; shard slots are disjoint, so no synchronization beyond
-  // join is needed and results cannot depend on W.
+  // join is needed and results cannot depend on W.  A shard whose run
+  // throws (e.g. its auto-checkpoint path is unwritable) must not let the
+  // exception escape its thread — that would std::terminate the process —
+  // so each lane captures the failure, every lane is joined, and the first
+  // failing shard's exception is rethrown to the caller afterwards.
   std::vector<session::SessionResult> results(shards);
+  std::vector<std::exception_ptr> errors(shards);
   const unsigned requested =
       job.workers == 0 ? util::ParallelConfig{}.resolved() : job.workers;
   const unsigned workers = std::max(1u, std::min(requested, shards));
   auto run_lane = [&](unsigned w) {
     for (unsigned s = w; s < shards; s += workers) {
-      results[s] = sessions[s]->run(*engines[s], configs[s].schedule);
+      try {
+        results[s] = sessions[s]->run(*engines[s], configs[s].schedule);
+      } catch (...) {
+        errors[s] = std::current_exception();
+        return;  // the job is failing; don't burn time on this lane's rest
+      }
     }
   };
   std::vector<std::thread> pool;
   for (unsigned w = 1; w < workers; ++w) pool.emplace_back(run_lane, w);
   run_lane(0);
   for (std::thread& t : pool) t.join();
+  for (unsigned s = 0; s < shards; ++s) {
+    // Lowest shard index wins so the reported error is worker-count
+    // independent.
+    if (errors[s]) std::rethrow_exception(errors[s]);
+  }
 
   // Phase 3 (serial): capture warm stores and merge in shard order.
   if (warm) {

@@ -222,7 +222,7 @@ void Session::resume(const std::string& path, Engine& engine) {
   r.leave_section();
 
   r.enter_section("PROG");
-  completed_outcomes_.resize(r.u64());
+  completed_outcomes_.resize(r.count(32));  // three u64 + one f64 per row
   for (PassOutcome& po : completed_outcomes_) {
     po.detected = r.u64();
     po.vectors = r.u64();

@@ -42,12 +42,12 @@ void TestSetBuilder::load(serialize::Reader& r) {
   r.enter_section("TSET");
   test_set_.clear();
   segments_.clear();
-  const std::uint64_t num_segments = r.u64();
+  const std::uint64_t num_segments = r.count(8);
   segments_.reserve(num_segments);
   for (std::uint64_t s = 0; s < num_segments; ++s) {
-    sim::Sequence seg(r.u64());
+    sim::Sequence seg(r.count(8));  // each vector carries its u64 length
     for (sim::Vector3& vec : seg) {
-      vec.resize(r.u64());
+      vec.resize(r.count(1));  // one byte per ternary value
       for (sim::V3& v : vec) {
         const std::uint8_t byte = r.u8();
         if (byte > static_cast<std::uint8_t>(sim::V3::kX))

@@ -255,7 +255,7 @@ void write_state(serialize::Writer& w, const State3& s) {
 }
 
 State3 read_state(serialize::Reader& r) {
-  State3 s(r.u64());
+  State3 s(r.count(1));  // one byte per ternary value
   for (sim::V3& v : s) {
     const std::uint8_t byte = r.u8();
     if (byte > static_cast<std::uint8_t>(sim::V3::kX))
@@ -271,7 +271,7 @@ void write_sequence(serialize::Writer& w, const Sequence& seq) {
 }
 
 Sequence read_sequence(serialize::Reader& r) {
-  Sequence seq(r.u64());
+  Sequence seq(r.count(8));  // each vector carries at least its u64 length
   for (sim::Vector3& vec : seq) vec = read_state(r);
   return seq;
 }
@@ -412,21 +412,21 @@ void StateStore::load(serialize::Reader& r) {
   }
 
   justified_.clear();
-  justified_.resize(r.u64());
+  justified_.resize(r.count(16));  // cube + sequence lengths
   for (JustifiedEntry& e : justified_) {
     e.cube = read_state(r);
     e.sequence = read_sequence(r);
   }
   unjustifiable_.clear();
-  unjustifiable_.resize(r.u64());
+  unjustifiable_.resize(r.count(8));
   for (State3& u : unjustifiable_) u = read_state(r);
 
-  std::vector<std::shared_ptr<const Sequence>> table(r.u64());
+  std::vector<std::shared_ptr<const Sequence>> table(r.count(8));
   for (auto& p : table)
     p = std::make_shared<const Sequence>(read_sequence(r));
   for (auto* pool : {&reachable_, &near_misses_}) {
     pool->clear();
-    pool->resize(r.u64());
+    pool->resize(r.count(32));  // state length + index + prefix_len + stamp
     for (TraceEntry& e : *pool) {
       e.state = read_state(r);
       const std::uint64_t idx = r.u64();
@@ -438,7 +438,7 @@ void StateStore::load(serialize::Reader& r) {
     }
   }
 
-  const std::uint64_t forward_count = r.u64();
+  const std::uint64_t forward_count = r.count(1);  // one valid byte each
   forward_.clear();
   forward_valid_.clear();
   forward_.resize(forward_count);
@@ -453,6 +453,17 @@ void StateStore::load(serialize::Reader& r) {
   next_stamp_ = r.u64();
   read_stats(r, stats_);
   r.leave_section();
+}
+
+void StateStore::clear() {
+  justified_.clear();
+  unjustifiable_.clear();
+  reachable_.clear();
+  near_misses_.clear();
+  forward_.clear();
+  forward_valid_.clear();
+  next_stamp_ = 0;
+  stats_ = StateStoreStats{};
 }
 
 void StateStore::drop_unverified() {

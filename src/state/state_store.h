@@ -186,6 +186,12 @@ class StateStore {
   void save(serialize::Writer& w) const;
   void load(serialize::Reader& r);
 
+  /// Resets every cache, the stamp counter, and the stats to the
+  /// freshly-constructed state (config and verify machines are kept), so a
+  /// store a partial load() left half-populated can be returned to the
+  /// genuine cold-start state.
+  void clear();
+
   /// Drops the knowledge that is only sound for the exact netlist it was
   /// learned on: unjustifiable-cube proofs and per-fault forward solutions.
   /// Justified sequences, reachable states, and near misses survive — they

@@ -91,7 +91,7 @@ void RandomEngine::load_state(serialize::Reader& r) {
   std::array<std::uint64_t, 4> words;
   for (std::uint64_t& word : words) word = r.u64();
   rng_.set_state_words(words);
-  weights_.resize(r.u64());
+  weights_.resize(r.count(8));  // one f64 per weight
   for (double& weight : weights_) weight = r.f64();
   stagnant_ = r.u32();
   resuming_ = true;

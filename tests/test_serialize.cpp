@@ -118,6 +118,32 @@ TEST(Archive, HeaderAndDigestValidation) {
   }
 }
 
+TEST(Archive, HugeLengthIsRejectedNotWrapped) {
+  // A length field near SIZE_MAX must fail the bounds check, not wrap
+  // pos_ + n and slip past it into invalid iterator arithmetic.
+  serialize::Writer w;
+  w.begin_section("EVIL");
+  w.u64(~0ULL);  // claims SIZE_MAX payload bytes
+  w.end_section();
+  serialize::Reader r(w.finish());
+  r.enter_section("EVIL");
+  EXPECT_THROW(r.bytes(), serialize::SnapshotError);
+}
+
+TEST(Archive, CountRejectsImplausibleElementCounts) {
+  serialize::Writer w;
+  w.begin_section("CNTS");
+  w.u64(3);  // plausible: three 8-byte elements follow
+  for (int i = 0; i < 3; ++i) w.u64(static_cast<std::uint64_t>(i));
+  w.u64(1u << 20);  // implausible: nothing follows
+  w.end_section();
+  serialize::Reader r(w.finish());
+  r.enter_section("CNTS");
+  EXPECT_EQ(r.count(8), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.u64(), static_cast<std::uint64_t>(i));
+  EXPECT_THROW(r.count(8), serialize::SnapshotError);
+}
+
 TEST(Archive, FileRoundTripAndMissingFile) {
   const std::string path = testing::TempDir() + "archive_roundtrip.snap";
   serialize::Writer w;
@@ -256,6 +282,48 @@ TEST(StateStoreSnapshot, RoundTripAndConfigGuard) {
   state::StateStore mismatched(c, other);
   serialize::Reader r2(archive);
   EXPECT_THROW(mismatched.load(r2), serialize::SnapshotError);
+}
+
+TEST(StateStoreSnapshot, ClearAfterPartialLoadRestoresTheColdState) {
+  using sim::V3;
+  const netlist::Circuit c = gen::make_circuit("s27");
+  state::StateStoreConfig cfg;
+  cfg.enabled = true;
+
+  // Forge a structurally valid archive (good header and digest) that passes
+  // the config guard but carries an invalid ternary byte, so load() throws
+  // only after it has started repopulating the caches.
+  serialize::Writer w;
+  w.begin_section("STOR");
+  w.boolean(cfg.enabled);
+  w.u64(cfg.max_justified);
+  w.u64(cfg.max_unjustifiable);
+  w.u64(cfg.max_reachable);
+  w.u64(cfg.max_near_misses);
+  w.u32(cfg.max_verifies_per_lookup);
+  w.f64(cfg.ga_seed_fraction);
+  w.u64(1);   // one justified entry
+  w.u64(1);   // cube of one literal
+  w.u8(0);    // a valid ternary value
+  w.u64(1);   // sequence of one vector
+  w.u64(1);   // vector of one bit
+  w.u8(99);   // invalid ternary value -> throws mid-load
+  w.end_section();
+
+  state::StateStore store(c, cfg);
+  sim::State3 cube(c.flip_flops().size(), V3::kX);
+  cube[0] = V3::k1;
+  store.record_unjustifiable(cube);
+  ASSERT_NE(store.digest(), state::StateStore(c, cfg).digest());
+
+  serialize::Reader r(w.finish());
+  EXPECT_THROW(store.load(r), serialize::SnapshotError);
+  // The failed load left the store in a half-populated state; clear() must
+  // return it to exactly the freshly-constructed (cold) state.
+  store.clear();
+  EXPECT_EQ(store.digest(), state::StateStore(c, cfg).digest());
+  EXPECT_EQ(store.justified_size(), 0u);
+  EXPECT_EQ(store.unjustifiable_size(), 0u);
 }
 
 TEST(StateStoreSnapshot, DropUnverifiedKeepsReverifiableKnowledge) {

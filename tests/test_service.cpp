@@ -10,8 +10,12 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "fault/faultlist.h"
 #include "gen/registry.h"
+#include "serialize/archive.h"
 #include "service/daemon.h"
 #include "service/shard.h"
 #include "session/session.h"
@@ -164,6 +168,21 @@ TEST(RunSharded, ResumesFromShardSnapshots) {
   for (unsigned s = 0; s < 2; ++s) {
     std::remove((base + ".shard" + std::to_string(s)).c_str());
   }
+}
+
+TEST(RunSharded, UnwritableCheckpointPathThrowsInsteadOfTerminating) {
+  // An auto-checkpoint into a nonexistent directory fails on a worker
+  // thread; the exception must surface to the caller as a SnapshotError
+  // (the daemon turns it into an error event), never std::terminate.
+  const netlist::Circuit c = gen::make_circuit("s27");
+  const fault::FaultList full = fault::collapse(c);
+  service::ShardJobConfig job;
+  job.shards = 2;
+  job.workers = 2;
+  job.hybrid = cheap_config();
+  job.checkpoint_path = testing::TempDir() + "no_such_dir_xyz/job.snap";
+  job.checkpoint_every_ticks = 1;
+  EXPECT_THROW(service::run_sharded(c, full, job), serialize::SnapshotError);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +340,40 @@ TEST(Daemon, SubmitRunsShardedJobAndStreamsEvents) {
   EXPECT_EQ(daemon.warm_cache().size(), 2u);
   std::fclose(in);
   std::fclose(out);
+}
+
+TEST(Daemon, CheckpointFailureEmitsErrorEventAndKeepsServing) {
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  service::Daemon daemon({}, in, out);
+  EXPECT_TRUE(daemon.handle_request(
+      "submit circuit=s27 every_ticks=1 checkpoint=" + testing::TempDir() +
+      "missing_dir_for_atpgd/job.snap"));
+  EXPECT_TRUE(daemon.handle_request("status"));
+
+  const std::string log = drain(out);
+  EXPECT_NE(log.find("\"event\":\"error\""), std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"status\""), std::string::npos);
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(Daemon, CreatesConfiguredCheckpointDir) {
+  const std::string dir = testing::TempDir() + "atpgd_ckpt_dir";
+  ::rmdir(dir.c_str());
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  service::DaemonConfig config;
+  config.checkpoint_dir = dir;
+  service::Daemon daemon(config, in, out);
+  struct stat st {};
+  EXPECT_EQ(::stat(dir.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  std::fclose(in);
+  std::fclose(out);
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace
