@@ -23,10 +23,21 @@
 // flat layout exactly match the legacy layout; exit status is nonzero on
 // any mismatch.
 //
-// Usage: bench_detengine [--seed=N] [--full] [--max-faults=N]
+// A second phase benches speculative parallel fault targeting (DESIGN.md
+// §4j): each circuit runs a backtrack-bounded hybrid session serially and
+// at --threads=N lanes, verifies the two results are bit-identical (the
+// in-order-commit determinism contract), and records the lane path's
+// speculation ledger — speculated / committed / discarded tasks and the
+// wasted gate evaluations of discarded work — plus the serial/parallel
+// wall-clock ratio and the host's hardware_concurrency (so the checker
+// knows when the speedup figure was measured without enough cores to
+// mean anything).
+//
+// Usage: bench_detengine [--seed=N] [--full] [--threads=N] [--max-faults=N]
 //                        [--backtracks=N] [--solutions=N] [--repeat=N]
 //                        [names...]
-//   --full adds the largest analog (g5378).
+//   --full adds the largest analog (g5378); --threads sets the speculative
+//   lane count of the targeting phase (default 4).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +48,12 @@
 #include "common.h"
 #include "fault/faultlist.h"
 #include "gen/registry.h"
+#include "hybrid/hybrid_atpg.h"
+#include "netlist/depth.h"
+#include "session/session.h"
 #include "util/json_writer.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -153,6 +169,84 @@ FaultResult run_fault(const netlist::Circuit& c, const fault::Fault& f,
   if (r.solutions > 0) ++sample.solved;
   if (r.status == atpg::ForwardStatus::kUntestable) ++sample.untestable;
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: speculative parallel fault targeting (serial vs N lanes).
+
+/// Backtrack-bounded GA+deterministic schedule — no wall-clock limits, the
+/// shape the speculative lane path accepts, so serial and lane runs are a
+/// pure function of (circuit, fault list, seed) and comparable bit for bit.
+hybrid::HybridConfig targeting_config(unsigned lanes, std::uint64_t seed,
+                                      long backtracks) {
+  hybrid::HybridConfig cfg;
+  session::PassConfig ga;
+  ga.mode = session::JustifyMode::kGenetic;
+  ga.time_limit_s = 0.0;
+  ga.max_backtracks = backtracks;
+  ga.ga_population = 64;
+  ga.ga_generations = 2;
+  ga.seq_len_multiplier = 2.0;
+  session::PassConfig det;
+  det.mode = session::JustifyMode::kDeterministic;
+  det.time_limit_s = 0.0;
+  det.max_backtracks = backtracks;
+  cfg.schedule.passes = {ga, det};
+  cfg.max_solutions_per_fault = 4;
+  cfg.seed = seed;
+  cfg.parallel.threads = 1;
+  cfg.state_store.enabled = true;
+  cfg.target_parallel.lanes = lanes;
+  return cfg;
+}
+
+struct TargetSample {
+  unsigned lanes = 1;
+  double wall_s = 0.0;
+  hybrid::SpecStats spec;
+  session::SessionResult result;
+};
+
+TargetSample run_targeting(const netlist::Circuit& c,
+                           const fault::FaultList& faults, unsigned lanes,
+                           std::uint64_t seed, long backtracks, int repeat) {
+  const hybrid::HybridConfig cfg = targeting_config(lanes, seed, backtracks);
+  session::SessionConfig scfg;
+  scfg.faultsim = cfg.faultsim;
+  scfg.faultsim.parallel = cfg.parallel;
+  scfg.state_store = cfg.state_store;
+  scfg.target_parallel = cfg.target_parallel;
+  TargetSample out;
+  out.lanes = lanes;
+  for (int rep = 0; rep < repeat; ++rep) {
+    session::Session s(c, faults, scfg);
+    util::Rng rng(cfg.seed);
+    hybrid::HybridEngine engine(c, cfg, netlist::sequential_depth(c), rng);
+    const util::Stopwatch sw;
+    session::SessionResult result = s.run(engine, cfg.schedule);
+    const double elapsed = sw.seconds();
+    // Min across repeats (noise only adds time); the counters and the
+    // speculation ledger are kept from the last repeat — the task counts
+    // are deterministic, only wasted_gate_evals varies with how far a
+    // discarded lane got before noticing the cancel flag.
+    out.wall_s = rep == 0 ? elapsed : std::min(out.wall_s, elapsed);
+    out.spec = engine.spec_stats();
+    out.result = std::move(result);
+  }
+  return out;
+}
+
+/// The determinism contract of DESIGN.md §4j, checked on the bench's own
+/// runs: every output bit of the lane run equals the serial run.
+bool targeting_identical(const session::SessionResult& a,
+                         const session::SessionResult& b) {
+  return a.digests.faults == b.digests.faults &&
+         a.digests.tests == b.digests.tests &&
+         a.digests.store == b.digests.store &&
+         a.fault_state == b.fault_state && a.test_set == b.test_set &&
+         a.segments == b.segments &&
+         a.counters.committed_tests == b.counters.committed_tests &&
+         a.counters.det_gate_evals == b.counters.det_gate_evals;
 }
 
 const char* status_name(atpg::ForwardStatus s) {
@@ -326,6 +420,68 @@ int main(int argc, char** argv) {
                           : 0.0;
   const double overall_flat_speedup =
       flat_wall_total > 0 ? legacy_wall_total / flat_wall_total : 0.0;
+
+  // Phase 2: speculative parallel targeting, serial vs `lanes` lanes.
+  const unsigned lanes = options.threads ? options.threads : 4;
+  const unsigned hardware = util::ParallelConfig{}.resolved();
+  std::printf(
+      "Speculative targeting phase (lanes=%u, hardware_concurrency=%u)\n\n",
+      lanes, hardware);
+  struct TargetingRow {
+    std::string name;
+    std::size_t faults = 0;
+    TargetSample serial;
+    TargetSample parallel;
+    bool identical = false;
+  };
+  std::vector<TargetingRow> targeting;
+  bool targeting_ok = true;
+  double serial_wall_total = 0.0;
+  double lanes_wall_total = 0.0;
+  for (const std::string& name : names) {
+    const auto c = gen::make_circuit(name);
+    fault::FaultList tf = fault::collapse(c);
+    if (tf.size() > max_faults) {
+      tf.faults.resize(max_faults);
+      tf.class_sizes.resize(max_faults);
+    }
+    TargetingRow row;
+    row.name = name;
+    row.faults = tf.size();
+    row.serial =
+        run_targeting(c, tf, 1, options.seed, backtracks, repeat);
+    row.parallel =
+        run_targeting(c, tf, lanes, options.seed, backtracks, repeat);
+    row.identical = targeting_identical(row.serial.result,
+                                        row.parallel.result);
+    if (!row.identical) {
+      targeting_ok = false;
+      std::printf(
+          "ERROR: %s lane targeting diverges from serial "
+          "(tests %zu vs %zu, digest %016llx vs %016llx)\n",
+          name.c_str(), row.serial.result.test_set.size(),
+          row.parallel.result.test_set.size(),
+          static_cast<unsigned long long>(row.serial.result.digests.tests),
+          static_cast<unsigned long long>(
+              row.parallel.result.digests.tests));
+    }
+    serial_wall_total += row.serial.wall_s;
+    lanes_wall_total += row.parallel.wall_s;
+    std::printf(
+        "%-8s serial=%8.2fms  lanes(%u)=%8.2fms  x%.2f  spec=%ld "
+        "committed=%ld discarded=%ld wasted_evals=%ld  identity %s\n",
+        name.c_str(), row.serial.wall_s * 1e3, lanes,
+        row.parallel.wall_s * 1e3,
+        row.parallel.wall_s > 0 ? row.serial.wall_s / row.parallel.wall_s
+                                : 0.0,
+        row.parallel.spec.speculated, row.parallel.spec.committed,
+        row.parallel.spec.discarded, row.parallel.spec.wasted_gate_evals,
+        row.identical ? "OK" : "FAILED");
+    targeting.push_back(std::move(row));
+  }
+  const double target_speedup =
+      lanes_wall_total > 0 ? serial_wall_total / lanes_wall_total : 0.0;
+  std::printf("\n");
   util::JsonWriter json(util::JsonWriter::Style::kPretty);
   json.begin_object();
   json.field("bench", "detengine");
@@ -333,10 +489,14 @@ int main(int argc, char** argv) {
   json.field("backtracks", backtracks);
   json.field("solutions", max_solutions);
   json.field("repeat", repeat);
+  json.field("threads", lanes);
+  json.field("hardware_concurrency", hardware);
   json.field("identical_across_modes", consistent);
   json.field("counters_unchanged", counters_ok);
+  json.field("targeting_identical", targeting_ok);
   json.field("overall_gate_eval_reduction", overall_reduction);
   json.field("overall_flat_speedup", overall_flat_speedup);
+  json.field("target_speedup", target_speedup);
   json.key("circuits").begin_array();
   for (const CircuitResult& cr : results) {
     json.begin_object();
@@ -369,6 +529,34 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("targeting").begin_array();
+  for (const TargetingRow& row : targeting) {
+    json.begin_object();
+    json.field("name", row.name);
+    json.field("faults", row.faults);
+    json.field("identical", row.identical);
+    json.field("speedup", row.parallel.wall_s > 0
+                              ? row.serial.wall_s / row.parallel.wall_s
+                              : 0.0);
+    json.key("rows").begin_array();
+    for (const TargetSample* s : {&row.serial, &row.parallel}) {
+      json.begin_object();
+      json.field("lanes", s->lanes);
+      json.field("wall_s", s->wall_s);
+      json.field("detected", s->result.detected());
+      json.field("vectors", s->result.test_set.size());
+      json.field("speculated", s->spec.speculated);
+      json.field("committed", s->spec.committed);
+      json.field("discarded", s->spec.discarded);
+      // Timing-dependent (how far a discarded lane ran before noticing the
+      // cancel flag): report-only, never gated.
+      json.field("wasted_gate_evals", s->spec.wasted_gate_evals);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
   if (!json.write_file("BENCH_detengine.json")) {
     std::fprintf(stderr, "cannot write BENCH_detengine.json\n");
@@ -381,7 +569,13 @@ int main(int argc, char** argv) {
       "overall flat-layout wall-clock speedup (vs legacy incremental): "
       "x%.2f\n",
       overall_flat_speedup);
+  std::printf(
+      "speculative targeting speedup (serial vs %u lanes): x%.2f%s\n", lanes,
+      target_speedup,
+      hardware < lanes ? " [hardware_concurrency below lane count]" : "");
   std::printf("wrote BENCH_detengine.json%s\n",
-              consistent && counters_ok ? "" : " (INCONSISTENT RESULTS)");
-  return consistent && counters_ok ? 0 : 1;
+              consistent && counters_ok && targeting_ok
+                  ? ""
+                  : " (INCONSISTENT RESULTS)");
+  return consistent && counters_ok && targeting_ok ? 0 : 1;
 }

@@ -400,6 +400,8 @@ class FrameModelPool {
   FrameModelHandle acquire(std::optional<fault::Fault> fault,
                            unsigned max_frames, FrameModelConfig config = {}) {
     ++acquires_;
+    ++outstanding_;
+    if (outstanding_ > peak_outstanding_) peak_outstanding_ = outstanding_;
     if (free_.empty()) {
       ++constructions_;
       all_.push_back(std::make_unique<FrameModel>(circuit_, std::move(fault),
@@ -426,6 +428,18 @@ class FrameModelPool {
   /// Models owned by the pool (free or checked out).
   std::size_t inventory() const { return all_.size(); }
 
+  /// Handles currently checked out.
+  std::size_t outstanding() const { return outstanding_; }
+
+  /// Resets the peak-outstanding watermark; subsequent acquires raise it
+  /// again.  The speculative targeting layer brackets each fault with
+  /// begin_peak_window()/peak_outstanding() to account pool demand in a
+  /// lane-count-independent way.
+  void begin_peak_window() { peak_outstanding_ = outstanding_; }
+
+  /// Highest outstanding() seen since the last begin_peak_window().
+  std::size_t peak_outstanding() const { return peak_outstanding_; }
+
   /// Pre-builds free models until the inventory reaches `inventory` —
   /// snapshot resume recreates a checkpointed pool's inventory this way so
   /// subsequent demand grows (or not) exactly like the uninterrupted run's
@@ -443,13 +457,18 @@ class FrameModelPool {
 
  private:
   friend class FrameModelHandle;
-  void release(FrameModel* m) { free_.push_back(m); }
+  void release(FrameModel* m) {
+    free_.push_back(m);
+    --outstanding_;
+  }
 
   const netlist::Circuit& circuit_;
   std::vector<std::unique_ptr<FrameModel>> all_;
   std::vector<FrameModel*> free_;
   std::uint64_t constructions_ = 0;
   std::uint64_t acquires_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t peak_outstanding_ = 0;
 };
 
 inline void FrameModelHandle::release() {

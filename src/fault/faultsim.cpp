@@ -701,18 +701,25 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
 
 bool FaultSimulator::would_detect(std::size_t fault_index,
                                   const Sequence& seq) const {
-  const Fault& f = faults_[fault_index];
-  sim::SequenceSimulator good = good_;  // copy: session state untouched
-  sim::SequenceSimulator faulty(c_);
+  return would_detect_from(c_, good_, faulty_state_[fault_index],
+                           faults_[fault_index], seq);
+}
+
+bool FaultSimulator::would_detect_from(const netlist::Circuit& c,
+                                       const sim::SequenceSimulator& good_start,
+                                       const sim::State3& faulty_state,
+                                       const Fault& f, const Sequence& seq) {
+  sim::SequenceSimulator good = good_start;  // copy: caller state untouched
+  sim::SequenceSimulator faulty(c);
   if (f.pin == kOutputPin) {
     faulty.add_output_override(f.node, f.stuck_at, ~0ULL);
   } else {
     faulty.add_input_override(f.node, static_cast<unsigned>(f.pin),
                               f.stuck_at, ~0ULL);
   }
-  faulty.set_state(faulty_state_[fault_index]);
+  faulty.set_state(faulty_state);
 
-  const auto pos = c_.primary_outputs();
+  const auto pos = c.primary_outputs();
   for (const auto& v : seq) {
     good.apply_vector(v);
     faulty.apply_vector(v);

@@ -152,6 +152,20 @@ class FaultSimulator {
   /// verify every candidate test this way before committing it.
   bool would_detect(std::size_t fault_index, const sim::Sequence& seq) const;
 
+  /// The same check against explicit machine state: would `seq`, applied to
+  /// a copy of `good_start` and a fresh faulty machine for `f` seeded with
+  /// `faulty_state`, produce a good/faulty PO difference?  Pure function of
+  /// its arguments — the speculative targeting lanes call it against an
+  /// immutable epoch snapshot instead of the live session simulator.
+  static bool would_detect_from(const netlist::Circuit& c,
+                                const sim::SequenceSimulator& good_start,
+                                const sim::State3& faulty_state, const Fault& f,
+                                const sim::Sequence& seq);
+
+  /// The live good machine (for snapshotting by the speculative targeting
+  /// layer; treat as read-only).
+  const sim::SequenceSimulator& good_machine() const { return good_; }
+
   /// Bulk non-mutating what-if over a fault subset, 64 faults per packed
   /// machine: how many of `fault_indices` would `seq` detect, and how many
   /// of the rest would it leave a fault effect on at some flip-flop

@@ -36,20 +36,19 @@ unsigned HybridEngine::ga_sequence_length(const PassConfig& pass) const {
   return std::max(4u, static_cast<unsigned>(len));
 }
 
-void HybridEngine::fill_x(Sequence& seq) {
+void HybridEngine::fill_x(Sequence& seq, util::Rng& rng) {
   for (auto& vec : seq) {
     for (auto& v : vec) {
-      if (v == V3::kX) v = rng_.bit() ? V3::k1 : V3::k0;
+      if (v == V3::kX) v = rng.bit() ? V3::k1 : V3::k0;
     }
   }
 }
 
-HybridEngine::TargetOutcome HybridEngine::target_fault(
-    session::Session& s, std::size_t fault_index, const PassConfig& pass) {
-  const fault::Fault& f = s.faults().fault(fault_index);
-  ++s.counters().targeted;
-
-  const auto deadline = util::Deadline::after_seconds(pass.time_limit_s);
+TargetResult HybridEngine::solve_target(const fault::Fault& f,
+                                        std::size_t fault_index,
+                                        const PassConfig& pass,
+                                        TargetFacilities& fx) const {
+  ++fx.counters->targeted;
 
   SearchLimits limits;
   limits.time_limit_s = pass.time_limit_s;
@@ -65,53 +64,75 @@ HybridEngine::TargetOutcome HybridEngine::target_fault(
   limits.incremental_model = config_.incremental_model;
   limits.flat_model = config_.flat_model;
 
-  ForwardEngine forward(c_, f, limits, obs_dist_, &model_pool_);
+  ForwardEngine forward(c_, f, limits, obs_dist_, fx.pool);
   const GaStateJustifier ga_justifier(c_);
-  state::StateStore& store = s.state_store();
   atpg::DeterministicJustifier det_justifier(
-      c_, limits, store.enabled() ? &store : nullptr, &model_pool_);
+      c_, limits, fx.store->enabled() ? fx.store : nullptr, fx.pool);
   // DeterministicJustifier resets its stats per justify() call; accumulate
   // them here across the attempt loop.
   atpg::SearchStats det_total;
 
-  const TargetOutcome outcome = attempt_solutions(
-      s, fault_index, pass, deadline, forward, ga_justifier, det_justifier,
-      det_total);
+  TargetResult result;
+  result.outcome = attempt_solutions(f, fault_index, pass, fx, forward,
+                                     ga_justifier, det_justifier, det_total,
+                                     result.candidate);
 
   // Deterministic-engine effort accounting (per fault and cumulative).
   const atpg::SearchStats& fs = forward.stats();
-  session::TargetEffort effort;
-  effort.fault_index = fault_index;
-  effort.decisions = fs.decisions + det_total.decisions;
-  effort.backtracks = fs.backtracks + det_total.backtracks;
-  effort.gate_evals = fs.gate_evals + det_total.gate_evals;
-  effort.events = fs.events + det_total.events;
-  EngineCounters& counters = s.counters();
-  counters.det_decisions += effort.decisions;
-  counters.det_backtracks += effort.backtracks;
-  counters.det_gate_evals += effort.gate_evals;
-  counters.det_events += effort.events;
+  result.effort.fault_index = fault_index;
+  result.effort.decisions = fs.decisions + det_total.decisions;
+  result.effort.backtracks = fs.backtracks + det_total.backtracks;
+  result.effort.gate_evals = fs.gate_evals + det_total.gate_evals;
+  result.effort.events = fs.events + det_total.events;
+  fx.counters->det_decisions += result.effort.decisions;
+  fx.counters->det_backtracks += result.effort.backtracks;
+  fx.counters->det_gate_evals += result.effort.gate_evals;
+  fx.counters->det_events += result.effort.events;
+  return result;
+}
+
+TargetOutcome HybridEngine::target_fault(
+    session::Session& s, std::size_t fault_index, const PassConfig& pass) {
+  const auto deadline = util::Deadline::after_seconds(pass.time_limit_s);
+
+  TargetFacilities fx;
+  fx.rng = &rng_;
+  fx.counters = &s.counters();
+  fx.store = &s.state_store();
+  fx.pool = &model_pool_;
+  fx.good_machine = &s.simulator().good_machine();
+  fx.good_state = s.simulator().good_state();
+  fx.faulty_state = s.simulator().fault_state(fault_index);
+  fx.deadline = &deadline;
+  fx.ga_parallel = config_.parallel;
+
+  model_pool_.begin_peak_window();
+  const std::uint64_t acquires_before = model_pool_.acquires();
+  TargetResult result =
+      solve_target(s.faults().fault(fault_index), fault_index, pass, fx);
+
+  // Commit: extend the session test set and drop everything it detects.
+  if (result.outcome.detected) s.commit_test(std::move(result.candidate));
+
+  fold_pool_window(model_pool_.acquires() - acquires_before,
+                   model_pool_.peak_outstanding());
   // Absolute pool tallies (not deltas): ≤ a handful of constructions per
   // session is the pool-reuse invariant bench_detengine asserts.  The
   // resume baselines are zero except after load_state.
-  counters.det_model_builds =
-      pool_builds_base_ + static_cast<long>(model_pool_.constructions());
-  counters.det_model_acquires =
-      pool_acquires_base_ + static_cast<long>(model_pool_.acquires());
-  if (s.observer()) s.observer()->on_target_end(s, effort);
-  return outcome;
+  mirror_pool_counters(s.counters());
+  if (s.observer()) s.observer()->on_target_end(s, result.effort);
+  return result.outcome;
 }
 
-HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
-    session::Session& s, std::size_t fault_index, const PassConfig& pass,
-    const util::Deadline& deadline, ForwardEngine& forward,
+TargetOutcome HybridEngine::attempt_solutions(
+    const fault::Fault& f, std::size_t fault_index, const PassConfig& pass,
+    TargetFacilities& fx, ForwardEngine& forward,
     const GaStateJustifier& ga_justifier,
-    atpg::DeterministicJustifier& det_justifier,
-    atpg::SearchStats& det_total) {
+    atpg::DeterministicJustifier& det_justifier, atpg::SearchStats& det_total,
+    Sequence& candidate_out) const {
   TargetOutcome outcome;
-  const fault::Fault& f = s.faults().fault(fault_index);
-  fault::FaultSimulator& fsim = s.simulator();
-  state::StateStore& store = s.state_store();
+  const util::Deadline& deadline = *fx.deadline;
+  state::StateStore& store = *fx.store;
   const bool use_store = store.enabled();
 
   // True while every justification failure so far was a completed proof of
@@ -173,7 +194,7 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
         store.cache_forward(fault_index, vectors, required);
       }
     }
-    ++s.counters().forward_solutions;
+    ++fx.counters->forward_solutions;
 
     const bool state_needed =
         std::any_of(required.begin(), required.end(),
@@ -182,20 +203,20 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
     Sequence justification;
     bool justified = false;
     if (!state_needed) {
-      ++s.counters().no_justification_needed;
+      ++fx.counters->no_justification_needed;
       justified = true;
     } else if (pass.mode == JustifyMode::kGenetic) {
       // GA justification from the current good-circuit state; the faulty
       // machine starts all-X, as §IV-A prescribes.  Check first whether the
       // current state already matches (every defined literal of the required
       // cube holds in the current state).
-      const State3 current = fsim.good_state();
+      const State3& current = fx.good_state;
       if (sim::cube_subsumes(required, current)) {
         // Good machine already there; the faulty all-X state matches only
         // X requirements, which is exactly what state_needed covers for
         // the faulty target — still attempt without extra vectors.
         justified = true;
-        ++s.counters().no_justification_needed;
+        ++fx.counters->no_justification_needed;
       } else {
         bool proven_impossible = false;
         std::optional<Sequence> cached;
@@ -213,7 +234,7 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
           justification = std::move(*cached);
           justified = true;
         } else if (!proven_impossible) {
-          ++s.counters().ga_invocations;
+          ++fx.counters->ga_invocations;
           GaJustifyConfig ga_config;
           ga_config.population = pass.ga_population;
           ga_config.generations = pass.ga_generations;
@@ -222,7 +243,7 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
           ga_config.faulty_weight = config_.ga_faulty_weight;
           ga_config.square_fitness = config_.ga_square_fitness;
           ga_config.selection = config_.selection;
-          ga_config.parallel = config_.parallel;
+          ga_config.parallel = fx.ga_parallel;
           ga_config.width = config_.faultsim.width;
           ga_config.seed = config_.seed ^ (0x9e3779b9ULL * (fault_index + 1)) ^
                            (attempt << 20);
@@ -234,7 +255,7 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
           const GaJustifyResult ga = ga_justifier.justify(
               f, required, required, current, ga_config, deadline);
           if (ga.success) {
-            ++s.counters().ga_successes;
+            ++fx.counters->ga_successes;
             if (use_store) store.record_justified(required, ga.sequence);
             justification = ga.sequence;
             justified = true;
@@ -249,14 +270,13 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
     } else {
       std::optional<Sequence> cached;
       if (use_store) {
-        cached = store.lookup_justified(f, required, required,
-                                        fsim.good_state());
+        cached = store.lookup_justified(f, required, required, fx.good_state);
       }
       if (cached) {
         justification = std::move(*cached);
         justified = true;
       } else {
-        ++s.counters().det_justify_calls;
+        ++fx.counters->det_justify_calls;
         const auto det = det_justifier.justify(required, deadline);
         const atpg::SearchStats& ds = det_justifier.stats();
         det_total.decisions += ds.decisions;
@@ -264,7 +284,7 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
         det_total.gate_evals += ds.gate_evals;
         det_total.events += ds.events;
         if (det.status == atpg::DeterministicJustifier::Status::kJustified) {
-          ++s.counters().det_justify_successes;
+          ++fx.counters->det_justify_successes;
           if (use_store) store.record_justified(required, det.sequence);
           justification = det.sequence;
           justified = true;
@@ -288,10 +308,12 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
 
     Sequence candidate = justification;
     candidate.insert(candidate.end(), vectors.begin(), vectors.end());
-    fill_x(candidate);
+    fill_x(candidate, *fx.rng);
 
-    if (!fsim.would_detect(fault_index, candidate)) {
-      ++s.counters().verify_failures;
+    if (!fault::FaultSimulator::would_detect_from(c_, *fx.good_machine,
+                                                  fx.faulty_state, f,
+                                                  candidate)) {
+      ++fx.counters->verify_failures;
       all_rejections_proven = false;
       if (deadline.expired()) {
         outcome.aborted = true;
@@ -300,9 +322,10 @@ HybridEngine::TargetOutcome HybridEngine::attempt_solutions(
       continue;
     }
 
-    // Commit: extend the session test set and drop everything it detects.
-    s.commit_test(std::move(candidate));
-    ++s.counters().committed_tests;
+    // Verified: hand the candidate up for commit (the serial wrapper or the
+    // speculative committer extends the session test set in fault order).
+    candidate_out = std::move(candidate);
+    ++fx.counters->committed_tests;
     outcome.detected = true;
     return outcome;
   }
@@ -327,6 +350,15 @@ void HybridEngine::resolve_target(session::Session& s, std::size_t fault_index,
 
 void HybridEngine::run(session::Session& s, const PassConfig& pass,
                        const util::Deadline& pass_deadline) {
+  // Speculative lanes only for passes bounded by backtracks alone: a
+  // wall-clock limit makes each target's outcome timing-dependent, which
+  // speculation cannot replay bit-identically, so those passes stay serial
+  // (see DESIGN.md §4j).
+  const unsigned lanes = s.config().target_parallel.resolved_lanes();
+  if (lanes > 1 && pass.time_limit_s <= 0 && pass.pass_budget_s <= 0) {
+    run_speculative(s, pass, pass_deadline, lanes);
+    return;
+  }
   session::FaultManager& fm = s.faults();
   // The pass cursor lives in the FaultManager so a mid-pass checkpoint
   // resumes the ascending scan at the exact next target; begin_pass()
@@ -374,9 +406,9 @@ std::size_t HybridEngine::step(session::Session& s,
 void HybridEngine::save_state(serialize::Writer& w) const {
   for (const std::uint64_t word : rng_.state_words()) w.u64(word);
   w.u64(next_target_);
-  w.i64(pool_builds_base_ + static_cast<long>(model_pool_.constructions()));
-  w.i64(pool_acquires_base_ + static_cast<long>(model_pool_.acquires()));
-  w.u64(model_pool_.inventory());
+  w.i64(pool_builds_base_ + virt_builds_);
+  w.i64(pool_acquires_base_ + virt_acquires_);
+  w.u64(virt_inventory_);
 }
 
 void HybridEngine::load_state(serialize::Reader& r) {
@@ -386,12 +418,15 @@ void HybridEngine::load_state(serialize::Reader& r) {
   next_target_ = r.u64();
   pool_builds_base_ = static_cast<long>(r.i64());
   pool_acquires_base_ = static_cast<long>(r.i64());
-  // Rebuild the checkpointed pool's inventory up front (uncounted), so
-  // post-resume demand only constructs models where the uninterrupted run
-  // would have, keeping the mirrored tallies bit-identical.
-  model_pool_.prewarm(r.u64());
-  pool_builds_base_ -= static_cast<long>(model_pool_.constructions());
-  pool_acquires_base_ -= static_cast<long>(model_pool_.acquires());
+  // The checkpointed totals become the baselines; the virtual tallies
+  // restart at zero against the checkpointed inventory, so post-resume
+  // demand only counts builds where the uninterrupted run would have.
+  // The real pool is prewarmed (uncounted) to the same inventory so its
+  // behavior matches the accounting.
+  virt_builds_ = 0;
+  virt_acquires_ = 0;
+  virt_inventory_ = r.u64();
+  model_pool_.prewarm(virt_inventory_);
 }
 
 HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
@@ -408,6 +443,7 @@ AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
   session_config.faultsim = config_.faultsim;
   session_config.faultsim.parallel = config_.parallel;
   session_config.state_store = config_.state_store;
+  session_config.target_parallel = config_.target_parallel;
   session::Session s(c_, faults_, session_config);
   s.set_observer(observer);
 

@@ -25,6 +25,7 @@
 // test-set accumulation all live in the session layer.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "atpg/detengine.h"
@@ -88,6 +89,57 @@ struct HybridConfig {
   /// Disabled by default; disabled runs are bit-identical to the
   /// store-free code path.
   state::StateStoreConfig state_store;
+  /// Speculative per-fault targeting lanes (see DESIGN.md §4j).  Only
+  /// engaged for passes without wall-clock limits (time_limit_s and
+  /// pass_budget_s both <= 0); results are bit-identical to serial at any
+  /// lane count.
+  util::TargetParallelConfig target_parallel;
+};
+
+/// What one fault target reads and writes while it solves, decoupled from
+/// the live session so the same solve runs serially (facilities point at
+/// the session's own RNG/counters/store/pool/simulator) or speculatively on
+/// a lane (facilities point at lane-local clones of an epoch snapshot).
+struct TargetFacilities {
+  util::Rng* rng = nullptr;                    ///< X-fill stream
+  session::EngineCounters* counters = nullptr; ///< activity tallies
+  state::StateStore* store = nullptr;          ///< may be disabled, never null
+  atpg::FrameModelPool* pool = nullptr;
+  /// Good machine the candidate-verify simulation starts from (the session
+  /// simulator's, or the epoch snapshot's copy).
+  const sim::SequenceSimulator* good_machine = nullptr;
+  sim::State3 good_state;    ///< good-machine FF state at target start
+  sim::State3 faulty_state;  ///< target fault's parked faulty FF state
+  const util::Deadline* deadline = nullptr;
+  /// Pool sizing for the GA justifier's fitness batches.  Lanes force
+  /// {threads = 1}: the lane itself is the parallelism, and GA results are
+  /// thread-count-invariant so the answer is unchanged.
+  util::ParallelConfig ga_parallel;
+};
+
+struct TargetOutcome {
+  bool detected = false;
+  bool untestable = false;
+  bool aborted = false;
+};
+
+/// A solved target, not yet committed: the outcome, the per-fault effort
+/// row, and (when detected) the candidate test awaiting commit_test.
+struct TargetResult {
+  TargetOutcome outcome;
+  session::TargetEffort effort;
+  sim::Sequence candidate;
+};
+
+/// Speculation-efficiency counters of the target-parallel scheduler.
+/// Deliberately not part of EngineCounters: they measure scheduling luck,
+/// not engine behavior, and differ run-to-run with lane count while every
+/// EngineCounters field stays bit-identical.
+struct SpecStats {
+  long speculated = 0;  ///< targets launched on a lane
+  long committed = 0;   ///< lane results adopted as-is
+  long discarded = 0;   ///< lane results thrown away (recomputed inline)
+  long wasted_gate_evals = 0;  ///< gate evals spent on discarded results
 };
 
 /// The per-fault targeted engine (Fig. 1).  Reusable standalone against any
@@ -107,34 +159,65 @@ class HybridEngine : public session::Engine {
                    const util::Deadline& deadline) override;
 
   /// Snapshot hooks: the X-fill RNG stream, the stepwise cursor, and the
-  /// model-pool tallies/inventory (restored as baselines + prewarm so the
-  /// mirrored absolute counters continue the checkpointed totals).
+  /// virtual model-pool tallies/inventory (restored as baselines + prewarm
+  /// so the mirrored absolute counters continue the checkpointed totals).
   void save_state(serialize::Writer& w) const override;
   void load_state(serialize::Reader& r) override;
 
- private:
-  struct TargetOutcome {
-    bool detected = false;
-    bool untestable = false;
-    bool aborted = false;
-  };
+  /// Solves one fault against the given facilities without touching any
+  /// session or engine state: every read and write goes through `fx`.
+  /// Serial targeting and the speculative lanes share this exact code, so
+  /// a lane's answer from snapshot state equals the serial answer whenever
+  /// the snapshot still matches the committed state.
+  TargetResult solve_target(const fault::Fault& f, std::size_t fault_index,
+                            const PassConfig& pass, TargetFacilities& fx) const;
 
+  /// Speculation-efficiency counters of the last/current run (cumulative
+  /// across passes; zero for serial-only runs).
+  const SpecStats& spec_stats() const { return spec_stats_; }
+
+ private:
   TargetOutcome target_fault(session::Session& session,
                              std::size_t fault_index, const PassConfig& pass);
-  /// The Fig. 1 attempt loop of target_fault; `det_total` accumulates the
-  /// deterministic justifier's per-call SearchStats across attempts.
-  TargetOutcome attempt_solutions(session::Session& session,
+  /// The Fig. 1 attempt loop of solve_target; `det_total` accumulates the
+  /// deterministic justifier's per-call SearchStats across attempts and
+  /// `candidate` receives the verified test on detection.
+  TargetOutcome attempt_solutions(const fault::Fault& f,
                                   std::size_t fault_index,
-                                  const PassConfig& pass,
-                                  const util::Deadline& deadline,
+                                  const PassConfig& pass, TargetFacilities& fx,
                                   atpg::ForwardEngine& forward,
                                   const GaStateJustifier& ga_justifier,
                                   atpg::DeterministicJustifier& det_justifier,
-                                  atpg::SearchStats& det_total);
+                                  atpg::SearchStats& det_total,
+                                  sim::Sequence& candidate) const;
   void resolve_target(session::Session& session, std::size_t fault_index,
                       const TargetOutcome& outcome);
-  void fill_x(sim::Sequence& seq);
+  /// Speculative scheduler (src/hybrid/target_parallel.cpp): lanes solve
+  /// faults ahead of the committed frontier; results commit strictly in
+  /// fault order and only when their launch epoch is still current.
+  void run_speculative(session::Session& session, const PassConfig& pass,
+                       const util::Deadline& pass_deadline, unsigned lanes);
+  static void fill_x(sim::Sequence& seq, util::Rng& rng);
   unsigned ga_sequence_length(const PassConfig& pass) const;
+
+  /// Folds one target's pool demand (acquire count and peak concurrently
+  /// checked-out models) into the virtual tallies.  In serial mode this
+  /// reproduces the real pool's constructions()/acquires() exactly (a
+  /// target's models are all released by its end, so the pool constructs
+  /// precisely when the target's peak exceeds the inventory so far); in
+  /// lane mode it reproduces what the serial pool *would* have tallied,
+  /// keeping the mirrored counters lane-count-invariant.
+  void fold_pool_window(std::uint64_t acquires_delta, std::size_t peak) {
+    virt_acquires_ += static_cast<long>(acquires_delta);
+    if (peak > virt_inventory_) {
+      virt_builds_ += static_cast<long>(peak - virt_inventory_);
+      virt_inventory_ = peak;
+    }
+  }
+  void mirror_pool_counters(session::EngineCounters& counters) const {
+    counters.det_model_builds = pool_builds_base_ + virt_builds_;
+    counters.det_model_acquires = pool_acquires_base_ + virt_acquires_;
+  }
 
   const netlist::Circuit& c_;
   const HybridConfig& config_;
@@ -143,16 +226,27 @@ class HybridEngine : public session::Engine {
   /// Observation-distance table shared by every per-fault ForwardEngine.
   atpg::ObsDistances obs_dist_;
   /// FrameModel pool shared by every per-fault ForwardEngine and
-  /// DeterministicJustifier: per-target model construction becomes a
-  /// reset-and-reuse (constructions() is mirrored into EngineCounters).
+  /// DeterministicJustifier on the committer thread: per-target model
+  /// construction becomes a reset-and-reuse.  Lanes use their own pools;
+  /// the counters mirror the *virtual* tallies below, which are identical
+  /// in both modes.
   atpg::FrameModelPool model_pool_;
   std::size_t next_target_ = 0;  // stepwise round-robin cursor
   /// Checkpointed pool tallies carried across a resume: the mirrored
-  /// counters report base + the live pool's own tallies, so a resumed
-  /// engine's fresh pool continues the uninterrupted totals (zero for a
-  /// never-resumed engine).
+  /// counters report base + the virtual tallies, so a resumed engine
+  /// continues the uninterrupted totals (zero for a never-resumed engine).
   long pool_builds_base_ = 0;
   long pool_acquires_base_ = 0;
+  /// Virtual pool accounting (see fold_pool_window).
+  long virt_builds_ = 0;
+  long virt_acquires_ = 0;
+  std::size_t virt_inventory_ = 0;
+  /// Worker pool for the speculative lanes, created on first parallel pass.
+  /// Engine-owned rather than util::shared_pool(): commits run
+  /// parallel_for_chunks (fault sim) on the shared pool, and lane tasks
+  /// parked in front of those chunks would serialize every commit.
+  std::unique_ptr<util::ThreadPool> lane_pool_;
+  SpecStats spec_stats_;
 };
 
 class HybridAtpg {

@@ -204,12 +204,19 @@ void Daemon::handle_submit(const Args& args) {
   const long backtracks = arg_l(args, "backtracks", 0);
   for (auto& pass : job.hybrid.schedule.passes) {
     pass.pass_budget_s = pass_budget;
-    if (time_limit > 0.0) pass.time_limit_s = time_limit;
+    // time_limit > 0 caps each pass; a negative value clears any wall limit
+    // the schedule baked in (required for speculative targeting lanes, which
+    // only engage on deadline-free passes).
+    if (time_limit != 0.0) pass.time_limit_s = std::max(0.0, time_limit);
     if (backtracks > 0) pass.max_backtracks = backtracks;
   }
   job.hybrid.seed = static_cast<std::uint64_t>(arg_l(args, "seed", 1));
   job.hybrid.parallel.threads =
       static_cast<unsigned>(std::max(0L, arg_l(args, "threads", 1)));
+  job.hybrid.target_parallel.lanes =
+      static_cast<unsigned>(std::max(0L, arg_l(args, "lanes", 1)));
+  job.max_pool_threads =
+      static_cast<unsigned>(std::max(0L, arg_l(args, "pool_budget", 0)));
   job.hybrid.state_store.enabled = arg_l(args, "store", 1) != 0;
 
   job.checkpoint_path = arg_s(args, "checkpoint", "");

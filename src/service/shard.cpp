@@ -8,6 +8,7 @@
 
 #include "netlist/depth.h"
 #include "serialize/archive.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace gatpg::service {
@@ -48,38 +49,6 @@ class ShardProgress : public session::ProgressObserver {
   const ShardEventFn& events_;
 };
 
-void add_counters(session::EngineCounters& a, const session::EngineCounters& b) {
-  a.targeted += b.targeted;
-  a.forward_solutions += b.forward_solutions;
-  a.ga_invocations += b.ga_invocations;
-  a.ga_successes += b.ga_successes;
-  a.det_justify_calls += b.det_justify_calls;
-  a.det_justify_successes += b.det_justify_successes;
-  a.verify_failures += b.verify_failures;
-  a.no_justification_needed += b.no_justification_needed;
-  a.aborted_faults += b.aborted_faults;
-  a.committed_tests += b.committed_tests;
-  a.det_decisions += b.det_decisions;
-  a.det_backtracks += b.det_backtracks;
-  a.det_gate_evals += b.det_gate_evals;
-  a.det_events += b.det_events;
-  a.det_model_builds += b.det_model_builds;
-  a.det_model_acquires += b.det_model_acquires;
-  a.store.seq_hits += b.store.seq_hits;
-  a.store.seq_misses += b.store.seq_misses;
-  a.store.seq_inserts += b.store.seq_inserts;
-  a.store.seq_verify_failures += b.store.seq_verify_failures;
-  a.store.unjust_hits += b.store.unjust_hits;
-  a.store.unjust_misses += b.store.unjust_misses;
-  a.store.unjust_inserts += b.store.unjust_inserts;
-  a.store.unjust_subsumed += b.store.unjust_subsumed;
-  a.store.reachable_inserts += b.store.reachable_inserts;
-  a.store.near_miss_inserts += b.store.near_miss_inserts;
-  a.store.ga_seeds_served += b.store.ga_seeds_served;
-  a.store.forward_cache_hits += b.store.forward_cache_hits;
-  a.store.forward_cache_inserts += b.store.forward_cache_inserts;
-}
-
 session::SessionResult merge_shards(
     const fault::FaultList& full, unsigned shards,
     const std::vector<session::SessionResult>& per_shard) {
@@ -105,7 +74,7 @@ session::SessionResult merge_shards(
                            r.test_set.end());
     merged.segments.insert(merged.segments.end(), r.segments.begin(),
                            r.segments.end());
-    add_counters(merged.counters, r.counters);
+    merged.counters += r.counters;
     merged.rounds += r.rounds;
     merged.evaluations += r.evaluations;
     max_passes = std::max(max_passes, r.passes.size());
@@ -207,6 +176,27 @@ ShardedResult run_sharded(const netlist::Circuit& c,
                              : netlist::sequential_depth(c);
   const std::uint64_t circuit_key = fault::identity_digest(full);
 
+  // Worker count is fixed up front so the targeting-lane budget below can
+  // see it; it is pure execution parallelism and never affects results.
+  const unsigned requested =
+      job.workers == 0 ? util::ParallelConfig{}.resolved() : job.workers;
+  const unsigned workers = std::max(1u, std::min(requested, shards));
+
+  // Per-shard speculative targeting lanes, clamped so workers × lanes never
+  // oversubscribes the job's thread budget.  Clamping is determinism-safe:
+  // the lane count never changes results, only wall clock.
+  const unsigned budget = job.max_pool_threads
+                              ? job.max_pool_threads
+                              : util::ParallelConfig{}.resolved();
+  unsigned lanes = job.hybrid.target_parallel.resolved_lanes();
+  if (lanes > 1 && workers * lanes > budget) {
+    const unsigned clamped = std::max(1u, budget / workers);
+    util::log_warn() << "run_sharded: " << workers << " workers x " << lanes
+                     << " targeting lanes exceeds thread budget " << budget
+                     << "; clamping lanes to " << clamped;
+    lanes = clamped;
+  }
+
   // Phase 1 (serial): one session + engine per shard, resumed from its
   // snapshot or warm-seeded as requested.  HybridEngine keeps references to
   // its config and RNG, so both live in parallel arrays.
@@ -218,11 +208,14 @@ ShardedResult run_sharded(const netlist::Circuit& c,
   for (unsigned s = 0; s < shards; ++s) {
     hybrid::HybridConfig& cfg = configs[s];
     cfg.seed = shard_seed(job.hybrid.seed, s);
+    cfg.target_parallel.lanes = lanes;
+    cfg.target_parallel.window = job.hybrid.target_parallel.window;
 
     session::SessionConfig scfg;
     scfg.faultsim = cfg.faultsim;
     scfg.faultsim.parallel = cfg.parallel;
     scfg.state_store = cfg.state_store;
+    scfg.target_parallel = cfg.target_parallel;
     if (!job.checkpoint_path.empty()) {
       scfg.checkpoint.path = shard_snapshot_path(job.checkpoint_path, s);
       scfg.checkpoint.interval_s = job.checkpoint_interval_s;
@@ -259,9 +252,6 @@ ShardedResult run_sharded(const netlist::Circuit& c,
   // failing shard's exception is rethrown to the caller afterwards.
   std::vector<session::SessionResult> results(shards);
   std::vector<std::exception_ptr> errors(shards);
-  const unsigned requested =
-      job.workers == 0 ? util::ParallelConfig{}.resolved() : job.workers;
-  const unsigned workers = std::max(1u, std::min(requested, shards));
   auto run_lane = [&](unsigned w) {
     for (unsigned s = w; s < shards; s += workers) {
       try {

@@ -45,6 +45,12 @@ struct ShardJobConfig {
   /// Worker threads executing shard sessions (0 = one per hardware thread).
   /// Never affects results.
   unsigned workers = 1;
+  /// Thread budget for workers × per-shard targeting lanes (0 = one per
+  /// hardware thread).  When the requested combination would oversubscribe
+  /// it, the per-shard lane count is clamped (with a logged warning)
+  /// instead of silently spawning more threads than the budget; clamping is
+  /// determinism-safe because the lane count never affects results.
+  unsigned max_pool_threads = 0;
   /// Base engine configuration; each shard runs with seed mixed by its
   /// shard index so shard streams are independent.
   hybrid::HybridConfig hybrid;

@@ -54,6 +54,27 @@ struct EngineCounters {
   // State-knowledge layer effectiveness (mirrored from the session's
   // StateStore at every pass boundary; all zero when the store is off).
   state::StateStoreStats store;
+
+  EngineCounters& operator+=(const EngineCounters& o) {
+    targeted += o.targeted;
+    forward_solutions += o.forward_solutions;
+    ga_invocations += o.ga_invocations;
+    ga_successes += o.ga_successes;
+    det_justify_calls += o.det_justify_calls;
+    det_justify_successes += o.det_justify_successes;
+    verify_failures += o.verify_failures;
+    no_justification_needed += o.no_justification_needed;
+    aborted_faults += o.aborted_faults;
+    committed_tests += o.committed_tests;
+    det_decisions += o.det_decisions;
+    det_backtracks += o.det_backtracks;
+    det_gate_evals += o.det_gate_evals;
+    det_events += o.det_events;
+    det_model_builds += o.det_model_builds;
+    det_model_acquires += o.det_model_acquires;
+    store += o.store;
+    return *this;
+  }
 };
 
 /// Per-targeted-fault deterministic-engine effort (the fault's SearchStats

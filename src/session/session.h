@@ -29,6 +29,7 @@
 #include "session/pass.h"
 #include "session/test_set_builder.h"
 #include "state/state_store.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gatpg::session {
@@ -100,6 +101,10 @@ struct SessionConfig {
   /// State-knowledge layer options (disabled by default; enabling it must
   /// not change which faults are detectable, only how fast they resolve).
   state::StateStoreConfig state_store;
+  /// Speculative per-fault targeting lanes for the deterministic engines
+  /// (lanes = 1 keeps the exact serial path; lane count never changes
+  /// results, only wall clock).
+  util::TargetParallelConfig target_parallel;
   /// Auto-checkpoint policy (inert by default).
   CheckpointConfig checkpoint;
 };
@@ -113,6 +118,7 @@ class Session {
   explicit Session(const netlist::Circuit& c, SessionConfig config = {});
 
   const netlist::Circuit& circuit() const { return c_; }
+  const SessionConfig& config() const { return config_; }
   FaultManager& faults() { return faults_; }
   const FaultManager& faults() const { return faults_; }
   TestSetBuilder& tests() { return tests_; }

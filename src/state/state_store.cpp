@@ -10,8 +10,66 @@ namespace gatpg::state {
 using sim::Sequence;
 using sim::State3;
 
+namespace {
+
+template <typename Op>
+void for_each_stat(StateStoreStats& a, const StateStoreStats& b, Op op) {
+  op(a.seq_hits, b.seq_hits);
+  op(a.seq_misses, b.seq_misses);
+  op(a.seq_inserts, b.seq_inserts);
+  op(a.seq_verify_failures, b.seq_verify_failures);
+  op(a.unjust_hits, b.unjust_hits);
+  op(a.unjust_misses, b.unjust_misses);
+  op(a.unjust_inserts, b.unjust_inserts);
+  op(a.unjust_subsumed, b.unjust_subsumed);
+  op(a.reachable_inserts, b.reachable_inserts);
+  op(a.near_miss_inserts, b.near_miss_inserts);
+  op(a.ga_seeds_served, b.ga_seeds_served);
+  op(a.forward_cache_hits, b.forward_cache_hits);
+  op(a.forward_cache_inserts, b.forward_cache_inserts);
+}
+
+}  // namespace
+
+StateStoreStats& StateStoreStats::operator+=(const StateStoreStats& o) {
+  for_each_stat(*this, o, [](long& a, long b) { a += b; });
+  return *this;
+}
+
+StateStoreStats& StateStoreStats::operator-=(const StateStoreStats& o) {
+  for_each_stat(*this, o, [](long& a, long b) { a -= b; });
+  return *this;
+}
+
 StateStore::StateStore(const netlist::Circuit& c, StateStoreConfig config)
     : c_(c), config_(config) {}
+
+std::unique_ptr<StateStore> StateStore::clone() const {
+  auto copy = std::make_unique<StateStore>(c_, config_);
+  copy->stats_ = stats_;
+  copy->next_stamp_ = next_stamp_;
+  copy->revision_ = revision_;
+  copy->justified_ = justified_;
+  copy->unjustifiable_ = unjustifiable_;
+  // TraceEntry sequences are shared_ptr<const Sequence>: immutable, so
+  // sharing them across the clone is safe and keeps the copy cheap.
+  copy->reachable_ = reachable_;
+  copy->near_misses_ = near_misses_;
+  copy->forward_ = forward_;
+  copy->forward_valid_ = forward_valid_;
+  return copy;
+}
+
+void StateStore::adopt_content(const StateStore& other) {
+  justified_ = other.justified_;
+  unjustifiable_ = other.unjustifiable_;
+  reachable_ = other.reachable_;
+  near_misses_ = other.near_misses_;
+  forward_ = other.forward_;
+  forward_valid_ = other.forward_valid_;
+  next_stamp_ = other.next_stamp_;
+  ++revision_;
+}
 
 // ---------------------------------------------------------------------------
 // Justified-sequence cache
@@ -23,6 +81,7 @@ void StateStore::record_justified(const State3& cube, Sequence sequence) {
   }
   justified_.push_back({cube, std::move(sequence)});
   ++stats_.seq_inserts;
+  ++revision_;
   if (justified_.size() > config_.max_justified) {
     justified_.erase(justified_.begin());
   }
@@ -109,6 +168,7 @@ void StateStore::record_unjustifiable(const State3& cube) {
   unjustifiable_.erase(dropped, unjustifiable_.end());
   unjustifiable_.push_back(cube);
   ++stats_.unjust_inserts;
+  ++revision_;
   if (unjustifiable_.size() > config_.max_unjustifiable) {
     unjustifiable_.erase(unjustifiable_.begin());
   }
@@ -144,6 +204,7 @@ void StateStore::record_reachable_trace(const Sequence& segment,
     if (seen) continue;
     reachable_.push_back({st, shared, t + 1, next_stamp_++});
     ++stats_.reachable_inserts;
+    ++revision_;
     if (reachable_.size() > config_.max_reachable) {
       reachable_.erase(reachable_.begin());
     }
@@ -160,11 +221,13 @@ void StateStore::record_near_miss(const State3& desired, const Sequence& best) {
       e.prefix_len = best.size();
       e.stamp = next_stamp_++;
       ++stats_.near_miss_inserts;
+      ++revision_;
       return;
     }
   }
   near_misses_.push_back({desired, shared, best.size(), next_stamp_++});
   ++stats_.near_miss_inserts;
+  ++revision_;
   if (near_misses_.size() > config_.max_near_misses) {
     near_misses_.erase(near_misses_.begin());
   }
@@ -232,6 +295,7 @@ void StateStore::cache_forward(std::size_t fault_index, Sequence vectors,
   forward_[fault_index] = {std::move(vectors), std::move(required)};
   forward_valid_[fault_index] = 1;
   ++stats_.forward_cache_inserts;
+  ++revision_;
 }
 
 // ---------------------------------------------------------------------------
@@ -453,6 +517,7 @@ void StateStore::load(serialize::Reader& r) {
   next_stamp_ = r.u64();
   read_stats(r, stats_);
   r.leave_section();
+  ++revision_;
 }
 
 void StateStore::clear() {
@@ -464,12 +529,14 @@ void StateStore::clear() {
   forward_valid_.clear();
   next_stamp_ = 0;
   stats_ = StateStoreStats{};
+  ++revision_;
 }
 
 void StateStore::drop_unverified() {
   unjustifiable_.clear();
   forward_.clear();
   forward_valid_.clear();
+  ++revision_;
 }
 
 }  // namespace gatpg::state

@@ -88,6 +88,9 @@ struct StateStoreStats {
   long ga_seeds_served = 0;     ///< seed sequences handed to GA populations
   long forward_cache_hits = 0;  ///< forward solutions reused across passes
   long forward_cache_inserts = 0;
+
+  StateStoreStats& operator+=(const StateStoreStats& o);
+  StateStoreStats& operator-=(const StateStoreStats& o);
 };
 
 class StateStore {
@@ -104,6 +107,31 @@ class StateStore {
   bool enabled() const { return config_.enabled; }
   const StateStoreConfig& config() const { return config_; }
   const StateStoreStats& stats() const { return stats_; }
+
+  /// Monotonic counter bumped on every *content* mutation (cache inserts,
+  /// drops, replacements — anything future lookups could observe).  Pure
+  /// stats changes (hit/miss tallies) do not bump it: they never feed back
+  /// into engine behavior.  The speculative targeting layer compares
+  /// revisions to decide whether a lane's store clone diverged from the
+  /// committed master.  Not part of digest()/save(): two stores with equal
+  /// content are equal regardless of how they got there.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Deep copy of content, stats, stamp counter, revision, and config.
+  /// Verify machines are not copied (they are lazy scratch); the clone is
+  /// fully independent and safe to use from another thread.
+  std::unique_ptr<StateStore> clone() const;
+
+  /// Replaces this store's *content* (all caches, forward solutions, and the
+  /// stamp counter) with `other`'s, leaving stats and config untouched, and
+  /// bumps the revision.  The commit step of speculative targeting uses this
+  /// to adopt a lane clone's content in fault order.
+  void adopt_content(const StateStore& other);
+
+  /// Adds `delta` onto the stats — the commit step folds each lane's stats
+  /// delta (end minus snapshot) so same-epoch commits stack exactly like the
+  /// serial run's sequential lookups.
+  void apply_stats_delta(const StateStoreStats& delta) { stats_ += delta; }
 
   // -- 1. Justified-sequence cache ------------------------------------------
 
@@ -226,6 +254,7 @@ class StateStore {
   StateStoreConfig config_;
   StateStoreStats stats_;
   std::uint64_t next_stamp_ = 0;
+  std::uint64_t revision_ = 0;
 
   std::vector<JustifiedEntry> justified_;
   std::vector<sim::State3> unjustifiable_;

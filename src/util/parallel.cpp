@@ -12,6 +12,17 @@ unsigned ParallelConfig::resolved() const {
   return hw == 0 ? 1 : hw;
 }
 
+unsigned TargetParallelConfig::resolved_lanes() const {
+  if (lanes != 0) return lanes;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned TargetParallelConfig::resolved_window() const {
+  if (window != 0) return window;
+  return 2 * resolved_lanes();
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

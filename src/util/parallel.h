@@ -41,6 +41,28 @@ struct ParallelConfig {
   unsigned resolved() const;
 };
 
+/// Lane policy for speculative per-fault targeting in the deterministic
+/// passes (hybrid::HybridEngine).  Orthogonal to ParallelConfig, which
+/// governs data-parallel inner loops (fault sim, GA fitness): `lanes` is
+/// the number of faults solved concurrently, each on its own lane-local
+/// engine state, with results committed strictly in fault order so the run
+/// stays bit-identical to serial.
+struct TargetParallelConfig {
+  /// 1 = serial targeting (exact legacy path, never spawns a lane pool);
+  /// 0 = one lane per hardware thread; N > 1 = N lanes.
+  unsigned lanes = 1;
+
+  /// Speculation window: how many faults past the committed frontier may be
+  /// in flight at once.  0 = 2 * resolved lanes.
+  unsigned window = 0;
+
+  /// The effective lane count (0 resolved to hardware_concurrency).
+  unsigned resolved_lanes() const;
+
+  /// The effective window (0 resolved to 2 * resolved_lanes()).
+  unsigned resolved_window() const;
+};
+
 /// A persistent pool of worker threads.  Tasks are arbitrary callables;
 /// exceptions thrown by a task are captured and rethrown from the returned
 /// future's get().  The pool only ever grows (ensure_workers) and joins all

@@ -6,6 +6,7 @@
 // tables.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <string>
 
@@ -30,6 +31,11 @@ class Stopwatch {
 };
 
 /// A deadline that can also be infinite (limit <= 0 means "no limit").
+/// A deadline may additionally carry an external cancellation flag
+/// (cancelled_by): expired() then also reports true once the flag is set,
+/// which is how the speculative fault-targeting lanes wind down searches
+/// whose inputs a committed test just invalidated.  A null flag (the
+/// default) reproduces the pure wall-clock behavior exactly.
 class Deadline {
  public:
   Deadline() = default;
@@ -47,7 +53,16 @@ class Deadline {
 
   static Deadline unlimited() { return Deadline{}; }
 
+  /// An otherwise-unlimited deadline that expires when `*flag` becomes
+  /// true.  The flag is not owned and must outlive the deadline.
+  static Deadline cancelled_by(const std::atomic<bool>* flag) {
+    Deadline d;
+    d.cancel_ = flag;
+    return d;
+  }
+
   bool expired() const {
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) return true;
     return limited_ && Stopwatch::clock::now() >= end_;
   }
 
@@ -60,6 +75,7 @@ class Deadline {
  private:
   bool limited_ = false;
   Stopwatch::clock::time_point end_{};
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Formats a duration the way the paper's tables do: "49.5s", "5.96m",

@@ -3,9 +3,13 @@
 
 Drives the daemon binary through its length-prefixed stdin protocol:
 
-  1. reference run: submit a deterministic job (wall-clock limits never
-     bind: pass_budget=0, generous time_limit, backtracks as the budget)
-     and record the merged result digests from the "done" event;
+  1. reference run: submit a deterministic job (no wall-clock limits:
+     pass_budget=0 and time_limit=-1 clear them, backtracks are the
+     budget; deadline-free passes also let the per-shard speculative
+     targeting lanes engage — lanes=2 with an explicit pool_budget so
+     the shards*lanes clamp does not force them back to 1 on small CI
+     machines) and record the merged result digests from the "done"
+     event;
   2. kill mid-run: submit the same job with per-tick checkpointing, then
      SIGKILL the daemon as soon as the first "pass" event arrives (the
      schedule has more passes to go, so shard snapshots exist and real
@@ -30,8 +34,8 @@ import sys
 import tempfile
 
 JOB_ARGS = ("circuit={circuit} job=smoke shards=2 workers=2 engine=ga-hitec "
-            "time_scale=1.0 pass_budget=0 time_limit=1000 backtracks=150 "
-            "seed=5 threads=1 store=1")
+            "time_scale=1.0 pass_budget=0 time_limit=-1 backtracks=150 "
+            "seed=5 threads=1 store=1 lanes=2 pool_budget=8")
 DIGEST_KEYS = ("digest_faults", "digest_tests", "digest_store")
 
 

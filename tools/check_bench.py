@@ -11,25 +11,36 @@ contract:
   * deterministic counters must equal the snapshot exactly, per circuit
     and per result row — the simulated/searched work is bit-stable across
     commits, so any drift is a behavior change, not noise;
-  * a wall-clock-derived overall ratio must stay above a floor that sits
-    deliberately below the locally-measured value to absorb CI runner
+  * wall-clock-derived overall ratios must stay above floors that sit
+    deliberately below the locally-measured values to absorb CI runner
     noise (a real regression drops the ratio toward 1.0).
+
+Thread-scaling ratios (marked needs_threads in the spec) are only
+meaningful when the machine that produced the fresh report actually has
+that many cores: a report recorded with hardware_concurrency below the
+thread count can't show a speedup no matter how good the code is, so
+those gates downgrade to warnings instead of failing the run.  Identity
+gates never downgrade — determinism must hold at any core count.
 
 Supported benches:
 
   detengine   BENCH_detengine.json — deterministic-engine search counters,
               FrameModel pool-reuse regression guard, flat-layout speedup
-              floor (ratio key overall_flat_speedup, default floor 1.15).
+              floor (overall_flat_speedup >= 1.15), speculative-targeting
+              serial-vs-lanes identity gate plus speedup floor
+              (target_speedup >= 1.5 at --threads lanes, thread-scaling).
   faultsim    BENCH_faultsim.json — fault-simulator gate-eval/grouping
               counters per (engine, threads) row, differential-mode
-              gate-eval reduction floor (ratio key
-              overall_gate_eval_reduction, default floor 1.5).
+              gate-eval reduction floor (overall_gate_eval_reduction
+              >= 1.5).
 
 Usage:
   check_bench.py --bench detengine --fresh build/BENCH_detengine.json \
       --snapshot BENCH_detengine.json [--min-ratio 1.15]
   check_bench.py --bench faultsim --fresh build/BENCH_faultsim.json \
       --snapshot BENCH_faultsim.json [--min-ratio 1.5]
+
+--min-ratio overrides the floor of the bench's first (primary) ratio.
 """
 
 import argparse
@@ -47,23 +58,73 @@ def detengine_pool_guard(name, fresh_row, snap_row, errors):
             f"{fresh_row.get('model_builds')} (reset-and-reuse broken?)")
 
 
+def detengine_targeting(fresh, snap, errors, warnings):
+    """Speculative-targeting section: the lane run must be bit-identical to
+    the serial run (checked by the bench itself, re-asserted here), and the
+    deterministic parts of the speculation ledger must match the snapshot.
+    wasted_gate_evals is timing-dependent (how far a discarded lane ran
+    before noticing its cancel flag) and is never gated."""
+    snap_rows = {t["name"]: t for t in snap.get("targeting", [])}
+    fresh_rows = {t["name"]: t for t in fresh.get("targeting", [])}
+    for name, st in snap_rows.items():
+        ft = fresh_rows.get(name)
+        if ft is None:
+            errors.append(f"targeting/{name}: missing from fresh run")
+            continue
+        if not ft.get("identical", False):
+            errors.append(
+                f"targeting/{name}: lane run diverged from serial "
+                f"(in-order-commit determinism broken)")
+        for srow in st.get("rows", []):
+            frow = next((r for r in ft.get("rows", [])
+                         if r.get("lanes") == srow.get("lanes")), None)
+            if frow is None:
+                errors.append(
+                    f"targeting/{name}: no row for lanes="
+                    f"{srow.get('lanes')} in fresh run")
+                continue
+            for counter in ("detected", "vectors", "speculated",
+                            "committed", "discarded"):
+                if frow.get(counter) != srow.get(counter):
+                    errors.append(
+                        f"targeting/{name}/lanes={srow.get('lanes')}: "
+                        f"{counter} changed {srow.get(counter)} -> "
+                        f"{frow.get(counter)}")
+
+
+def max_row_threads(report):
+    """Highest thread count any result row of the report was recorded at
+    (plus the top-level lane count, for benches that record one)."""
+    threads = [report.get("threads", 0)]
+    for circuit in report.get("circuits", []):
+        for row in circuit.get("results", []):
+            threads.append(row.get("threads", 0))
+    return max(threads)
+
+
 BENCH_SPECS = {
     "detengine": {
-        "args": ("max_faults", "backtracks", "solutions", "repeat"),
+        "args": ("max_faults", "backtracks", "solutions", "repeat",
+                 "threads"),
         "invariants": {
             "identical_across_modes":
                 "a mode/layout changed the search result",
             "counters_unchanged":
                 "the flat layout's gate_evals/events diverged from the "
                 "legacy layout",
+            "targeting_identical":
+                "the speculative lane run diverged from the serial run",
         },
         # One result row per engine mode within a circuit.
         "row_key": lambda r: r["engine"],
         "counters": ("decisions", "backtracks", "gate_evals", "events",
                      "solved", "untestable"),
         "row_guards": {"incremental-flat-pooled": detengine_pool_guard},
-        "ratio_key": "overall_flat_speedup",
-        "default_floor": 1.15,
+        "ratios": (
+            {"key": "overall_flat_speedup", "floor": 1.15},
+            {"key": "target_speedup", "floor": 1.5, "needs_threads": True},
+        ),
+        "extra": detengine_targeting,
     },
     "faultsim": {
         "args": ("vectors", "repeat"),
@@ -77,8 +138,10 @@ BENCH_SPECS = {
         "counters": ("gate_evals", "good_gate_evals", "group_vectors",
                      "group_vectors_skipped", "groups_repacked", "detected"),
         "row_guards": {},
-        "ratio_key": "overall_gate_eval_reduction",
-        "default_floor": 1.5,
+        "ratios": (
+            {"key": "overall_gate_eval_reduction", "floor": 1.5},
+        ),
+        "extra": None,
     },
 }
 
@@ -88,8 +151,9 @@ def load(path):
         return json.load(f)
 
 
-def check(spec, fresh, snap, floor):
+def check(spec, fresh, snap, primary_floor):
     errors = []
+    warnings = []
 
     for key in spec["args"]:
         if fresh.get(key) != snap.get(key):
@@ -125,12 +189,39 @@ def check(spec, fresh, snap, floor):
             if guard:
                 guard(name, fr, sr, errors)
 
-    ratio = fresh.get(spec["ratio_key"], 0.0)
-    if ratio < floor:
-        errors.append(
-            f"{spec['ratio_key']} {ratio:.3f} below floor {floor:.2f} "
-            f"(snapshot recorded {snap.get(spec['ratio_key'], 0.0):.3f})")
-    return errors, ratio
+    if spec["extra"]:
+        spec["extra"](fresh, snap, errors, warnings)
+
+    # Thread-scaling blind spot: a report recorded on a machine with fewer
+    # cores than its highest thread-count row can't show real scaling, so
+    # scaling-dependent gates become warnings instead of failures.
+    hardware = fresh.get("hardware_concurrency", 0)
+    recorded = max_row_threads(fresh)
+    underprovisioned = hardware and recorded and hardware < recorded
+    if underprovisioned:
+        warnings.append(
+            f"hardware_concurrency={hardware} is below the report's "
+            f"highest thread count ({recorded}); thread-scaling figures "
+            f"are not meaningful on this machine")
+
+    ratios = []
+    for i, gate in enumerate(spec["ratios"]):
+        floor = primary_floor if i == 0 and primary_floor is not None \
+            else gate["floor"]
+        ratio = fresh.get(gate["key"], 0.0)
+        ratios.append((gate["key"], ratio, floor))
+        if ratio >= floor:
+            continue
+        message = (
+            f"{gate['key']} {ratio:.3f} below floor {floor:.2f} "
+            f"(snapshot recorded {snap.get(gate['key'], 0.0):.3f})")
+        if gate.get("needs_threads") and underprovisioned:
+            warnings.append(
+                message + " — downgraded to a warning: measured with "
+                f"hardware_concurrency={hardware}")
+        else:
+            errors.append(message)
+    return errors, warnings, ratios
 
 
 def main():
@@ -142,21 +233,23 @@ def main():
     ap.add_argument("--snapshot", required=True,
                     help="committed reference bench JSON")
     ap.add_argument("--min-ratio", type=float, default=None,
-                    help="floor for the bench's overall wall-clock ratio "
+                    help="floor for the bench's primary wall-clock ratio "
                          "(default: per-bench)")
     args = ap.parse_args()
 
     spec = BENCH_SPECS[args.bench]
-    floor = args.min_ratio if args.min_ratio is not None \
-        else spec["default_floor"]
-    errors, ratio = check(spec, load(args.fresh), load(args.snapshot), floor)
+    errors, warnings, ratios = check(
+        spec, load(args.fresh), load(args.snapshot), args.min_ratio)
 
+    for w in warnings:
+        print(f"WARN: {w}", file=sys.stderr)
     if errors:
         for e in errors:
             print(f"FAIL: {e}", file=sys.stderr)
         return 1
-    print(f"OK [{args.bench}]: counters stable, "
-          f"{spec['ratio_key']} x{ratio:.2f} >= {floor:.2f}")
+    summary = ", ".join(f"{key} x{ratio:.2f} (floor {floor:.2f})"
+                        for key, ratio, floor in ratios)
+    print(f"OK [{args.bench}]: counters stable, {summary}")
     return 0
 
 
