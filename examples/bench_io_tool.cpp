@@ -1,18 +1,72 @@
 // Example/utility: export any registry circuit as an ISCAS89 .bench file,
-// or read a .bench file and print its profile — the interchange path for
-// using this library alongside other ATPG tools.
+// read a .bench file and print its profile, or bulk-ingest a directory of
+// .bench files — the interchange path for using this library alongside
+// other ATPG tools.
 //
 //   ./bench_io_tool export <circuit-name> [out.bench]
 //   ./bench_io_tool info <file.bench>
+//   ./bench_io_tool ingest <dir>
 //   ./bench_io_tool list
+//
+// `ingest` loads every .bench file in the directory, round-trips it through
+// write_bench -> parse_bench (the canonical writer makes textual equality a
+// structural identity check), and runs a short fault-simulation sanity pass
+// over both fault universes, cross-checking the differential engine against
+// the full-sweep reference.  Exit status is nonzero if any file fails —
+// the CI ingestion smoke runs this over the exported registry circuits.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "fault/faultlist.h"
+#include "fault/faultsim.h"
 #include "gen/registry.h"
 #include "netlist/bench_io.h"
 #include "netlist/depth.h"
+#include "util/rng.h"
+
+namespace {
+
+/// One file's ingestion check; throws on any mismatch.
+void ingest_one(const std::string& path) {
+  using namespace gatpg;
+  const netlist::Circuit c = netlist::load_bench_file(path);
+  const std::string text = netlist::write_bench(c);
+  const netlist::Circuit again = netlist::parse_bench_string(text, c.name());
+  if (netlist::write_bench(again) != text) {
+    throw std::runtime_error("write->parse->write round trip diverged");
+  }
+
+  util::Rng rng(1);
+  sim::Sequence seq(16, sim::Vector3(c.primary_inputs().size()));
+  for (auto& v : seq) {
+    for (auto& bit : v) bit = rng.bit() ? sim::V3::k1 : sim::V3::k0;
+  }
+  for (const auto universe :
+       {fault::FaultUniverse::kStuckAt, fault::FaultUniverse::kTransition}) {
+    std::vector<fault::Fault> faults = fault::collapse(c, universe).faults;
+    if (faults.size() > 256) faults.resize(256);  // keep big circuits quick
+    fault::FaultSimulator differential(c, faults);
+    differential.run(seq);
+    fault::FaultSimConfig sweep_cfg;
+    sweep_cfg.differential = false;
+    fault::FaultSimulator sweep(c, faults, sweep_cfg);
+    sweep.run(seq);
+    if (differential.detected() != sweep.detected()) {
+      throw std::runtime_error(std::string("fault-sim engines disagree (") +
+                               fault::universe_name(universe) + ")");
+    }
+    std::printf("  %-10s %4zu faults, %4zu detected by %zu random vectors\n",
+                fault::universe_name(universe), faults.size(),
+                differential.detected_count(), seq.size());
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gatpg;
@@ -50,8 +104,34 @@ int main(int argc, char** argv) {
                 netlist::sequential_depth(c), st.levels);
     return 0;
   }
+  if (mode == "ingest" && argc > 2) {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(argv[2])) {
+      if (entry.path().extension() == ".bench") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "ingest: no .bench files in %s\n", argv[2]);
+      return 1;
+    }
+    int failures = 0;
+    for (const std::string& path : files) {
+      std::printf("%s\n", path.c_str());
+      try {
+        ingest_one(path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "  FAILED: %s\n", e.what());
+        ++failures;
+      }
+    }
+    std::printf("ingested %zu file(s), %d failure(s)\n", files.size(),
+                failures);
+    return failures == 0 ? 0 : 1;
+  }
   std::fprintf(stderr,
                "usage: bench_io_tool list | export <name> [file] | "
-               "info <file>\n");
+               "info <file> | ingest <dir>\n");
   return 1;
 }

@@ -82,12 +82,37 @@ const SearchStats& ForwardEngine::stats() const {
   return stats_;
 }
 
+bool ForwardEngine::launch_pair_at(unsigned t) const {
+  const V3 initial = fault_.stuck_at ? V3::k1 : V3::k0;
+  const V3 final_v = fault_.stuck_at ? V3::k0 : V3::k1;
+  return t + 1 < model_.frame_count() && model_.good(t, driver_) == initial &&
+         model_.good(t + 1, driver_) == final_v;
+}
+
 bool ForwardEngine::excitation_conflict() const {
+  if (fault_.is_transition()) {
+    // Launch normalized to frames (0, 1): frame 0 must be able to hold the
+    // initial value and frame 1 the final value.
+    const V3 initial = fault_.stuck_at ? V3::k1 : V3::k0;
+    const V3 v0 = model_.good(0, driver_);
+    if (v0 != V3::kX && v0 != initial) return true;
+    if (model_.frame_count() >= 2) {
+      const V3 v1 = model_.good(1, driver_);
+      if (v1 != V3::kX && v1 == initial) return true;
+    }
+    return false;
+  }
   const V3 v = model_.good(0, driver_);
   return v != V3::kX && (v == V3::k1) == fault_.stuck_at;
 }
 
 bool ForwardEngine::excited_somewhere() const {
+  if (fault_.is_transition()) {
+    for (unsigned t = 0; t + 1 < model_.frame_count(); ++t) {
+      if (launch_pair_at(t)) return true;
+    }
+    return false;
+  }
   for (unsigned t = 0; t < model_.frame_count(); ++t) {
     const V3 v = model_.good(t, driver_);
     if (v != V3::kX && (v == V3::k1) != fault_.stuck_at) return true;
@@ -104,8 +129,14 @@ std::vector<FrameModel::FrontierGate>& ForwardEngine::full_frontier() const {
   // D pin, handled in d_pending_at_ff_input().
   if (fault_.pin >= 0 && c_.type(fault_.node) != GateType::kDff) {
     for (unsigned t = 0; t < model_.frame_count(); ++t) {
-      const V3 v = model_.good(t, driver_);
-      if (v == V3::kX || (v == V3::k1) == fault_.stuck_at) continue;
+      if (fault_.is_transition()) {
+        // The pin forcing in frame t is a fault effect only when frames
+        // (t-1, t) of the driver hold the launch pair.
+        if (t == 0 || !launch_pair_at(t - 1)) continue;
+      } else {
+        const V3 v = model_.good(t, driver_);
+        if (v == V3::kX || (v == V3::k1) == fault_.stuck_at) continue;
+      }
       if (model_.composite(t, fault_.node).any_x()) {
         frontier_scratch_.push_back({t, fault_.node});
       }
@@ -118,6 +149,12 @@ bool ForwardEngine::d_pending_at_ff_input() const {
   const unsigned last = model_.frame_count() - 1;
   if (model_.d_reaches_ff_input(last)) return true;
   if (fault_.pin == 0 && c_.type(fault_.node) == GateType::kDff) {
+    if (fault_.is_transition()) {
+      // The D forcing pending at the last frame's edge surfaces as a D on
+      // the flip-flop one frame later iff frames (last-1, last) of the D
+      // line hold the launch pair.
+      return last >= 1 && launch_pair_at(last - 1);
+    }
     const V3 v = model_.good(last, driver_);
     if (v != V3::kX && (v == V3::k1) != fault_.stuck_at) return true;
   }
@@ -125,8 +162,19 @@ bool ForwardEngine::d_pending_at_ff_input() const {
 }
 
 bool ForwardEngine::pick_objective(Objective& obj) {
-  // Goal 1: excite in frame 0.
-  if (model_.good(0, driver_) == V3::kX) {
+  // Goal 1: excite — stuck-at in frame 0, transitions as the (0, 1) launch
+  // pair (initial value in frame 0, final value in frame 1).
+  if (fault_.is_transition()) {
+    const V3 initial = fault_.stuck_at ? V3::k1 : V3::k0;
+    if (model_.good(0, driver_) == V3::kX) {
+      obj = {0, driver_, initial};
+      return true;
+    }
+    if (model_.frame_count() >= 2 && model_.good(1, driver_) == V3::kX) {
+      obj = {1, driver_, initial == V3::k1 ? V3::k0 : V3::k1};
+      return true;
+    }
+  } else if (model_.good(0, driver_) == V3::kX) {
     obj = {0, driver_, fault_.stuck_at ? V3::k0 : V3::k1};
     return true;
   }
@@ -253,21 +301,32 @@ sim::State3 ForwardEngine::required_state() const {
 }
 
 ForwardStatus ForwardEngine::next_solution(const util::Deadline& deadline) {
-  if (started_) {
-    // Reject the previous solution: continue the search past it.
-    if (!stack_.backtrack(stats_)) {
-      return stats_.clipped || any_solution_ ? ForwardStatus::kExhausted
-                                             : ForwardStatus::kUntestable;
-    }
-  } else {
-    started_ = true;
-    model_.simulate();
-  }
-
   auto final_status = [&] {
+    if (fault_.is_transition() && !stats_.clipped && !any_solution_) {
+      // The (0, 1) launch normalization prunes the search space, so
+      // exhaustion never proves a transition fault untestable.
+      stats_.clipped = true;
+    }
     if (stats_.clipped || any_solution_) return ForwardStatus::kExhausted;
     return ForwardStatus::kUntestable;
   };
+
+  if (started_) {
+    // Reject the previous solution: continue the search past it.
+    if (!stack_.backtrack(stats_)) return final_status();
+  } else {
+    started_ = true;
+    model_.simulate();
+    if (fault_.is_transition() && model_.frame_count() < 2) {
+      // The launch needs a predecessor frame; a one-frame window cannot
+      // hold the (0, 1) pair.
+      if (!model_.extend()) {
+        stats_.clipped = true;  // the frame cap blocked the launch
+        return ForwardStatus::kExhausted;
+      }
+      model_.simulate();
+    }
+  }
 
   for (;;) {
     if (deadline.expired() || stats_.backtracks > limits_.max_backtracks) {

@@ -15,6 +15,15 @@
 // Exhausting the search space without ever clipping on a resource limit
 // proves the fault untestable (state variables are free decision variables,
 // so exhaustion covers every reachable *and* unreachable state).
+//
+// Transition faults launch over two frames: the engine normalizes the
+// launch to frames (0, 1) — the driver must hold the initial value in frame
+// 0 and the final value in frame 1 (WLOG for detection, since the frame-0
+// pseudo state is free) — and propagates the conditionally injected effect
+// exactly like a stuck-at fault.  The normalization prunes the search
+// space, so exhaustion never claims an untestability proof for a transition
+// fault: next_solution() reports kExhausted (clipped) instead of
+// kUntestable.
 #pragma once
 
 #include <memory>
@@ -72,6 +81,9 @@ class ForwardEngine {
  private:
   bool excitation_conflict() const;
   bool excited_somewhere() const;
+  /// Transition faults: true when frames (t, t+1) of the driver hold the
+  /// defined initial→final launch pair (X is conservatively "no pair").
+  bool launch_pair_at(unsigned t) const;
   bool pick_objective(Objective& obj);
   bool d_pending_at_ff_input() const;
   /// Fills and returns a member buffer (no allocation per decision); the

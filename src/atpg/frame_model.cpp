@@ -48,6 +48,14 @@ inline std::uint8_t c_xor(std::uint8_t a, std::uint8_t b) {
   return static_cast<std::uint8_t>(r1 | (r0 << 1));
 }
 
+// Conditional forcing shared by both layouts: `ls` is launch_state() for
+// transition faults, or a constant 1 for stuck-at faults (always forced).
+inline V3 gate_transition(V3 normal, V3 forced, int ls) {
+  if (ls == 1) return forced;
+  if (ls == 0) return normal;
+  return normal == forced ? normal : V3::kX;  // X launch: merge
+}
+
 std::uint8_t cg_buf(const std::uint8_t* row, const NodeId* ins, std::size_t) {
   return row[ins[0]];
 }
@@ -94,6 +102,18 @@ void FrameModel::reset(std::optional<fault::Fault> fault, unsigned max_frames,
   assert(max_frames >= 1);
   fault_ = std::move(fault);
   fault_node_ = fault_ ? fault_->node : kNoFaultNode;
+  trans_ = fault_ && fault_->is_transition();
+  launch_line_ = kNoFaultNode;
+  launch_skew_ = 1;
+  if (trans_) {
+    if (fault_->pin == fault::kOutputPin) {
+      launch_line_ = fault_->node;
+    } else {
+      launch_line_ =
+          circuit_.fanins(fault_->node)[static_cast<std::size_t>(fault_->pin)];
+      if (circuit_.type(fault_->node) == GateType::kDff) launch_skew_ = 2;
+    }
+  }
   max_frames_ = max_frames;
   config_ = config;
   frame_count_ = 1;
@@ -266,7 +286,8 @@ V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
     case GateType::kInput: {
       V3 v = pi_assign_[pi_cell(frame, static_cast<std::size_t>(c.pi_index(n)))];
       if (f && f->node == n && f->pin == fault::kOutputPin) {
-        v = f->stuck_at ? V3::k1 : V3::k0;
+        v = gate_transition(v, f->stuck_at ? V3::k1 : V3::k0,
+                            trans_ ? launch_state(frame) : 1);
       }
       return v;
     }
@@ -279,11 +300,13 @@ V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
         // with an injected D-pin fault applied if present.
         v = plane[frame - 1][c.fanins(n)[0]];
         if (f && f->node == n && f->pin == 0) {
-          v = f->stuck_at ? V3::k1 : V3::k0;
+          v = gate_transition(v, f->stuck_at ? V3::k1 : V3::k0,
+                              trans_ ? launch_state(frame) : 1);
         }
       }
       if (f && f->node == n && f->pin == fault::kOutputPin) {
-        v = f->stuck_at ? V3::k1 : V3::k0;
+        v = gate_transition(v, f->stuck_at ? V3::k1 : V3::k0,
+                            trans_ ? launch_state(frame) : 1);
       }
       return v;
     }
@@ -300,16 +323,19 @@ V3 FrameModel::eval_node(const std::vector<std::vector<V3>>& plane,
         // position, not node id (one driver may feed several pins).
         const auto fanins = c.fanins(n);
         const auto fp = static_cast<std::size_t>(f->pin);
-        const V3 forced = f->stuck_at ? V3::k1 : V3::k0;
+        const V3 pin_v =
+            gate_transition(vals[fanins[fp]], f->stuck_at ? V3::k1 : V3::k0,
+                            trans_ ? launch_state(frame) : 1);
         v = sim::eval_gate_scalar_pos(t, fanins.size(), [&](std::size_t i) {
-          return i == fp ? forced : vals[fanins[i]];
+          return i == fp ? pin_v : vals[fanins[i]];
         });
       } else {
         v = sim::eval_gate_scalar(t, c.fanins(n),
                                   [&](NodeId in) { return vals[in]; });
       }
       if (f && f->node == n && f->pin == fault::kOutputPin) {
-        v = f->stuck_at ? V3::k1 : V3::k0;
+        v = gate_transition(v, f->stuck_at ? V3::k1 : V3::k0,
+                            trans_ ? launch_state(frame) : 1);
       }
       return v;
     }
@@ -369,16 +395,25 @@ std::uint8_t FrameModel::compute_comp(unsigned frame, NodeId n) {
   }
 }
 
+int FrameModel::launch_state(unsigned frame) const {
+  if (frame < launch_skew_) return 0;  // power-up frames cannot launch
+  const V3 launch = good(frame - launch_skew_, launch_line_);
+  if (launch == (fault_->stuck_at ? V3::k1 : V3::k0)) return 1;
+  return launch == V3::kX ? 2 : 0;
+}
+
 std::uint8_t FrameModel::compute_comp_faulted(unsigned frame, NodeId n) {
   const auto& c = circuit_;
   const fault::Fault& f = *fault_;
   const V3 forced = f.stuck_at ? V3::k1 : V3::k0;
+  const int ls = trans_ ? launch_state(frame) : 1;
   const GateType t = c.type(n);
   switch (t) {
     case GateType::kInput: {
       const V3 g =
           pi_assign_[pi_cell(frame, static_cast<std::size_t>(c.pi_index(n)))];
-      return compbits::pack(g, f.pin == fault::kOutputPin ? forced : g);
+      return compbits::pack(
+          g, f.pin == fault::kOutputPin ? gate_transition(g, forced, ls) : g);
     }
     case GateType::kDff: {
       V3 g, fy;
@@ -387,15 +422,17 @@ std::uint8_t FrameModel::compute_comp_faulted(unsigned frame, NodeId n) {
       } else {
         const std::uint8_t prev = comp_[cell(frame - 1, c.fanins(n)[0])];
         g = compbits::good(prev);
-        fy = f.pin == 0 ? forced : compbits::faulty(prev);
+        fy = compbits::faulty(prev);
+        if (f.pin == 0) fy = gate_transition(fy, forced, ls);
       }
-      if (f.pin == fault::kOutputPin) fy = forced;
+      if (f.pin == fault::kOutputPin) fy = gate_transition(fy, forced, ls);
       return compbits::pack(g, fy);
     }
     case GateType::kConst0:
     case GateType::kConst1: {
       const V3 g = t == GateType::kConst0 ? V3::k0 : V3::k1;
-      return compbits::pack(g, f.pin == fault::kOutputPin ? forced : g);
+      return compbits::pack(
+          g, f.pin == fault::kOutputPin ? gate_transition(g, forced, ls) : g);
     }
     default: {
       stats_.gate_evals += 2;  // one eval per plane, like the legacy path
@@ -403,17 +440,20 @@ std::uint8_t FrameModel::compute_comp_faulted(unsigned frame, NodeId n) {
       const std::uint8_t* row = comp_.data() + cell(frame, 0);
       if (f.pin == fault::kOutputPin) {
         const std::uint8_t b = comp_fn_[n](row, fanins.data(), fanins.size());
+        const V3 fy = gate_transition(compbits::faulty(b), forced, ls);
         return static_cast<std::uint8_t>((b & 0x03) |
-                                         (compbits::bits(forced) << 2));
+                                         (compbits::bits(fy) << 2));
       }
       // Input-pin fault: evaluate the faulty plane with the pin forced by
       // position (one driver may feed several pins).
       const V3 g = sim::eval_gate_scalar(
           t, fanins, [&](NodeId in) { return compbits::good(row[in]); });
       const auto fp = static_cast<std::size_t>(f.pin);
+      const V3 pin_v =
+          gate_transition(compbits::faulty(row[fanins[fp]]), forced, ls);
       const V3 fy =
           sim::eval_gate_scalar_pos(t, fanins.size(), [&](std::size_t i) {
-            return i == fp ? forced : compbits::faulty(row[fanins[i]]);
+            return i == fp ? pin_v : compbits::faulty(row[fanins[i]]);
           });
       return compbits::pack(g, fy);
     }
@@ -522,6 +562,17 @@ bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
     }
     b = nb;
     if (fault_) note_composite_change(frame, n, before, nb);
+    // Transition faults add one cross-frame dependency the fanout graph
+    // does not carry: the fault site's forcing at frame f reads the good
+    // plane of the launch line at f - skew.  When that anchor moves,
+    // re-derive the injection at the capture frame.  During frame
+    // activation (recompute_frame) the capture frame is outside the window,
+    // so the guard keeps the queue empty there; during propagate() the key
+    // is strictly deeper than the bucket being drained (skew >= 1).
+    if (trans_ && n == launch_line_ && compbits::good(nb) != og &&
+        frame + launch_skew_ < frame_count_) {
+      enqueue(frame + launch_skew_, fault_node_);
+    }
     if (schedule) schedule_fanouts(frame, n);
     return true;
   }
@@ -541,6 +592,10 @@ bool FrameModel::reeval_node(unsigned frame, NodeId n, bool schedule) {
   if (ng != g) {
     trail_.push_back({TrailEntry::kGood, g, frame, n});
     g = ng;
+    // Launch-line hook — see the flat branch above for the invariants.
+    if (trans_ && n == launch_line_ && frame + launch_skew_ < frame_count_) {
+      enqueue(frame + launch_skew_, fault_node_);
+    }
   }
   if (nf != fy) {
     trail_.push_back({TrailEntry::kFaulty, fy, frame, n});

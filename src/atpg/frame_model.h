@@ -13,6 +13,17 @@
 // two-goal GA fitness (see DESIGN.md for the soundness discussion: every
 // claimed detection is re-verified by the independent fault simulator).
 //
+// Transition faults (fault::FaultModel) inject *conditionally*: the forcing
+// in frame f applies only when the good plane of the fault's launch line
+// held the transition's initial value in frame f - skew (skew 1, except 2
+// for flip-flop D-pin faults, whose forcing surfaces through the latch one
+// frame later).  An X launch merges the forced and fault-free values
+// (agreeing values survive, disagreement decays to X) — a sound
+// over-approximation of "maybe forced"; frames before the skew horizon are
+// unconditionally fault-free (power-up cannot launch).  The incremental
+// engine tracks the extra cross-frame dependency with an explicit
+// launch-line hook in reeval_node.
+//
 // Two evaluation engines produce bit-identical values:
 //
 // * Oblivious (FrameModelConfig{.incremental = false}, the retained
@@ -263,6 +274,10 @@ class FrameModel {
   bool reeval_node(unsigned frame, netlist::NodeId n, bool schedule);
   /// Directly recomputes every node of one (newly activated) frame.
   void recompute_frame(unsigned frame);
+  /// Transition-fault launch test for a forcing applied in `frame`:
+  /// 0 = inactive (fault-free value), 1 = active (forced value),
+  /// 2 = X launch (merge the forced and fault-free values).
+  int launch_state(unsigned frame) const;
   /// `before`/`after` are composite bytes (compbits encoding) — the flat
   /// path passes its cells straight through; the legacy path packs.
   void note_composite_change(unsigned frame, netlist::NodeId n,
@@ -288,6 +303,14 @@ class FrameModel {
   // Hot-path caches (reset() keeps them current): the fault site (sentinel
   // when fault-free) and the [frame × node] / [frame × pi] row strides.
   netlist::NodeId fault_node_ = kNoFaultNode;
+  // Transition-fault caches (reset() keeps them current): whether the
+  // installed fault is a transition fault, the launch line whose good-plane
+  // value gates the forcing, and the launch→forcing frame skew (2 for
+  // flip-flop D-pin faults, whose forcing surfaces through the latch one
+  // frame later; 1 otherwise).
+  bool trans_ = false;
+  netlist::NodeId launch_line_ = kNoFaultNode;
+  unsigned launch_skew_ = 1;
   std::size_t node_stride_ = 0;
   std::size_t pi_stride_ = 0;
   unsigned max_frames_ = 1;

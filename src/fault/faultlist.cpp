@@ -11,19 +11,40 @@ using netlist::Circuit;
 using netlist::GateType;
 using netlist::NodeId;
 
-std::vector<Fault> all_pin_faults(const Circuit& c) {
+const char* universe_name(FaultUniverse u) {
+  return u == FaultUniverse::kTransition ? "transition" : "stuck_at";
+}
+
+bool parse_universe(const std::string& name, FaultUniverse* out) {
+  if (name == "stuck_at") {
+    *out = FaultUniverse::kStuckAt;
+    return true;
+  }
+  if (name == "transition") {
+    *out = FaultUniverse::kTransition;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Fault> all_pin_faults(const Circuit& c, FaultUniverse universe) {
+  // Both universes enumerate the same sites in the same order; only the
+  // per-site fault pair differs (s-a-0/1 vs str/stf).
+  const bool transition = universe == FaultUniverse::kTransition;
+  auto site_faults = [&](std::vector<Fault>& faults, NodeId n, int pin) {
+    for (bool v : {false, true}) {
+      faults.push_back(transition ? make_transition(n, pin, v)
+                                  : Fault{n, pin, v});
+    }
+  };
   std::vector<Fault> faults;
   for (NodeId n = 0; n < c.node_count(); ++n) {
     const GateType t = c.type(n);
     if (t == GateType::kConst0 || t == GateType::kConst1) continue;
-    for (bool v : {false, true}) {
-      faults.push_back({n, kOutputPin, v});
-    }
+    site_faults(faults, n, kOutputPin);
     if (t == GateType::kInput) continue;
     for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
-      for (bool v : {false, true}) {
-        faults.push_back({n, static_cast<int>(p), v});
-      }
+      site_faults(faults, n, static_cast<int>(p));
     }
   }
   return faults;
@@ -50,6 +71,9 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
+/// Site + polarity key.  Within one universe the model is implied by the
+/// polarity (transition lists pair str with stuck_at=false, stf with true),
+/// so the key needs no model bits.
 std::uint64_t key_of(const Fault& f) {
   return (static_cast<std::uint64_t>(f.node) << 18) |
          (static_cast<std::uint64_t>(f.pin + 1) << 1) |
@@ -58,8 +82,9 @@ std::uint64_t key_of(const Fault& f) {
 
 }  // namespace
 
-FaultList collapse(const Circuit& c) {
-  const std::vector<Fault> all = all_pin_faults(c);
+FaultList collapse(const Circuit& c, FaultUniverse universe) {
+  const bool transition = universe == FaultUniverse::kTransition;
+  const std::vector<Fault> all = all_pin_faults(c, universe);
   std::unordered_map<std::uint64_t, std::size_t> index;
   index.reserve(all.size());
   for (std::size_t i = 0; i < all.size(); ++i) index[key_of(all[i])] = i;
@@ -74,7 +99,10 @@ FaultList collapse(const Circuit& c) {
     switch (t) {
       case GateType::kAnd:
       case GateType::kNand: {
-        // Input s-a-0 == output s-a-(0 ^ inv).
+        // Input s-a-0 == output s-a-(0 ^ inv).  Not sound for transition
+        // faults: the launch condition of a branch fault watches the branch,
+        // that of the output fault watches the gate output.
+        if (transition) break;
         const bool out_v = netlist::inverts(t);
         for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
           uf.merge(id_of(n, static_cast<int>(p), false),
@@ -85,6 +113,7 @@ FaultList collapse(const Circuit& c) {
       case GateType::kOr:
       case GateType::kNor: {
         // Input s-a-1 == output s-a-(1 ^ inv).
+        if (transition) break;
         const bool out_v = !netlist::inverts(t);
         for (std::size_t p = 0; p < c.fanin_count(n); ++p) {
           uf.merge(id_of(n, static_cast<int>(p), true),
@@ -97,7 +126,13 @@ FaultList collapse(const Circuit& c) {
         // NOTE: DFF input faults are deliberately NOT merged with DFF output
         // faults: with the power-up-unknown state model, Q differs from the
         // stuck value in time frame 0, so detection can differ.
+        //
+        // Transition faults keep only the same-polarity BUF merge: a BUF's
+        // output tracks its input, so launch condition and forced value
+        // coincide.  A NOT flips the polarity, which would also have to
+        // flip the launch anchor — left unmerged for safety.
         const bool inv = t == GateType::kNot;
+        if (transition && inv) break;
         for (bool v : {false, true}) {
           uf.merge(id_of(n, 0, v), id_of(n, kOutputPin, v != inv));
         }
@@ -106,7 +141,9 @@ FaultList collapse(const Circuit& c) {
       default:
         break;
     }
-    // Branch == stem when the driver has exactly one fanout.
+    // Branch == stem when the driver has exactly one fanout.  Sound in both
+    // universes: with a single fanout, the branch and the stem are the same
+    // electrical line, so launch condition and forced behavior coincide.
     if (t != GateType::kInput && t != GateType::kConst0 &&
         t != GateType::kConst1) {
       const auto fanins = c.fanins(n);
@@ -159,7 +196,15 @@ std::uint64_t identity_digest(const FaultList& list) {
     const Fault& f = list.faults[i];
     d.add_u64(static_cast<std::uint64_t>(f.node));
     d.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.pin)));
-    d.add_byte(f.stuck_at ? 1 : 0);
+    // Stuck-at faults keep their historic 0/1 byte (pre-refactor snapshots
+    // stay resumable); transition faults fold the model in so same-site
+    // lists of different models never collide.
+    const std::uint8_t b =
+        f.model == FaultModel::kStuckAt
+            ? static_cast<std::uint8_t>(f.stuck_at ? 1 : 0)
+            : static_cast<std::uint8_t>(
+                  f.model == FaultModel::kTransitionSlowToRise ? 2 : 3);
+    d.add_byte(b);
     d.add_u64(list.class_sizes[i]);
   }
   return d.value();

@@ -1,24 +1,46 @@
-// Fault-list generation and structural equivalence collapsing.
+// Fault-list generation and structural equivalence collapsing, per model.
 //
-// The uncollapsed universe contains both stuck-at faults on every node's
-// output stem and on every gate fanin branch.  Structural equivalence
-// collapsing then merges:
-//   * an input s-a-c with the output s-a-(c xor inv) for AND/NAND (c = 0)
-//     and OR/NOR (c = 1) gates,
-//   * both input faults of NOT/BUF/DFF with the corresponding output faults,
-//   * a branch fault with its stem fault when the driver has a single
-//     fanout (no fanout stem/branch distinction exists).
+// A FaultUniverse selects which faults populate the list:
+//
+// * kStuckAt — both stuck-at faults on every node's output stem and on
+//   every gate fanin branch.  Structural equivalence collapsing merges:
+//     - an input s-a-c with the output s-a-(c xor inv) for AND/NAND (c = 0)
+//       and OR/NOR (c = 1) gates,
+//     - both input faults of NOT/BUF with the corresponding output faults,
+//     - a branch fault with its stem fault when the driver has a single
+//       fanout (no fanout stem/branch distinction exists).
+// * kTransition — slow-to-rise and slow-to-fall faults on the same sites.
+//   Collapsing is deliberately weaker: the two-frame launch condition is
+//   anchored to the faulted line's own previous value, so only merges that
+//   preserve *both* the forced behavior and the launch condition are sound —
+//   a branch with its single-fanout stem, and a BUF input with its
+//   same-polarity output.  Controlling-value merges through AND/OR and
+//   polarity-flipping merges through NOT are not applied.
+//
 // One representative per equivalence class is targeted by the test
 // generators; the collapsed count is what the paper's "Total Faults" column
 // reports.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault.h"
 
 namespace gatpg::fault {
+
+/// Which fault universe a session targets (SessionConfig::fault_model).
+enum class FaultUniverse : std::uint8_t {
+  kStuckAt = 0,
+  kTransition = 1,
+};
+
+/// Canonical config-string names ("stuck_at" / "transition").
+const char* universe_name(FaultUniverse u);
+/// Parses a universe name; returns false (leaving `out` untouched) on an
+/// unknown name.
+bool parse_universe(const std::string& name, FaultUniverse* out);
 
 struct FaultList {
   /// Representative fault of every equivalence class.
@@ -30,15 +52,21 @@ struct FaultList {
 };
 
 /// Full uncollapsed pin-fault universe.
-std::vector<Fault> all_pin_faults(const netlist::Circuit& c);
+std::vector<Fault> all_pin_faults(const netlist::Circuit& c,
+                                  FaultUniverse universe =
+                                      FaultUniverse::kStuckAt);
 
 /// Collapsed fault list.
-FaultList collapse(const netlist::Circuit& c);
+FaultList collapse(const netlist::Circuit& c,
+                   FaultUniverse universe = FaultUniverse::kStuckAt);
 
 /// FNV-1a-64 over the fault sites and class sizes.  Snapshot resume uses
 /// this to prove the regenerated fault list matches the checkpointed one
 /// (fault statuses are stored positionally, so any reordering or count
-/// change would silently misattribute them otherwise).
+/// change would silently misattribute them otherwise).  Stuck-at lists
+/// digest exactly as before the fault-model axis existed; transition faults
+/// fold the model into the per-fault byte, so lists of different models
+/// never collide.
 std::uint64_t identity_digest(const FaultList& list);
 
 }  // namespace gatpg::fault

@@ -69,6 +69,19 @@ void broadcast_rows(std::uint64_t* r1, std::uint64_t* r0, unsigned nw, V3 v) {
   }
 }
 
+/// The good-machine line whose *previous-frame* value launches a transition
+/// fault at this site: the faulted node's own output for output faults, the
+/// driving line for input-pin (branch) faults.  The fault is active in a
+/// frame iff that line settled to the transition's initial value in the
+/// frame before (defined-equal; an X launch leaves the fault inactive — a
+/// sound under-approximation, since every reported detection is
+/// simulator-verified).
+NodeId launch_line(const netlist::Circuit& c, const Fault& f) {
+  return f.pin == kOutputPin
+             ? f.node
+             : c.fanins(f.node)[static_cast<std::size_t>(f.pin)];
+}
+
 }  // namespace
 
 FaultSimulator::FaultSimulator(const netlist::Circuit& c,
@@ -80,10 +93,17 @@ FaultSimulator::FaultSimulator(const netlist::Circuit& c,
       detected_(faults_.size(), 0),
       good_(c),
       faulty_state_(faults_.size(),
-                    State3(c.flip_flops().size(), V3::kX)) {
+                    State3(c.flip_flops().size(), V3::kX)),
+      launch_prev_(faults_.size(), V3::kX) {
   if (config_.width < 1) config_.width = 1;
   if (config_.width > sim::kMaxWideWords) {
     throw std::invalid_argument("FaultSimConfig: width exceeds kMaxWideWords");
+  }
+  for (const Fault& f : faults_) {
+    if (f.is_transition()) {
+      any_transition_ = true;
+      break;
+    }
   }
 }
 
@@ -92,6 +112,7 @@ void FaultSimulator::reset_machines() {
   for (auto& s : faulty_state_) {
     s.assign(c_.flip_flops().size(), V3::kX);
   }
+  launch_prev_.assign(faults_.size(), V3::kX);
 }
 
 void FaultSimulator::reset_all() {
@@ -139,8 +160,8 @@ std::vector<std::vector<PackedV3>> FaultSimulator::pack_sequence(
 
 void FaultSimulator::simulate_differential(
     sim::SequenceSimulator& good, const std::vector<std::size_t>& fault_indices,
-    const Sequence& seq, std::vector<State3>& states, std::vector<char>& live,
-    std::vector<Detection>& detections,
+    const Sequence& seq, std::vector<State3>& states, std::vector<V3>& launch,
+    std::vector<char>& live, std::vector<Detection>& detections,
     std::vector<State3>* good_sink) const {
   const auto pos = c_.primary_outputs();
   const auto ffs = c_.flip_flops();
@@ -153,17 +174,23 @@ void FaultSimulator::simulate_differential(
   // Excitation-screen site info, one entry per fault: the good-machine line
   // whose value feeds the fault site, the stuck value, and — for flip-flop
   // output faults, which also force the *next* state at latch time — the D
-  // line as a second excitation source.
+  // line as a second excitation source.  For transition faults `line` doubles
+  // as the launch line (it is the same line by construction) and `stuck` as
+  // the transition's initial value; the stuck-at excitation screen stays a
+  // sound superset for them (activity only further restricts when the
+  // forcing can diverge from the good machine).
   struct Site {
     NodeId line = netlist::kNoNode;
     NodeId extra = netlist::kNoNode;
     V3 stuck = V3::k0;
+    bool transition = false;
   };
   std::vector<Site> sites(fault_indices.size());
   for (std::size_t i = 0; i < fault_indices.size(); ++i) {
     const Fault& f = faults_[fault_indices[i]];
     Site& s = sites[i];
     s.stuck = f.stuck_at ? V3::k1 : V3::k0;
+    s.transition = f.is_transition();
     if (f.pin == kOutputPin) {
       s.line = f.node;
       if (c_.type(f.node) == netlist::GateType::kDff) {
@@ -272,9 +299,56 @@ void FaultSimulator::simulate_differential(
               }
             }
 
+            // Transition launch anchors, one per slot: the good value of the
+            // slot's launch line in the frame before the current one (window
+            // entry: the caller-carried value).
+            bool group_trans = false;
+            if (any_transition_) {
+              for (std::size_t s = 0; s < count; ++s) {
+                if (sites[order[begin + s]].transition) {
+                  group_trans = true;
+                  break;
+                }
+              }
+            }
+            std::vector<V3> lprev;
+            WideMask full_act;
+            if (group_trans) {
+              lprev.resize(count);
+              for (std::size_t s = 0; s < count; ++s) {
+                lprev[s] = launch[order[begin + s]];
+              }
+              full_act =
+                  WideMask::ones(nw, static_cast<std::size_t>(nw) * 64);
+            }
+
             WideMask live_mask = WideMask::ones(nw, count);
             for (std::size_t k = 0; k < wlen && live_mask.any(); ++k) {
               ++scratch.stats.group_vectors;
+
+              // Per-frame override activity: a transition slot forces only
+              // when its launch line held the initial value in the previous
+              // frame (act), and its flip-flop latch forcing only when it
+              // holds it in this frame (act_next — the latch lands in the
+              // next frame).  Stuck-at slots stay unconditionally active.
+              WideMask act;
+              WideMask act_next;
+              if (group_trans) {
+                act = full_act;
+                act_next = full_act;
+                for (std::size_t s = 0; s < count; ++s) {
+                  const Site& site = sites[order[begin + s]];
+                  if (!site.transition) continue;
+                  if (lprev[s] != site.stuck) {
+                    act.clear(static_cast<unsigned>(s));
+                  }
+                  const V3 nl = good_frames[k][site.line].get(0);
+                  if (nl != site.stuck) {
+                    act_next.clear(static_cast<unsigned>(s));
+                  }
+                  lprev[s] = nl;
+                }
+              }
 
               // Excitation/activity screen, word-parallel over the state.
               WideMask active;
@@ -305,6 +379,10 @@ void FaultSimulator::simulate_differential(
                 continue;
               }
 
+              if (group_trans) {
+                machine.set_override_activity(act);
+                machine.set_latch_override_activity(act_next);
+              }
               machine.apply_differential(good_frames[k], scratch.wff1,
                                          scratch.wff0);
 
@@ -393,10 +471,48 @@ void FaultSimulator::simulate_differential(
             scratch.ff[ff] = w;
           }
 
+          // Transition launch anchors, one per slot: the good value of the
+          // slot's launch line in the frame before the current one (window
+          // entry: the caller-carried value).
+          bool group_trans = false;
+          if (any_transition_) {
+            for (std::size_t s = 0; s < count; ++s) {
+              if (sites[order[begin + s]].transition) {
+                group_trans = true;
+                break;
+              }
+            }
+          }
+          std::vector<V3> lprev;
+          if (group_trans) {
+            lprev.resize(count);
+            for (std::size_t s = 0; s < count; ++s) {
+              lprev[s] = launch[order[begin + s]];
+            }
+          }
+
           std::uint64_t live_mask =
               count == 64 ? ~0ULL : ((1ULL << count) - 1);
           for (std::size_t k = 0; k < wlen && live_mask; ++k) {
             ++scratch.stats.group_vectors;
+
+            // Per-frame override activity: a transition slot forces only
+            // when its launch line held the initial value in the previous
+            // frame (act), and its flip-flop latch forcing only when it
+            // holds it in this frame (act_next — the latch lands in the
+            // next frame).  Stuck-at slots stay unconditionally active.
+            std::uint64_t act = ~0ULL;
+            std::uint64_t act_next = ~0ULL;
+            if (group_trans) {
+              for (std::size_t s = 0; s < count; ++s) {
+                const Site& site = sites[order[begin + s]];
+                if (!site.transition) continue;
+                if (lprev[s] != site.stuck) act &= ~(1ULL << s);
+                const V3 nl = good_frames[k][site.line].get(0);
+                if (nl != site.stuck) act_next &= ~(1ULL << s);
+                lprev[s] = nl;
+              }
+            }
 
             // Excitation/activity screen: a slot can differ from the good
             // machine this vector only if its fault site is excited by the
@@ -425,6 +541,10 @@ void FaultSimulator::simulate_differential(
               continue;
             }
 
+            if (group_trans) {
+              machine.set_override_activity(act);
+              machine.set_latch_override_activity(act_next);
+            }
             machine.apply_differential(good_frames[k], scratch.ff);
 
             std::uint64_t hit = 0;
@@ -488,6 +608,16 @@ void FaultSimulator::simulate_differential(
       if (live[i]) order[kept++] = i;
     }
     order.resize(kept);
+
+    // Advance the carried launch anchors to the last frame of this window
+    // (the good value each launch line settled to): the next window's groups
+    // — and, after the final window, the caller's persisted launch_prev_ —
+    // read their entry launches from here.
+    if (any_transition_) {
+      for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+        launch[i] = good_frames[wlen - 1][sites[i].line].get(0);
+      }
+    }
   }
 
   stats_.frames += total;
@@ -508,10 +638,14 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
   std::vector<State3> states;
   states.reserve(pending.size());
   for (std::size_t i : pending) states.push_back(faulty_state_[i]);
+  std::vector<V3> launch;
+  launch.reserve(pending.size());
+  for (std::size_t i : pending) launch.push_back(launch_prev_[i]);
   std::vector<char> live(pending.size(), 1);
   std::vector<Detection> dets;
 
-  simulate_differential(good_, pending, seq, states, live, dets, good_sink_);
+  simulate_differential(good_, pending, seq, states, launch, live, dets,
+                        good_sink_);
 
   // Reproduce the full-sweep engine's exact detection order regardless of
   // windowing and repacking: group-of-origin (pending position / 64) first,
@@ -532,9 +666,15 @@ std::vector<std::size_t> FaultSimulator::run(const Sequence& seq) {
   }
   // Persist faulty flip-flop states for still-undetected faults only, like
   // the full-sweep engine (faults detected during this run keep their
-  // pre-run state).
+  // pre-run state).  Launch anchors are good-machine values, so they advance
+  // for every fault uniformly.
   for (std::size_t i = 0; i < pending.size(); ++i) {
     if (live[i]) faulty_state_[pending[i]] = std::move(states[i]);
+  }
+  if (any_transition_) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      launch_prev_[pending[i]] = launch[i];
+    }
   }
   return newly;
 }
@@ -554,10 +694,15 @@ FaultSimulator::WhatIf FaultSimulator::what_if(
   std::vector<State3> states;
   states.reserve(idx.size());
   for (std::size_t i : idx) states.push_back(faulty_state_[i]);
+  // Local copy of the launch anchors: what-if continues the session (same
+  // entry launches as run() would use) but must not mutate it.
+  std::vector<V3> launch;
+  launch.reserve(idx.size());
+  for (std::size_t i : idx) launch.push_back(launch_prev_[i]);
   std::vector<char> live(idx.size(), 1);
   std::vector<Detection> dets;
 
-  simulate_differential(good, idx, seq, states, live, dets, nullptr);
+  simulate_differential(good, idx, seq, states, launch, live, dets, nullptr);
 
   result.detected = static_cast<unsigned>(dets.size());
   // Fault effects parked in the state at sequence end (undetected slots
@@ -588,13 +733,42 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
 
   const std::uint64_t good_evals_before = good_.gate_evals();
 
-  // Pass 1: good machine, recording per-vector PO values (slot 0).
+  // Pass 2's fault subset, computed up front so pass 1 can record the good
+  // launch-line values transition faults anchor their activity to.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) pending.push_back(i);
+  }
+  std::vector<NodeId> f_line;
+  std::vector<char> f_trans;
+  std::vector<V3> f_init;
+  std::vector<std::vector<V3>> good_launch;
+  if (any_transition_) {
+    f_line.resize(pending.size());
+    f_trans.resize(pending.size());
+    f_init.resize(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const Fault& f = faults_[pending[i]];
+      f_trans[i] = f.is_transition() ? 1 : 0;
+      f_init[i] = f.stuck_at ? V3::k1 : V3::k0;
+      f_line[i] = launch_line(c_, f);
+    }
+    good_launch.assign(seq.size(), std::vector<V3>(pending.size()));
+  }
+
+  // Pass 1: good machine, recording per-vector PO values (slot 0) and, in
+  // transition mode, each fault's settled launch-line value per frame.
   const auto pos = c_.primary_outputs();
   std::vector<std::vector<V3>> good_po(seq.size(), std::vector<V3>(pos.size()));
   for (std::size_t t = 0; t < seq.size(); ++t) {
     good_.apply_vector(seq[t]);
     for (std::size_t p = 0; p < pos.size(); ++p) {
       good_po[t][p] = good_.scalar_value(pos[p]);
+    }
+    if (any_transition_) {
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        good_launch[t][i] = good_.scalar_value(f_line[i]);
+      }
     }
     good_.clock();
     if (good_sink_) good_sink_->push_back(good_.state());
@@ -606,11 +780,6 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
   // lanes.  Each group only touches its own faults' faulty_state_ entries
   // and its own lane's machine; detections are collected per group and
   // merged in group order below, so the result is schedule-independent.
-  std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < faults_.size(); ++i) {
-    if (!detected_[i]) pending.push_back(i);
-  }
-
   const std::size_t nff = c_.flip_flops().size();
   const auto packed_seq = pack_sequence(seq);
 
@@ -641,6 +810,26 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
                 f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
           }
         }
+        // Transition slots of this group, with their carried launch anchors.
+        // While the persisted states load, transition slots are held
+        // inactive so the flip-flop output forcing cannot clobber the loaded
+        // values; the frame loop installs the real per-frame activity before
+        // the first apply (which full-evaluates, re-forcing everything).
+        std::uint64_t trans_bits = 0;
+        std::vector<V3> lprev;
+        if (any_transition_) {
+          for (std::size_t s = 0; s < count; ++s) {
+            if (f_trans[begin + s]) trans_bits |= 1ULL << s;
+          }
+          if (trans_bits) {
+            lprev.resize(count);
+            for (std::size_t s = 0; s < count; ++s) {
+              lprev[s] = launch_prev_[pending[begin + s]];
+            }
+            machine.set_override_activity(~trans_bits);
+            machine.set_latch_override_activity(~trans_bits);
+          }
+        }
         // Load persisted per-fault flip-flop states.
         for (std::size_t ff = 0; ff < nff; ++ff) {
           PackedV3 w = PackedV3::all_x();
@@ -654,6 +843,19 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
         scratch.stats.group_vectors += seq.size();
         std::uint64_t live = count == 64 ? ~0ULL : ((1ULL << count) - 1);
         for (std::size_t t = 0; t < seq.size(); ++t) {
+          if (trans_bits) {
+            std::uint64_t act = ~0ULL;
+            std::uint64_t act_next = ~0ULL;
+            for (std::size_t s = 0; s < count; ++s) {
+              if (!f_trans[begin + s]) continue;
+              if (lprev[s] != f_init[begin + s]) act &= ~(1ULL << s);
+              const V3 nl = good_launch[t][begin + s];
+              if (nl != f_init[begin + s]) act_next &= ~(1ULL << s);
+              lprev[s] = nl;
+            }
+            machine.set_override_activity(act);
+            machine.set_latch_override_activity(act_next);
+          }
           machine.apply_packed(packed_seq[t]);
           std::uint64_t hit = 0;
           for (std::size_t p = 0; p < pos.size(); ++p) {
@@ -687,6 +889,14 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
 
   drain_lane_stats(lanes);
 
+  // Launch anchors advance for every fault uniformly (they are good-machine
+  // values) — bit-identical to the differential engine's bookkeeping.
+  if (any_transition_) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      launch_prev_[pending[i]] = good_launch[seq.size() - 1][i];
+    }
+  }
+
   // Deterministic merge: detections land in (group, time, slot) order —
   // exactly the order the serial sweep produced them in.
   for (std::size_t g = 0; g < n_groups; ++g) {
@@ -702,15 +912,27 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep(const Sequence& seq) {
 bool FaultSimulator::would_detect(std::size_t fault_index,
                                   const Sequence& seq) const {
   return would_detect_from(c_, good_, faulty_state_[fault_index],
-                           faults_[fault_index], seq);
+                           faults_[fault_index], seq,
+                           launch_prev_[fault_index]);
 }
 
 bool FaultSimulator::would_detect_from(const netlist::Circuit& c,
                                        const sim::SequenceSimulator& good_start,
                                        const sim::State3& faulty_state,
-                                       const Fault& f, const Sequence& seq) {
+                                       const Fault& f, const Sequence& seq,
+                                       V3 launch_prev) {
   sim::SequenceSimulator good = good_start;  // copy: caller state untouched
   sim::SequenceSimulator faulty(c);
+  const bool trans = f.is_transition();
+  const NodeId line = launch_line(c, f);
+  const V3 initial = f.stuck_at ? V3::k1 : V3::k0;
+  if (trans) {
+    // Frame-0 activity from the caller-supplied launch anchor, installed
+    // before the override so even the initial source forcing is gated.
+    const std::uint64_t act0 = launch_prev == initial ? ~0ULL : 0;
+    faulty.set_override_activity(act0);
+    faulty.set_latch_override_activity(act0);
+  }
   if (f.pin == kOutputPin) {
     faulty.add_output_override(f.node, f.stuck_at, ~0ULL);
   } else {
@@ -728,8 +950,21 @@ bool FaultSimulator::would_detect_from(const netlist::Circuit& c,
       const V3 b = faulty.scalar_value(po);
       if (g != V3::kX && b != V3::kX && g != b) return true;
     }
-    good.clock();
-    faulty.clock();
+    if (trans) {
+      // Next frame's activity comes from this frame's settled good launch
+      // value: the latch mask must be in place before clock() (the latched
+      // forcing lands in the next frame); the current mask rolls over after
+      // it (a change re-baselines the event queue on the next apply).
+      const std::uint64_t next_act =
+          good.scalar_value(line) == initial ? ~0ULL : 0;
+      faulty.set_latch_override_activity(next_act);
+      good.clock();
+      faulty.clock();
+      faulty.set_override_activity(next_act);
+    } else {
+      good.clock();
+      faulty.clock();
+    }
   }
   return false;
 }
@@ -737,6 +972,25 @@ bool FaultSimulator::would_detect_from(const netlist::Circuit& c,
 FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep(
     std::span<const std::size_t> fault_indices, const Sequence& seq) const {
   WhatIf result;
+
+  // Transition launch bookkeeping over the what-if fault subset (entry
+  // anchors come from the session's launch_prev_; nothing is written back).
+  std::vector<NodeId> f_line;
+  std::vector<char> f_trans;
+  std::vector<V3> f_init;
+  std::vector<std::vector<V3>> good_launch;
+  if (any_transition_) {
+    f_line.resize(fault_indices.size());
+    f_trans.resize(fault_indices.size());
+    f_init.resize(fault_indices.size());
+    for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+      const Fault& f = faults_[fault_indices[i]];
+      f_trans[i] = f.is_transition() ? 1 : 0;
+      f_init[i] = f.stuck_at ? V3::k1 : V3::k0;
+      f_line[i] = launch_line(c_, f);
+    }
+    good_launch.assign(seq.size(), std::vector<V3>(fault_indices.size()));
+  }
 
   // Good machine: a copy of the session machine, run once.
   sim::SequenceSimulator good = good_;
@@ -747,6 +1001,11 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep(
     good.apply_vector(seq[t]);
     for (std::size_t p = 0; p < pos.size(); ++p) {
       good_po[t][p] = good.scalar_value(pos[p]);
+    }
+    if (any_transition_) {
+      for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+        good_launch[t][i] = good.scalar_value(f_line[i]);
+      }
     }
     good.clock();
   }
@@ -788,6 +1047,23 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep(
                                        f.stuck_at, mask);
           }
         }
+        // Transition slots held inactive during the state load; the frame
+        // loop installs the real per-frame activity (cf. run_full_sweep).
+        std::uint64_t trans_bits = 0;
+        std::vector<V3> lprev;
+        if (any_transition_) {
+          for (std::size_t s = 0; s < count; ++s) {
+            if (f_trans[begin + s]) trans_bits |= 1ULL << s;
+          }
+          if (trans_bits) {
+            lprev.resize(count);
+            for (std::size_t s = 0; s < count; ++s) {
+              lprev[s] = launch_prev_[fault_indices[begin + s]];
+            }
+            machine.set_override_activity(~trans_bits);
+            machine.set_latch_override_activity(~trans_bits);
+          }
+        }
         for (std::size_t ff = 0; ff < nff; ++ff) {
           PackedV3 w = PackedV3::all_x();
           for (std::size_t s = 0; s < count; ++s) {
@@ -802,6 +1078,19 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep(
             count == 64 ? ~0ULL : ((1ULL << count) - 1);
         std::uint64_t detected_mask = 0;
         for (std::size_t t = 0; t < seq.size(); ++t) {
+          if (trans_bits) {
+            std::uint64_t act = ~0ULL;
+            std::uint64_t act_next = ~0ULL;
+            for (std::size_t s = 0; s < count; ++s) {
+              if (!f_trans[begin + s]) continue;
+              if (lprev[s] != f_init[begin + s]) act &= ~(1ULL << s);
+              const V3 nl = good_launch[t][begin + s];
+              if (nl != f_init[begin + s]) act_next &= ~(1ULL << s);
+              lprev[s] = nl;
+            }
+            machine.set_override_activity(act);
+            machine.set_latch_override_activity(act_next);
+          }
           machine.apply_packed(packed_seq[t]);
           for (std::size_t p = 0; p < pos.size(); ++p) {
             const V3 good_value = good_po[t][p];
@@ -851,6 +1140,29 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep_wide(
 
   const std::uint64_t good_evals_before = good_.gate_evals();
 
+  // Fault subset first so pass 1 can record launch-line values (cf. the
+  // 64-slot engine).
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) pending.push_back(i);
+  }
+  std::vector<NodeId> f_line;
+  std::vector<char> f_trans;
+  std::vector<V3> f_init;
+  std::vector<std::vector<V3>> good_launch;
+  if (any_transition_) {
+    f_line.resize(pending.size());
+    f_trans.resize(pending.size());
+    f_init.resize(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const Fault& f = faults_[pending[i]];
+      f_trans[i] = f.is_transition() ? 1 : 0;
+      f_init[i] = f.stuck_at ? V3::k1 : V3::k0;
+      f_line[i] = launch_line(c_, f);
+    }
+    good_launch.assign(seq.size(), std::vector<V3>(pending.size()));
+  }
+
   // Pass 1: good machine, recording per-vector PO values (slot 0) — shared
   // with the 64-slot engine verbatim.
   const auto pos = c_.primary_outputs();
@@ -860,16 +1172,16 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep_wide(
     for (std::size_t p = 0; p < pos.size(); ++p) {
       good_po[t][p] = good_.scalar_value(pos[p]);
     }
+    if (any_transition_) {
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        good_launch[t][i] = good_.scalar_value(f_line[i]);
+      }
+    }
     good_.clock();
     if (good_sink_) good_sink_->push_back(good_.state());
   }
   stats_.frames += seq.size();
   stats_.good_gate_evals += good_.gate_evals() - good_evals_before;
-
-  std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < faults_.size(); ++i) {
-    if (!detected_[i]) pending.push_back(i);
-  }
 
   const std::size_t nff = c_.flip_flops().size();
   const auto pis = c_.primary_inputs();
@@ -918,6 +1230,31 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep_wide(
                 f.node, static_cast<unsigned>(f.pin), f.stuck_at, mask);
           }
         }
+        // Transition slots held inactive during the state load; the frame
+        // loop installs the real per-frame activity (cf. run_full_sweep).
+        WideMask trans_mask;
+        WideMask full_act;
+        std::vector<V3> lprev;
+        bool group_trans = false;
+        if (any_transition_) {
+          for (std::size_t s = 0; s < count; ++s) {
+            if (f_trans[begin + s]) {
+              trans_mask.set(static_cast<unsigned>(s));
+              group_trans = true;
+            }
+          }
+          if (group_trans) {
+            lprev.resize(count);
+            for (std::size_t s = 0; s < count; ++s) {
+              lprev[s] = launch_prev_[pending[begin + s]];
+            }
+            full_act = WideMask::ones(nw, static_cast<std::size_t>(nw) * 64);
+            WideMask load_act = full_act;
+            load_act.remove(trans_mask);
+            machine.set_override_activity(load_act);
+            machine.set_latch_override_activity(load_act);
+          }
+        }
         // Load persisted per-fault flip-flop states.
         std::uint64_t r1[sim::kMaxWideWords];
         std::uint64_t r0[sim::kMaxWideWords];
@@ -933,6 +1270,23 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep_wide(
         scratch.stats.group_vectors += seq.size();
         WideMask live = WideMask::ones(nw, count);
         for (std::size_t t = 0; t < seq.size(); ++t) {
+          if (group_trans) {
+            WideMask act = full_act;
+            WideMask act_next = full_act;
+            for (std::size_t s = 0; s < count; ++s) {
+              if (!f_trans[begin + s]) continue;
+              if (lprev[s] != f_init[begin + s]) {
+                act.clear(static_cast<unsigned>(s));
+              }
+              const V3 nl = good_launch[t][begin + s];
+              if (nl != f_init[begin + s]) {
+                act_next.clear(static_cast<unsigned>(s));
+              }
+              lprev[s] = nl;
+            }
+            machine.set_override_activity(act);
+            machine.set_latch_override_activity(act_next);
+          }
           machine.apply_wide(seq1[t], seq0[t]);
           WideMask hit;
           for (std::size_t p = 0; p < pos.size(); ++p) {
@@ -973,6 +1327,13 @@ std::vector<std::size_t> FaultSimulator::run_full_sweep_wide(
 
   drain_lane_stats(lanes);
 
+  // Launch anchors advance for every fault uniformly (good-machine values).
+  if (any_transition_) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      launch_prev_[pending[i]] = good_launch[seq.size() - 1][i];
+    }
+  }
+
   // Reproduce the 64-slot engine's exact detection order: its serial merge
   // lands detections in (pending position / 64, time, position) order, so
   // sorting by that key makes the list grouping-independent.
@@ -1002,6 +1363,25 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep_wide(
   WhatIf result;
   const unsigned nw = config_.width;
 
+  // Transition launch bookkeeping over the what-if fault subset (entry
+  // anchors come from the session's launch_prev_; nothing is written back).
+  std::vector<NodeId> f_line;
+  std::vector<char> f_trans;
+  std::vector<V3> f_init;
+  std::vector<std::vector<V3>> good_launch;
+  if (any_transition_) {
+    f_line.resize(fault_indices.size());
+    f_trans.resize(fault_indices.size());
+    f_init.resize(fault_indices.size());
+    for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+      const Fault& f = faults_[fault_indices[i]];
+      f_trans[i] = f.is_transition() ? 1 : 0;
+      f_init[i] = f.stuck_at ? V3::k1 : V3::k0;
+      f_line[i] = launch_line(c_, f);
+    }
+    good_launch.assign(seq.size(), std::vector<V3>(fault_indices.size()));
+  }
+
   // Good machine: a copy of the session machine, run once.
   sim::SequenceSimulator good = good_;
   good.reset_gate_evals();
@@ -1011,6 +1391,11 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep_wide(
     good.apply_vector(seq[t]);
     for (std::size_t p = 0; p < pos.size(); ++p) {
       good_po[t][p] = good.scalar_value(pos[p]);
+    }
+    if (any_transition_) {
+      for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+        good_launch[t][i] = good.scalar_value(f_line[i]);
+      }
     }
     good.clock();
   }
@@ -1062,6 +1447,31 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep_wide(
                                        f.stuck_at, mask);
           }
         }
+        // Transition slots held inactive during the state load; the frame
+        // loop installs the real per-frame activity (cf. run_full_sweep).
+        WideMask trans_mask;
+        WideMask full_act;
+        std::vector<V3> lprev;
+        bool group_trans = false;
+        if (any_transition_) {
+          for (std::size_t s = 0; s < count; ++s) {
+            if (f_trans[begin + s]) {
+              trans_mask.set(static_cast<unsigned>(s));
+              group_trans = true;
+            }
+          }
+          if (group_trans) {
+            lprev.resize(count);
+            for (std::size_t s = 0; s < count; ++s) {
+              lprev[s] = launch_prev_[fault_indices[begin + s]];
+            }
+            full_act = WideMask::ones(nw, static_cast<std::size_t>(nw) * 64);
+            WideMask load_act = full_act;
+            load_act.remove(trans_mask);
+            machine.set_override_activity(load_act);
+            machine.set_latch_override_activity(load_act);
+          }
+        }
         std::uint64_t r1[sim::kMaxWideWords];
         std::uint64_t r0[sim::kMaxWideWords];
         for (std::size_t ff = 0; ff < nff; ++ff) {
@@ -1077,6 +1487,23 @@ FaultSimulator::WhatIf FaultSimulator::what_if_full_sweep_wide(
         const WideMask live_all = WideMask::ones(nw, count);
         WideMask detected_mask;
         for (std::size_t t = 0; t < seq.size(); ++t) {
+          if (group_trans) {
+            WideMask act = full_act;
+            WideMask act_next = full_act;
+            for (std::size_t s = 0; s < count; ++s) {
+              if (!f_trans[begin + s]) continue;
+              if (lprev[s] != f_init[begin + s]) {
+                act.clear(static_cast<unsigned>(s));
+              }
+              const V3 nl = good_launch[t][begin + s];
+              if (nl != f_init[begin + s]) {
+                act_next.clear(static_cast<unsigned>(s));
+              }
+              lprev[s] = nl;
+            }
+            machine.set_override_activity(act);
+            machine.set_latch_override_activity(act_next);
+          }
           machine.apply_wide(seq1[t], seq0[t]);
           for (std::size_t p = 0; p < pos.size(); ++p) {
             const V3 good_value = good_po[t][p];

@@ -137,6 +137,16 @@ class FaultSimulator {
     return faulty_state_[fault_index];
   }
 
+  /// Persisted good-machine value of the fault's launch line after the last
+  /// frame simulated by run() — the two-frame transition-fault launch
+  /// anchor carried across run() calls (kX after reset: a transition fault
+  /// is inactive in the power-up frame).  Meaningful for any fault; only
+  /// transition faults consume it.  Not serialized: snapshot resume replays
+  /// the committed segments, which rebuilds it exactly.
+  sim::V3 launch_prev(std::size_t fault_index) const {
+    return launch_prev_[fault_index];
+  }
+
   const FaultSimConfig& config() const { return config_; }
   const SimStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SimStats{}; }
@@ -157,10 +167,15 @@ class FaultSimulator {
   /// `faulty_state`, produce a good/faulty PO difference?  Pure function of
   /// its arguments — the speculative targeting lanes call it against an
   /// immutable epoch snapshot instead of the live session simulator.
+  /// For transition faults, `launch_prev` is the good value of the fault's
+  /// launch line in the frame preceding `seq` (pass launch_prev() of the
+  /// session snapshot; the kX default means "no launch pending", which is
+  /// the power-up semantics).  Ignored for stuck-at faults.
   static bool would_detect_from(const netlist::Circuit& c,
                                 const sim::SequenceSimulator& good_start,
                                 const sim::State3& faulty_state, const Fault& f,
-                                const sim::Sequence& seq);
+                                const sim::Sequence& seq,
+                                sim::V3 launch_prev = sim::V3::kX);
 
   /// The live good machine (for snapshotting by the speculative targeting
   /// layer; treat as read-only).
@@ -213,13 +228,18 @@ class FaultSimulator {
   /// over `seq` window by window and sweeps the faults of `fault_indices`
   /// differentially against it.  `states` (one per index) and `live` are
   /// read and updated in place; detections are appended unordered by group.
-  /// `good_sink`, when non-null, receives the good machine's post-clock
-  /// state for every vector (run() forwards good_sink_; what_if passes
-  /// nullptr).
+  /// `launch` (one V3 per index) carries the transition-fault launch anchor:
+  /// on entry the good value of each fault's launch line in the frame
+  /// preceding `seq`, on exit its value in the last frame of `seq` (run()
+  /// seeds it from and persists it back to launch_prev_; what_if discards
+  /// the local copy, matching its non-mutating contract).  `good_sink`, when
+  /// non-null, receives the good machine's post-clock state for every vector
+  /// (run() forwards good_sink_; what_if passes nullptr).
   void simulate_differential(sim::SequenceSimulator& good,
                              const std::vector<std::size_t>& fault_indices,
                              const sim::Sequence& seq,
                              std::vector<sim::State3>& states,
+                             std::vector<sim::V3>& launch,
                              std::vector<char>& live,
                              std::vector<Detection>& detections,
                              std::vector<sim::State3>* good_sink) const;
@@ -245,6 +265,10 @@ class FaultSimulator {
   const netlist::Circuit& c_;
   std::vector<Fault> faults_;
   FaultSimConfig config_;
+  /// True iff any fault in faults_ is a transition fault — every
+  /// launch-tracking branch is gated on this so the pure stuck-at paths stay
+  /// instruction-for-instruction identical to the pre-fault-model engine.
+  bool any_transition_ = false;
   std::vector<char> detected_;
   std::size_t num_detected_ = 0;
   sim::SequenceSimulator good_;
@@ -253,6 +277,7 @@ class FaultSimulator {
   // serial path.  Mutable: what_if is logically const but reuses them.
   mutable std::vector<Lane> lanes_;
   std::vector<sim::State3> faulty_state_;  // one per fault
+  std::vector<sim::V3> launch_prev_;       // one per fault (see launch_prev())
   mutable SimStats stats_;
   std::vector<sim::State3>* good_sink_ = nullptr;
 };

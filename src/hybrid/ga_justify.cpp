@@ -46,6 +46,17 @@ GaJustifyResult GaStateJustifier::justify(
 
   GaJustifyResult result;
 
+  // Transition faults force conditionally: the faulty machine's overrides
+  // are gated per frame by the launch activity derived from the lockstep
+  // good machine (the good value of the launch line in the previous frame
+  // must equal the transition's initial value).  The power-up frame cannot
+  // launch, so both masks start at zero.
+  const bool trans = fault.is_transition();
+  const NodeId launch_line =
+      fault.pin == fault::kOutputPin
+          ? fault.node
+          : c_.fanins(fault.node)[static_cast<std::size_t>(fault.pin)];
+
   ga::GaConfig ga_config;
   ga_config.population_size = config.population;
   ga_config.generations = config.generations;
@@ -94,6 +105,10 @@ GaJustifyResult GaStateJustifier::justify(
           sim::SequenceSimulator good(c_);
           good.set_state(current_good_state);
           sim::SequenceSimulator faulty(c_);
+          if (trans) {
+            faulty.set_override_activity(0);
+            faulty.set_latch_override_activity(0);
+          }
           if (fault.pin == fault::kOutputPin) {
             faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
           } else {
@@ -118,8 +133,20 @@ GaJustifyResult GaStateJustifier::justify(
             }
             good.apply_packed(pi_words);
             faulty.apply_packed(pi_words);
-            good.clock();
-            faulty.clock();
+            if (trans) {
+              // Launch activity for frame t+1, read off the settled good
+              // frame; the latch mask must be in place before the clock
+              // edge, the current-frame mask after it.
+              const PackedV3 lv = good.value(launch_line);
+              const std::uint64_t next_act = fault.stuck_at ? lv.v1 : lv.v0;
+              faulty.set_latch_override_activity(next_act);
+              good.clock();
+              faulty.clock();
+              faulty.set_override_activity(next_act);
+            } else {
+              good.clock();
+              faulty.clock();
+            }
 
             const std::uint64_t match =
                 good.state_match_mask(desired_good) &
@@ -200,6 +227,10 @@ GaJustifyResult GaStateJustifier::justify(
           sim::WideSimulator good(c_, nw);
           good.set_state(current_good_state);
           sim::WideSimulator faulty(c_, nw);
+          if (trans) {
+            faulty.set_override_activity(sim::WideMask{});
+            faulty.set_latch_override_activity(sim::WideMask{});
+          }
           const sim::WideMask all_slots =
               sim::WideMask::ones(nw, std::size_t{64} * nw);
           if (fault.pin == fault::kOutputPin) {
@@ -238,8 +269,22 @@ GaJustifyResult GaStateJustifier::justify(
             }
             good.apply_wide(pi1, pi0);
             faulty.apply_wide(pi1, pi0);
-            good.clock();
-            faulty.clock();
+            if (trans) {
+              // Same launch-activity sequencing as the 64-slot evaluator,
+              // widened to nw words.
+              const std::uint64_t* lr = fault.stuck_at
+                                            ? good.row1(launch_line)
+                                            : good.row0(launch_line);
+              sim::WideMask next_act;
+              for (unsigned w = 0; w < nw; ++w) next_act.w[w] = lr[w];
+              faulty.set_latch_override_activity(next_act);
+              good.clock();
+              faulty.clock();
+              faulty.set_override_activity(next_act);
+            } else {
+              good.clock();
+              faulty.clock();
+            }
 
             sim::WideMask match = good.state_match_mask(desired_good);
             match &= faulty.state_match_mask(desired_faulty);

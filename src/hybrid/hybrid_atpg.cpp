@@ -80,6 +80,7 @@ TargetResult HybridEngine::solve_target(const fault::Fault& f,
   // Deterministic-engine effort accounting (per fault and cumulative).
   const atpg::SearchStats& fs = forward.stats();
   result.effort.fault_index = fault_index;
+  result.effort.model = f.model;
   result.effort.decisions = fs.decisions + det_total.decisions;
   result.effort.backtracks = fs.backtracks + det_total.backtracks;
   result.effort.gate_evals = fs.gate_evals + det_total.gate_evals;
@@ -103,6 +104,7 @@ TargetOutcome HybridEngine::target_fault(
   fx.good_machine = &s.simulator().good_machine();
   fx.good_state = s.simulator().good_state();
   fx.faulty_state = s.simulator().fault_state(fault_index);
+  fx.launch_prev = s.simulator().launch_prev(fault_index);
   fx.deadline = &deadline;
   fx.ga_parallel = config_.parallel;
 
@@ -311,8 +313,8 @@ TargetOutcome HybridEngine::attempt_solutions(
     fill_x(candidate, *fx.rng);
 
     if (!fault::FaultSimulator::would_detect_from(c_, *fx.good_machine,
-                                                  fx.faulty_state, f,
-                                                  candidate)) {
+                                                  fx.faulty_state, f, candidate,
+                                                  fx.launch_prev)) {
       ++fx.counters->verify_failures;
       all_rejections_proven = false;
       if (deadline.expired()) {
@@ -432,7 +434,7 @@ void HybridEngine::load_state(serialize::Reader& r) {
 HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
     : c_(c),
       config_(std::move(config)),
-      faults_(fault::collapse(c)),
+      faults_(fault::collapse(c, config_.fault_model)),
       depth_(config_.sequential_depth_override
                  ? config_.sequential_depth_override
                  : netlist::sequential_depth(c)),
@@ -440,6 +442,7 @@ HybridAtpg::HybridAtpg(const netlist::Circuit& c, HybridConfig config)
 
 AtpgResult HybridAtpg::run(session::ProgressObserver* observer) {
   session::SessionConfig session_config;
+  session_config.fault_model = config_.fault_model;
   session_config.faultsim = config_.faultsim;
   session_config.faultsim.parallel = config_.parallel;
   session_config.state_store = config_.state_store;

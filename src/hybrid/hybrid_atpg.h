@@ -49,6 +49,9 @@ using AtpgResult = session::SessionResult;
 
 struct HybridConfig {
   PassSchedule schedule = PassSchedule::ga_hitec(0.05);
+  /// Fault universe the generator targets (stuck-at by default; transition
+  /// faults run the same Fig. 1 loop over two-frame launch/capture tests).
+  fault::FaultUniverse fault_model = fault::FaultUniverse::kStuckAt;
   /// 0 = compute from the circuit (netlist::sequential_depth).
   unsigned sequential_depth_override = 0;
   /// Propagation window; 0 = auto (clamped, see implementation).
@@ -110,6 +113,10 @@ struct TargetFacilities {
   const sim::SequenceSimulator* good_machine = nullptr;
   sim::State3 good_state;    ///< good-machine FF state at target start
   sim::State3 faulty_state;  ///< target fault's parked faulty FF state
+  /// Good value of the target fault's launch line in the frame preceding
+  /// the candidate (FaultSimulator::launch_prev of the session/epoch state).
+  /// Only transition-fault verification consumes it; kX = no launch pending.
+  sim::V3 launch_prev = sim::V3::kX;
   const util::Deadline* deadline = nullptr;
   /// Pool sizing for the GA justifier's fitness batches.  Lanes force
   /// {threads = 1}: the lane itself is the parallelism, and GA results are

@@ -140,12 +140,13 @@ void HybridEngine::run_speculative(session::Session& s, const PassConfig& pass,
     // current epoch's values even though they live outside the snapshot.
     const fault::Fault f = fm.fault(j);
     const sim::State3 faulty_state = s.simulator().fault_state(j);
+    const sim::V3 launch_prev = s.simulator().launch_prev(j);
     const std::shared_ptr<EpochSnapshot> snap_ref = snap;
     const std::shared_ptr<SpecResult> result = t.result;
     LanePools* lane_pools = &pools;
     const PassConfig* pass_ptr = &pass;
-    t.done = lane_pool_->submit([this, j, f, faulty_state, snap_ref, result,
-                                 lane_pools, pass_ptr]() {
+    t.done = lane_pool_->submit([this, j, f, faulty_state, launch_prev,
+                                 snap_ref, result, lane_pools, pass_ptr]() {
       std::unique_ptr<atpg::FrameModelPool> pool = lane_pools->acquire();
       util::Rng rng;
       rng.set_state_words(snap_ref->rng_words);
@@ -161,6 +162,7 @@ void HybridEngine::run_speculative(session::Session& s, const PassConfig& pass,
       fx.good_machine = snap_ref->good.get();
       fx.good_state = snap_ref->good_state;
       fx.faulty_state = faulty_state;
+      fx.launch_prev = launch_prev;
       fx.deadline = &deadline;
       fx.ga_parallel.threads = 1;  // the lane itself is the parallelism
 

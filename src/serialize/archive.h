@@ -31,7 +31,9 @@ namespace gatpg::serialize {
 /// Archive format version written by this build.  Bump on any layout
 /// change; readers reject other versions outright (snapshots are
 /// short-lived checkpoint artifacts, not a long-term interchange format).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version history: 1 = original session snapshot; 2 = fault-model axis
+/// (IDNT carries the session's FaultUniverse).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Any structural problem with an archive: bad magic/version/sentinel,
 /// digest mismatch, truncation, section tag/length mismatch, or a

@@ -219,6 +219,12 @@ void Daemon::handle_submit(const Args& args) {
       static_cast<unsigned>(std::max(0L, arg_l(args, "pool_budget", 0)));
   job.hybrid.state_store.enabled = arg_l(args, "store", 1) != 0;
 
+  const std::string model_name = arg_s(args, "fault_model", "stuck_at");
+  if (!fault::parse_universe(model_name, &job.hybrid.fault_model)) {
+    emit_error("unknown fault_model: " + model_name);
+    return;
+  }
+
   job.checkpoint_path = arg_s(args, "checkpoint", "");
   if (job.checkpoint_path.empty() && !config_.checkpoint_dir.empty()) {
     job.checkpoint_path = config_.checkpoint_dir + "/" + job_id + ".snap";
@@ -229,7 +235,7 @@ void Daemon::handle_submit(const Args& args) {
   job.resume = arg_l(args, "resume", 0) != 0;
 
   const netlist::Circuit c = gen::make_circuit(circuit_name);
-  const fault::FaultList faults = fault::collapse(c);
+  const fault::FaultList faults = fault::collapse(c, job.hybrid.fault_model);
   {
     util::JsonWriter w;
     w.begin_object()
@@ -237,6 +243,7 @@ void Daemon::handle_submit(const Args& args) {
         .field("job", job_id)
         .field("circuit", circuit_name)
         .field("engine", engine)
+        .field("fault_model", fault::universe_name(job.hybrid.fault_model))
         .field("shards", job.shards)
         .field("workers", job.workers)
         .field("faults", faults.size())

@@ -8,9 +8,10 @@
 //
 // Commands:
 //   submit circuit=<name> [job=<id>] [shards=N] [workers=N] [engine=ga-hitec
-//          |hitec] [time_scale=X] [pass_budget=X] [time_limit=X]
-//          [backtracks=N] [seed=N] [threads=N] [store=0|1]
-//          [checkpoint=<path>] [interval=X] [every_ticks=N] [resume=0|1]
+//          |hitec] [fault_model=stuck_at|transition] [time_scale=X]
+//          [pass_budget=X] [time_limit=X] [backtracks=N] [seed=N] [threads=N]
+//          [store=0|1] [checkpoint=<path>] [interval=X] [every_ticks=N]
+//          [resume=0|1]
 //
 // time_limit/backtracks override every pass's per-fault limits.  A job
 // whose wall-clock limits never bind (pass_budget=0 plus a generous

@@ -212,6 +212,7 @@ ShardedResult run_sharded(const netlist::Circuit& c,
     cfg.target_parallel.window = job.hybrid.target_parallel.window;
 
     session::SessionConfig scfg;
+    scfg.fault_model = cfg.fault_model;
     scfg.faultsim = cfg.faultsim;
     scfg.faultsim.parallel = cfg.parallel;
     scfg.state_store = cfg.state_store;

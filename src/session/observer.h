@@ -81,6 +81,9 @@ struct EngineCounters {
 /// aggregated over forward search and deterministic justification).
 struct TargetEffort {
   std::size_t fault_index = 0;
+  /// Model of the targeted fault (observers reporting per-fault effort can
+  /// distinguish stuck-at from transition targets in mixed tooling).
+  fault::FaultModel model = fault::FaultModel::kStuckAt;
   long decisions = 0;
   long backtracks = 0;
   long gate_evals = 0;

@@ -15,7 +15,7 @@ Session::Session(const netlist::Circuit& c, fault::FaultList faults,
       store_(c, config_.state_store) {}
 
 Session::Session(const netlist::Circuit& c, SessionConfig config)
-    : Session(c, fault::collapse(c), config) {}
+    : Session(c, fault::collapse(c, config.fault_model), config) {}
 
 std::size_t Session::commit_test(sim::Sequence candidate) {
   // With the state store on, the fault simulator's good machine doubles as

@@ -96,6 +96,11 @@ struct CheckpointConfig {
 };
 
 struct SessionConfig {
+  /// Fault universe the session targets.  The convenience constructor
+  /// collapses this universe; the explicit-list constructor trusts its
+  /// caller but still records the universe for snapshot identity (a
+  /// snapshot taken under one model never resumes under another).
+  fault::FaultUniverse fault_model = fault::FaultUniverse::kStuckAt;
   /// Fault-simulator engine options (threads, differential vs full-sweep).
   fault::FaultSimConfig faultsim;
   /// State-knowledge layer options (disabled by default; enabling it must

@@ -119,6 +119,7 @@ void Session::checkpoint(const std::string& path) const {
   w.begin_section("IDNT");
   w.str(c_.name());
   w.u64(circuit_signature(c_));
+  w.u8(static_cast<std::uint8_t>(config_.fault_model));
   w.u64(fault::identity_digest(faults_.list()));
   w.boolean(config_.faultsim.differential);
   w.u32(config_.faultsim.window);
@@ -178,6 +179,7 @@ void Session::resume(const std::string& path, Engine& engine) {
   r.enter_section("IDNT");
   const std::string circuit_name = r.str();
   const std::uint64_t signature = r.u64();
+  const auto universe = static_cast<fault::FaultUniverse>(r.u8());
   const std::uint64_t fault_identity = r.u64();
   const bool differential = r.boolean();
   const std::uint32_t window = r.u32();
@@ -188,6 +190,12 @@ void Session::resume(const std::string& path, Engine& engine) {
     throw serialize::SnapshotError("snapshot was taken on circuit '" +
                                    circuit_name + "', not on '" + c_.name() +
                                    "'");
+  }
+  if (universe != config_.fault_model) {
+    throw serialize::SnapshotError(
+        std::string("snapshot was taken under the '") +
+        fault::universe_name(universe) + "' fault model, not under '" +
+        fault::universe_name(config_.fault_model) + "'");
   }
   if (fault_identity != fault::identity_digest(faults_.list())) {
     throw serialize::SnapshotError(

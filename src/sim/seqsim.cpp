@@ -92,6 +92,8 @@ void SequenceSimulator::clear_overrides() {
   in_over_.clear();
   std::fill(node_has_in_over_.begin(), node_has_in_over_.end(), 0);
   overridden_sources_.clear();
+  act_ = ~0ULL;
+  act_latch_ = ~0ULL;
   mark_dirty();
 }
 
@@ -110,7 +112,7 @@ void SequenceSimulator::mark_dirty() { first_vector_ = true; }
 
 void SequenceSimulator::force_source_overrides() {
   for (NodeId n : overridden_sources_) {
-    values_[n] = apply_masks(values_[n], out_over_[n]);
+    values_[n] = apply_masks(values_[n], out_over_[n], act_);
   }
 }
 
@@ -128,7 +130,7 @@ bool SequenceSimulator::evaluate(NodeId n) {
     for (std::size_t i = 0; i < fanins.size(); ++i) {
       PackedV3 v = values_[fanins[i]];
       auto it = in_over_.find(in_key(n, static_cast<unsigned>(i)));
-      if (it != in_over_.end()) v = apply_masks(v, it->second);
+      if (it != in_over_.end()) v = apply_masks(v, it->second, act_);
       eval_ins_[i] = v;
     }
     next = fn(eval_ins_.data(), eval_idx_.data(), fanins.size());
@@ -137,7 +139,7 @@ bool SequenceSimulator::evaluate(NodeId n) {
   }
   if (!out_over_.empty()) {
     auto it = out_over_.find(n);
-    if (it != out_over_.end()) next = apply_masks(next, it->second);
+    if (it != out_over_.end()) next = apply_masks(next, it->second, act_);
   }
   if (next == values_[n]) return false;
   values_[n] = next;
@@ -161,7 +163,7 @@ void SequenceSimulator::apply_packed(const std::vector<PackedV3>& pi_values) {
   for (std::size_t i = 0; i < pis.size(); ++i) {
     PackedV3 v = pi_values[i];
     auto it = out_over_.find(pis[i]);
-    if (it != out_over_.end()) v = apply_masks(v, it->second);
+    if (it != out_over_.end()) v = apply_masks(v, it->second, act_);
     if (values_[pis[i]] == v) continue;
     values_[pis[i]] = v;
     queue_.schedule_fanouts(pis[i]);
@@ -183,12 +185,15 @@ void SequenceSimulator::clock() {
   for (std::size_t i = 0; i < ffs.size(); ++i) {
     const NodeId ff = ffs[i];
     PackedV3 d = values_[circuit_.fanins(ff)[0]];
+    // The D-pin forcing is sampled at the edge ending the current frame
+    // (current-frame activity); the Q forcing lives in the frame the latch
+    // feeds (latch activity, advanced one frame ahead by the caller).
     if (node_has_in_over_[ff]) {
       auto it = in_over_.find(in_key(ff, 0));
-      if (it != in_over_.end()) d = apply_masks(d, it->second);
+      if (it != in_over_.end()) d = apply_masks(d, it->second, act_);
     }
     auto out = out_over_.find(ff);
-    if (out != out_over_.end()) d = apply_masks(d, out->second);
+    if (out != out_over_.end()) d = apply_masks(d, out->second, act_latch_);
     next[i] = d;
   }
   for (std::size_t i = 0; i < ffs.size(); ++i) {
@@ -221,7 +226,7 @@ void SequenceSimulator::apply_differential(
   // Re-force stuck sources (PI/flip-flop/constant output faults); a forced
   // value differing from the good baseline is a difference to propagate.
   for (NodeId n : overridden_sources_) {
-    const PackedV3 forced = apply_masks(values_[n], out_over_[n]);
+    const PackedV3 forced = apply_masks(values_[n], out_over_[n], act_);
     if (forced == values_[n]) continue;
     values_[n] = forced;
     queue_.schedule_fanouts(n);
@@ -232,14 +237,14 @@ void SequenceSimulator::apply_differential(
   // cheaper than unconditionally re-evaluating every site's gate).
   for (const auto& [n, masks] : out_over_) {
     if (!netlist::is_combinational(circuit_.type(n))) continue;
-    if (apply_masks(values_[n], masks) == values_[n]) continue;
+    if (apply_masks(values_[n], masks, act_) == values_[n]) continue;
     queue_.schedule(n);
   }
   for (const auto& [key, masks] : in_over_) {
     const NodeId n = static_cast<NodeId>(key >> 16);
     const PackedV3 v =
         values_[circuit_.fanins(n)[static_cast<std::size_t>(key & 0xFFFF)]];
-    if (apply_masks(v, masks) == v) continue;
+    if (apply_masks(v, masks, act_) == v) continue;
     queue_.schedule(n);
   }
 
@@ -252,10 +257,10 @@ PackedV3 SequenceSimulator::next_state_packed(std::size_t ff_index) const {
   PackedV3 d = values_[circuit_.fanins(ff)[0]];
   if (node_has_in_over_[ff]) {
     auto it = in_over_.find(in_key(ff, 0));
-    if (it != in_over_.end()) d = apply_masks(d, it->second);
+    if (it != in_over_.end()) d = apply_masks(d, it->second, act_);
   }
   auto out = out_over_.find(ff);
-  if (out != out_over_.end()) d = apply_masks(d, out->second);
+  if (out != out_over_.end()) d = apply_masks(d, out->second, act_latch_);
   return d;
 }
 

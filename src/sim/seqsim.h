@@ -93,6 +93,26 @@ class SequenceSimulator {
   /// way mid-sweep so they stop generating differential events).
   void retain_override_slots(std::uint64_t slot_mask);
 
+  /// Per-slot *activity* gates over the installed overrides — the two-frame
+  /// transition-fault mechanism.  An override only forces slots whose
+  /// activity bit is set; inactive slots see the fault-free value.  The
+  /// current-frame mask gates every combinational/source forcing applied
+  /// during the frame (evaluate/apply/apply_differential); the latch mask
+  /// gates the flip-flop output forcing that clock()/next_state_packed()
+  /// latch *into the next frame* (callers advance it one frame ahead).
+  /// Both default to all-ones, which reproduces plain stuck-at behavior
+  /// bit-for-bit; changing a mask invalidates the event baseline.
+  void set_override_activity(std::uint64_t act) {
+    if (act_ == act) return;
+    act_ = act;
+    mark_dirty();
+  }
+  void set_latch_override_activity(std::uint64_t act) {
+    if (act_latch_ == act) return;
+    act_latch_ = act;
+    mark_dirty();
+  }
+
   // -- Simulation -----------------------------------------------------------
 
   /// Applies one packed input vector (one PackedV3 per PI) and propagates
@@ -156,10 +176,12 @@ class SequenceSimulator {
     std::uint64_t zero = 0;  // slots forced to 0
   };
 
-  static PackedV3 apply_masks(PackedV3 v, const Masks& m) {
-    const std::uint64_t touched = m.one | m.zero;
-    v.v1 = (v.v1 & ~touched) | m.one;
-    v.v0 = (v.v0 & ~touched) | m.zero;
+  static PackedV3 apply_masks(PackedV3 v, const Masks& m, std::uint64_t act) {
+    const std::uint64_t one = m.one & act;
+    const std::uint64_t zero = m.zero & act;
+    const std::uint64_t touched = one | zero;
+    v.v1 = (v.v1 & ~touched) | one;
+    v.v0 = (v.v0 & ~touched) | zero;
     return v;
   }
 
@@ -175,6 +197,8 @@ class SequenceSimulator {
   std::vector<PackedV3> values_;
   LevelQueue queue_;
   bool first_vector_ = true;
+  std::uint64_t act_ = ~0ULL;        // current-frame override activity
+  std::uint64_t act_latch_ = ~0ULL;  // next-frame (clocked Q) activity
   std::uint64_t gate_evals_ = 0;
   // Scratch for the input-override slow path of evaluate(), sized to the
   // widest gate once so no evaluation allocates.

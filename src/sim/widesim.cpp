@@ -19,6 +19,8 @@ WideSimulator::WideSimulator(const netlist::Circuit& c, unsigned words)
   if (words < 1 || words > kMaxWideWords) {
     throw std::invalid_argument("WideSimulator: width must be 1..8 words");
   }
+  act_ = WideMask::ones(nw_, static_cast<std::size_t>(nw_) * 64);
+  act_latch_ = act_;
 
   // Levelized topo layout: rows ordered by (level, NodeId) — sources and
   // flip-flops (level 0) first, then gates by ascending logic level, so the
@@ -150,6 +152,20 @@ void WideSimulator::clear_overrides() {
   in_over_.clear();
   std::fill(node_has_in_over_.begin(), node_has_in_over_.end(), 0);
   overridden_sources_.clear();
+  act_ = WideMask::ones(nw_, static_cast<std::size_t>(nw_) * 64);
+  act_latch_ = act_;
+  mark_dirty();
+}
+
+void WideSimulator::set_override_activity(const WideMask& act) {
+  if (act.w == act_.w) return;
+  act_ = act;
+  mark_dirty();
+}
+
+void WideSimulator::set_latch_override_activity(const WideMask& act) {
+  if (act.w == act_latch_.w) return;
+  act_latch_ = act;
   mark_dirty();
 }
 
@@ -165,23 +181,28 @@ void WideSimulator::retain_override_slots(const WideMask& slot_mask) {
 }
 
 void WideSimulator::apply_masks_rows(std::uint64_t* r1, std::uint64_t* r0,
-                                     const WMasks& m) const {
+                                     const WMasks& m,
+                                     const WideMask& act) const {
   for (unsigned w = 0; w < nw_; ++w) {
-    const std::uint64_t touched = m.one.w[w] | m.zero.w[w];
-    r1[w] = (r1[w] & ~touched) | m.one.w[w];
-    r0[w] = (r0[w] & ~touched) | m.zero.w[w];
+    const std::uint64_t one = m.one.w[w] & act.w[w];
+    const std::uint64_t zero = m.zero.w[w] & act.w[w];
+    const std::uint64_t touched = one | zero;
+    r1[w] = (r1[w] & ~touched) | one;
+    r0[w] = (r0[w] & ~touched) | zero;
   }
 }
 
 bool WideSimulator::rows_equal_masked(const std::uint64_t* r1,
-                                      const std::uint64_t* r0,
-                                      const WMasks& m) const {
+                                      const std::uint64_t* r0, const WMasks& m,
+                                      const WideMask& act) const {
   // True when applying `m` to (r1, r0) would change nothing.
   std::uint64_t diff = 0;
   for (unsigned w = 0; w < nw_; ++w) {
-    const std::uint64_t touched = m.one.w[w] | m.zero.w[w];
-    diff |= ((r1[w] & ~touched) | m.one.w[w]) ^ r1[w];
-    diff |= ((r0[w] & ~touched) | m.zero.w[w]) ^ r0[w];
+    const std::uint64_t one = m.one.w[w] & act.w[w];
+    const std::uint64_t zero = m.zero.w[w] & act.w[w];
+    const std::uint64_t touched = one | zero;
+    diff |= ((r1[w] & ~touched) | one) ^ r1[w];
+    diff |= ((r0[w] & ~touched) | zero) ^ r0[w];
   }
   return diff == 0;
 }
@@ -189,7 +210,7 @@ bool WideSimulator::rows_equal_masked(const std::uint64_t* r1,
 void WideSimulator::force_source_overrides() {
   for (NodeId n : overridden_sources_) {
     apply_masks_rows(plane1_.data() + row_[n], plane0_.data() + row_[n],
-                     out_over_[n]);
+                     out_over_[n], act_);
   }
 }
 
@@ -231,7 +252,7 @@ bool WideSimulator::evaluate(NodeId n) {
       std::copy_n(plane1_.data() + row_[fanins[i]], nw_, s1);
       std::copy_n(plane0_.data() + row_[fanins[i]], nw_, s0);
       auto it = in_over_.find(in_key(n, static_cast<unsigned>(i)));
-      if (it != in_over_.end()) apply_masks_rows(s1, s0, it->second);
+      if (it != in_over_.end()) apply_masks_rows(s1, s0, it->second, act_);
       fin1_[i] = s1;
       fin0_[i] = s0;
     }
@@ -246,7 +267,7 @@ bool WideSimulator::evaluate(NodeId n) {
   if (!out_over_.empty()) {
     auto it = out_over_.find(n);
     if (it != out_over_.end()) {
-      apply_masks_rows(out1_.data(), out0_.data(), it->second);
+      apply_masks_rows(out1_.data(), out0_.data(), it->second, act_);
     }
   }
   std::uint64_t* r1 = plane1_.data() + row_[n];
@@ -286,7 +307,7 @@ void WideSimulator::apply_wide(std::span<const std::uint64_t> pi1,
     std::copy_n(pi0.data() + i * nw_, nw_, out0_.data());
     auto it = out_over_.find(pis[i]);
     if (it != out_over_.end()) {
-      apply_masks_rows(out1_.data(), out0_.data(), it->second);
+      apply_masks_rows(out1_.data(), out0_.data(), it->second, act_);
     }
     std::uint64_t* r1 = plane1_.data() + row_[pis[i]];
     std::uint64_t* r0 = plane0_.data() + row_[pis[i]];
@@ -345,12 +366,15 @@ void WideSimulator::next_state_rows(std::size_t ff_index, std::uint64_t* o1,
   const NodeId d = circuit_.fanins(ff)[0];
   std::copy_n(plane1_.data() + row_[d], nw_, o1);
   std::copy_n(plane0_.data() + row_[d], nw_, o0);
+  // D-pin forcing samples at the edge ending the current frame
+  // (current-frame activity); Q forcing lives in the frame the latch feeds
+  // (latch activity, advanced one frame ahead by the caller).
   if (node_has_in_over_[ff]) {
     auto it = in_over_.find(in_key(ff, 0));
-    if (it != in_over_.end()) apply_masks_rows(o1, o0, it->second);
+    if (it != in_over_.end()) apply_masks_rows(o1, o0, it->second, act_);
   }
   auto out = out_over_.find(ff);
-  if (out != out_over_.end()) apply_masks_rows(o1, o0, out->second);
+  if (out != out_over_.end()) apply_masks_rows(o1, o0, out->second, act_latch_);
 }
 
 void WideSimulator::apply_differential(
@@ -398,8 +422,8 @@ void WideSimulator::apply_differential(
     const WMasks& m = out_over_[n];
     std::uint64_t* r1 = plane1_.data() + row_[n];
     std::uint64_t* r0 = plane0_.data() + row_[n];
-    if (rows_equal_masked(r1, r0, m)) continue;
-    apply_masks_rows(r1, r0, m);
+    if (rows_equal_masked(r1, r0, m, act_)) continue;
+    apply_masks_rows(r1, r0, m, act_);
     schedule_fanouts(n);
   }
 
@@ -408,7 +432,7 @@ void WideSimulator::apply_differential(
   for (const auto& [n, masks] : out_over_) {
     if (!netlist::is_combinational(circuit_.type(n))) continue;
     if (rows_equal_masked(plane1_.data() + row_[n], plane0_.data() + row_[n],
-                          masks)) {
+                          masks, act_)) {
       continue;
     }
     schedule(n);
@@ -418,7 +442,7 @@ void WideSimulator::apply_differential(
     const NodeId src =
         circuit_.fanins(n)[static_cast<std::size_t>(key & 0xFFFF)];
     if (rows_equal_masked(plane1_.data() + row_[src],
-                          plane0_.data() + row_[src], masks)) {
+                          plane0_.data() + row_[src], masks, act_)) {
       continue;
     }
     schedule(n);

@@ -61,6 +61,13 @@ class WideSimulator {
   void clear_overrides();
   void retain_override_slots(const WideMask& slot_mask);
 
+  /// Per-slot activity gates over the installed overrides (the two-frame
+  /// transition-fault mechanism) — semantics identical to
+  /// SequenceSimulator::set_override_activity / set_latch_override_activity,
+  /// widened to 64·W slots.  Default all-ones = plain stuck-at behavior.
+  void set_override_activity(const WideMask& act);
+  void set_latch_override_activity(const WideMask& act);
+
   // -- Simulation ------------------------------------------------------------
 
   /// Applies one wide input vector (`pi1`/`pi0`: nw words per PI, PI-major)
@@ -123,10 +130,10 @@ class WideSimulator {
     return (static_cast<std::uint64_t>(n) << 16) | pin;
   }
 
-  void apply_masks_rows(std::uint64_t* r1, std::uint64_t* r0,
-                        const WMasks& m) const;
+  void apply_masks_rows(std::uint64_t* r1, std::uint64_t* r0, const WMasks& m,
+                        const WideMask& act) const;
   bool rows_equal_masked(const std::uint64_t* r1, const std::uint64_t* r0,
-                         const WMasks& m) const;
+                         const WMasks& m, const WideMask& act) const;
   void broadcast_into(netlist::NodeId n, V3 v);
   bool evaluate(netlist::NodeId n);
   void full_evaluate();
@@ -159,6 +166,8 @@ class WideSimulator {
 
   bool first_vector_ = true;
   std::uint64_t gate_evals_ = 0;
+  WideMask act_;        // current-frame override activity
+  WideMask act_latch_;  // next-frame (clocked Q) activity
 
   // Evaluation scratch, sized once at construction: fanin row-pointer
   // gather arrays, the input-override gather matrix, and the kernel output

@@ -100,6 +100,18 @@ bool StateStore::verify(const fault::Fault& fault, const Sequence& sequence,
   good.set_state(current_good);
   faulty.reset();
   faulty.clear_overrides();
+  // Transition faults force conditionally: gate the override per frame by
+  // the launch activity read off the lockstep good machine (same sequencing
+  // as the GA justifier's evaluators).  The power-up frame cannot launch.
+  const bool trans = fault.is_transition();
+  const netlist::NodeId launch_line =
+      fault.pin == fault::kOutputPin
+          ? fault.node
+          : c_.fanins(fault.node)[static_cast<std::size_t>(fault.pin)];
+  if (trans) {
+    faulty.set_override_activity(0);
+    faulty.set_latch_override_activity(0);
+  }
   if (fault.pin == fault::kOutputPin) {
     faulty.add_output_override(fault.node, fault.stuck_at, ~0ULL);
   } else {
@@ -109,8 +121,17 @@ bool StateStore::verify(const fault::Fault& fault, const Sequence& sequence,
   for (std::size_t t = 0; t < sequence.size(); ++t) {
     good.apply_vector(sequence[t]);
     faulty.apply_vector(sequence[t]);
-    good.clock();
-    faulty.clock();
+    if (trans) {
+      const sim::PackedV3 lv = good.value(launch_line);
+      const std::uint64_t next_act = fault.stuck_at ? lv.v1 : lv.v0;
+      faulty.set_latch_override_activity(next_act);
+      good.clock();
+      faulty.clock();
+      faulty.set_override_activity(next_act);
+    } else {
+      good.clock();
+      faulty.clock();
+    }
     if ((good.state_match_mask(desired_good) &
          faulty.state_match_mask(desired_faulty) & 1ULL) != 0) {
       prefix.assign(sequence.begin(),

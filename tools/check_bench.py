@@ -33,6 +33,12 @@ Supported benches:
               counters per (engine, threads) row, differential-mode
               gate-eval reduction floor (overall_gate_eval_reduction
               >= 1.5).
+  faults      BENCH_faults.json — hybrid ATPG per fault model: exact-match
+              coverage/test-set counters and digests per (circuit, model)
+              row (the schedule is wall-clock-free, so rows are
+              machine-independent), execution-shape identity invariants,
+              and per-model coverage floors (min_coverage_stuck_at >= 0.5,
+              min_coverage_transition >= 0.25).
 
 Usage:
   check_bench.py --bench detengine --fresh build/BENCH_detengine.json \
@@ -140,6 +146,30 @@ BENCH_SPECS = {
         "row_guards": {},
         "ratios": (
             {"key": "overall_gate_eval_reduction", "floor": 1.5},
+        ),
+        "extra": None,
+    },
+    "faults": {
+        "args": ("seed", "backtracks", "cap"),
+        "invariants": {
+            "consistent_across_configs":
+                "a fault-sim thread-count or SIMD-width variant diverged "
+                "from the base run",
+            "stuck_at_matches_default":
+                "the fault-model axis is no longer invisible to default "
+                "(stuck-at) configurations",
+        },
+        # One result row per fault model within a circuit.
+        "row_key": lambda r: r["model"],
+        # The schedule is backtrack-bounded (never wall-clock), so every
+        # counter — including the test-set digest — is machine-independent
+        # and exact-matched against the committed snapshot.
+        "counters": ("faults", "detected", "untestable", "vectors",
+                     "targeted", "committed_tests", "digest_tests"),
+        "row_guards": {},
+        "ratios": (
+            {"key": "min_coverage_stuck_at", "floor": 0.5},
+            {"key": "min_coverage_transition", "floor": 0.25},
         ),
         "extra": None,
     },
